@@ -1,0 +1,20 @@
+.PHONY: install test bench experiments experiments-full clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro run-all --out results_quick
+
+experiments-full:
+	python -m repro run-all --full --out results_full
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis results_quick results_full
+	find . -name __pycache__ -type d -exec rm -rf {} +

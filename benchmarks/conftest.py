@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure in the paper's evaluation has a benchmark here that
+*regenerates* it (at reduced scale — pass ``--full`` via the experiment
+CLI for paper scale) and asserts the headline shape, so `pytest
+benchmarks/ --benchmark-only` both times the harness and re-validates the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+
+#: Micro-scale sweep defaults used by the figure benchmarks: small enough
+#: that a benchmark round takes ~a second, large enough that the curve
+#: shapes hold.
+MICRO = dict(n_sets=3, utilizations=(0.3, 0.5, 0.7, 0.9), duration=600.0)
+
+
+def micro_sweep(**overrides):
+    """Run a micro-scale utilization sweep."""
+    params = {**MICRO, **overrides}
+    return utilization_sweep(SweepConfig(**params))
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (for second-scale workloads)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,59 @@
+"""Benchmarks for the analysis layer: steady-state measurement, policy
+comparison, schedule validation, and sweep throughput."""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro import PAPER_POLICIES, example_taskset, machine0, make_policy
+from repro.analysis.compare import compare_policies
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+from repro.sim.engine import simulate
+from repro.sim.steady import steady_state_energy
+from repro.sim.validation import validate_schedule
+
+
+def test_bench_steady_state(benchmark):
+    """Per-hyperperiod energy of the worked example under laEDF
+    (simulates 3 x 280 ms with a full trace)."""
+
+    def run():
+        return steady_state_energy(example_taskset(), machine0(),
+                                   make_policy("laEDF"), demand=0.6)
+
+    steady = benchmark(run)
+    assert steady.is_periodic
+
+
+def test_bench_compare_policies(benchmark):
+    """All six paper policies on one workload, identical demands."""
+
+    def run():
+        return compare_policies(example_taskset(), machine0(),
+                                policies=PAPER_POLICIES,
+                                demand="uniform", duration=560.0)
+
+    rows = benchmark(run)
+    assert len(rows) == len(PAPER_POLICIES)
+    assert all(r.misses == 0 for r in rows if not r.skipped)
+
+
+def test_bench_schedule_validation(benchmark):
+    """Validator throughput over a 1000 ms traced run."""
+    result = simulate(example_taskset(), machine0(),
+                      make_policy("ccEDF"), demand=0.7,
+                      duration=1000.0, record_trace=True)
+
+    violations = benchmark(validate_schedule, result)
+    assert violations == []
+
+
+def test_bench_sweep_cell_throughput(benchmark):
+    """One micro sweep point: the unit of work behind every figure."""
+
+    def run():
+        return utilization_sweep(SweepConfig(
+            n_tasks=8, n_sets=2, utilizations=(0.6,), duration=500.0,
+            seed=44))
+
+    sweep = once(benchmark, run)
+    assert sweep.normalized.get("laEDF").ys[0] <= 1.0

@@ -1,0 +1,37 @@
+"""Engine micro-benchmarks: simulation throughput per policy.
+
+Not a paper figure — these time the substrate itself (events/second) so
+performance regressions in the scheduler or the policies are visible.
+"""
+
+import pytest
+
+from repro import PAPER_POLICIES, machine0, make_policy, simulate
+from repro.model.generator import TaskSetGenerator
+
+TS = TaskSetGenerator(n_tasks=8, utilization=0.7, seed=77).generate()
+
+
+@pytest.mark.parametrize("name", PAPER_POLICIES)
+def test_bench_policy_throughput(benchmark, name):
+    """One 2000-time-unit simulation of an 8-task set."""
+
+    def run():
+        return simulate(TS, machine0(), make_policy(name), demand=0.8,
+                        duration=2000.0, on_miss="drop")
+
+    result = benchmark(run)
+    assert result.jobs, "simulation must have released jobs"
+
+
+def test_bench_engine_event_rate(benchmark):
+    """Dense workload: 1 ms periods for 2000 time units (~6000 jobs)."""
+    from repro.model.task import Task, TaskSet
+    dense = TaskSet([Task(0.2, 1.0), Task(0.3, 2.0), Task(0.4, 4.0)])
+
+    def run():
+        return simulate(dense, machine0(), make_policy("laEDF"),
+                        demand=0.9, duration=2000.0)
+
+    result = benchmark(run)
+    assert len(result.jobs) == 2000 + 1000 + 500

@@ -1,0 +1,101 @@
+"""Benchmarks for the extension studies (beyond the paper's figures).
+
+* the ext-future experiment driver (statistical guarantees + clairvoyance
+  gap),
+* the polling-server substrate under DVS,
+* the oracle/bound gap decomposition as a standalone ablation.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro import machine0, make_policy, simulate
+from repro.aperiodic import AperiodicRequest, PollingServer
+from repro.experiments import ext_future
+from repro.model.task import Task, TaskSet
+from repro.sim.bound import minimum_energy_for_cycles
+
+
+def test_bench_ext_future(benchmark):
+    result = once(benchmark, ext_future.run, quick=True)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]
+
+
+def test_bench_ext_battery(benchmark):
+    from repro.experiments import ext_battery
+    result = once(benchmark, ext_battery.run, quick=True)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]
+
+
+def test_bench_ext_server(benchmark):
+    from repro.experiments import ext_server
+    result = once(benchmark, ext_server.run, quick=True)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]
+
+
+def test_bench_ext_governors(benchmark):
+    from repro.experiments import ext_governors
+    result = once(benchmark, ext_governors.run, quick=True)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]
+
+
+def test_bench_ext_mp(benchmark):
+    from repro.experiments import ext_mp
+    result = once(benchmark, ext_mp.run, quick=True)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]
+
+
+def test_bench_polling_server(benchmark):
+    """A 1000 ms mixed periodic + aperiodic run with response analysis."""
+    server = PollingServer(budget=3.0, period=15.0, name="server")
+    taskset = TaskSet([Task(3, 10, name="a"), Task(8, 40, name="b"),
+                       server.task])
+    requests = [AperiodicRequest(float(5 + 20 * k), 2.0)
+                for k in range(40)]
+
+    def run():
+        demand = server.demand_model(requests, base=0.9)
+        result = simulate(taskset, machine0(), make_policy("ccEDF"),
+                          demand=demand, duration=1000.0,
+                          record_trace=True)
+        return result, server.response_stats(result, requests)
+
+    result, stats = benchmark(run)
+    assert result.met_all_deadlines
+    assert stats.completed_count >= 35
+    # Budget 3 per period 15: one 2-cycle request per 20 ms never backs up
+    # more than a couple of periods.
+    assert stats.max_response < 3 * server.period
+
+
+def test_bench_ablation_clairvoyance(benchmark):
+    """bound <= oracle <= laEDF ordering on a mixed-demand workload."""
+    from repro.analysis.sweep import materialize_demand
+    from repro.model.demand import UniformFractionDemand
+    from repro.model.generator import TaskSetGenerator
+
+    sets = TaskSetGenerator(n_tasks=6, utilization=0.7,
+                            seed=88).generate_many(5)
+
+    def run():
+        totals = {"bound": 0.0, "oracleEDF": 0.0, "ccEDF": 0.0}
+        for index, ts in enumerate(sets):
+            demand = materialize_demand(
+                UniformFractionDemand(seed=index), ts, 1000.0)
+            for name in ("oracleEDF", "ccEDF"):
+                sim = simulate(ts, machine0(), make_policy(name),
+                               demand=demand, duration=1000.0)
+                totals[name] += sim.total_energy
+                if name == "oracleEDF":
+                    totals["bound"] += minimum_energy_for_cycles(
+                        machine0(), sim.executed_cycles, 1000.0)
+        return totals
+
+    totals = once(benchmark, run)
+    assert totals["bound"] <= totals["oracleEDF"] + 1e-6
+    assert totals["oracleEDF"] <= totals["ccEDF"] + 1e-6

@@ -1,0 +1,33 @@
+"""Fig. 10 — idle-level sensitivity.
+
+Regenerates the three panels at micro scale; the dynamic algorithms must
+gain on the static ones as the idle level rises.
+"""
+
+import pytest
+
+from benchmarks.conftest import micro_sweep, once
+
+
+@pytest.mark.parametrize("idle_level", [0.01, 0.1, 1.0])
+def test_bench_fig10_panel(benchmark, idle_level):
+    sweep = once(benchmark, micro_sweep, n_tasks=8, seed=100,
+                 idle_level=idle_level)
+    la = sweep.normalized.get("laEDF").y_at(0.5)
+    assert la < 0.85, "savings must persist at every idle level"
+
+
+def test_bench_fig10_divergence(benchmark):
+    def both():
+        return (micro_sweep(n_tasks=8, seed=100, idle_level=0.01),
+                micro_sweep(n_tasks=8, seed=100, idle_level=1.0))
+
+    cheap, costly = once(benchmark, both)
+
+    def gap(sweep):
+        cc = sweep.normalized.get("ccEDF").ys
+        st = sweep.normalized.get("staticEDF").ys
+        return sum(s - c for s, c in zip(st, cc)) / len(cc)
+
+    assert gap(costly) > gap(cheap), \
+        "ccEDF must diverge below staticEDF as idle gets expensive"

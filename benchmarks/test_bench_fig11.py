@@ -1,0 +1,37 @@
+"""Fig. 11 — machine-specification sensitivity.
+
+Regenerates the three panels at micro scale; machine 2's fine-grained,
+narrow-voltage table must make ccEDF hug the bound and beat laEDF.
+"""
+
+import pytest
+
+from benchmarks.conftest import micro_sweep, once
+from repro.hw.machine import machine0, machine1, machine2
+
+MACHINES = {"machine0": machine0, "machine1": machine1,
+            "machine2": machine2}
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_bench_fig11_panel(benchmark, name):
+    sweep = once(benchmark, micro_sweep, n_tasks=8, seed=110,
+                 machine=MACHINES[name]())
+    table = sweep.normalized
+    # Worst-case demands: ccEDF == staticEDF on every machine.
+    cc = table.get("ccEDF").ys
+    st = table.get("staticEDF").ys
+    assert max(abs(a - b) for a, b in zip(cc, st)) < 1e-6
+
+
+def test_bench_fig11_machine2_behaviour(benchmark):
+    sweep = once(benchmark, micro_sweep, n_tasks=8, seed=110,
+                 machine=machine2())
+    table = sweep.normalized
+    hug = max(c - b for c, b in zip(table.get("ccEDF").ys,
+                                    table.get("bound").ys))
+    assert hug < 0.1, "machine2: ccEDF must track the bound closely"
+    cc_mean = sum(table.get("ccEDF").ys) / len(table.xs)
+    la_mean = sum(table.get("laEDF").ys) / len(table.xs)
+    assert cc_mean <= la_mean + 1e-9, \
+        "machine2: ccEDF must outperform laEDF on average"

@@ -1,0 +1,53 @@
+"""Figs. 12 and 13 — computation-time sensitivity.
+
+Fig. 12: fixed demand fractions 0.9/0.7/0.5 — ccEDF/laEDF improve a lot,
+static policies don't move, ccRM barely moves.  Fig. 13: uniform demand
+behaves like constant 0.5.
+"""
+
+import pytest
+
+from benchmarks.conftest import micro_sweep, once
+
+
+@pytest.mark.parametrize("fraction", [0.9, 0.7, 0.5])
+def test_bench_fig12_panel(benchmark, fraction):
+    sweep = once(benchmark, micro_sweep, n_tasks=8, seed=120,
+                 demand=fraction)
+    la = sweep.normalized.get("laEDF").y_at(0.7)
+    edf = sweep.normalized.get("EDF").y_at(0.7)
+    assert la < edf
+
+
+def test_bench_fig12_adaptation(benchmark):
+    def panels():
+        return (micro_sweep(n_tasks=8, seed=120, demand=0.9),
+                micro_sweep(n_tasks=8, seed=120, demand=0.5))
+
+    high, low = once(benchmark, panels)
+
+    def mean_curve(sweep, label):
+        ys = sweep.normalized.get(label).ys
+        return sum(ys) / len(ys)
+
+    ccedf_gain = mean_curve(high, "ccEDF") - mean_curve(low, "ccEDF")
+    ccrm_gain = mean_curve(high, "ccRM") - mean_curve(low, "ccRM")
+    static_shift = abs(mean_curve(high, "staticEDF")
+                       - mean_curve(low, "staticEDF"))
+    assert ccedf_gain > 0.05, "ccEDF must exploit early completions"
+    assert ccrm_gain < ccedf_gain, "ccRM adapts much less (paper text)"
+    assert static_shift < 0.01, "static scaling ignores actual demand"
+
+
+def test_bench_fig13_uniform_vs_half(benchmark):
+    def panels():
+        return (micro_sweep(n_tasks=8, seed=130, demand="uniform"),
+                micro_sweep(n_tasks=8, seed=130, demand=0.5))
+
+    uniform, half = once(benchmark, panels)
+    for label in ("ccEDF", "laEDF"):
+        u = uniform.normalized.get(label).ys
+        h = half.normalized.get(label).ys
+        gap = max(abs(a - b) for a, b in zip(u, h))
+        assert gap < 0.15, \
+            f"{label}: uniform demand must look like constant 0.5"

@@ -1,0 +1,62 @@
+"""Figs. 16 and 17 — the platform "measurement" and its simulation twin.
+
+Fig. 16: system power (constant board overhead + calibrated CPU) on the
+two-voltage K6-2+ table, 5 tasks at 90 % demand; RT-DVS saves 20-40 %.
+Fig. 17: CPU-only simulation with identical parameters; must equal the
+measurement minus the constant overhead.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+from repro.experiments.fig16 import POLICIES, power_table
+from repro.hw.machine import k6_2_plus
+from repro.measure.laptop import LaptopPowerModel
+
+MICRO_PLATFORM = dict(
+    policies=POLICIES, n_tasks=5, n_sets=3, demand=0.9,
+    utilizations=(0.3, 0.5, 0.7, 0.9), duration=600.0, seed=160)
+
+
+def _measured_sweep():
+    laptop = LaptopPowerModel()
+    machine = k6_2_plus()
+    return utilization_sweep(SweepConfig(
+        machine=machine,
+        cycle_energy_scale=laptop.cycle_energy_scale_for(machine),
+        **MICRO_PLATFORM))
+
+
+def _simulated_sweep():
+    return utilization_sweep(SweepConfig(machine=k6_2_plus(),
+                                         **MICRO_PLATFORM))
+
+
+def test_bench_fig16(benchmark):
+    sweep = once(benchmark, _measured_sweep)
+    laptop = LaptopPowerModel()
+    table = power_table(sweep, laptop, include_overhead=True)
+    edf = table.get("EDF")
+    la = table.get("laEDF")
+    saving = 1.0 - la.y_at(0.7) / edf.y_at(0.7)
+    assert 0.10 <= saving <= 0.55, \
+        f"system-power saving at U=0.7 out of band: {saving:.0%}"
+    assert min(la.ys) >= laptop.board_base, \
+        "system power can never drop below the board overhead"
+
+
+def test_bench_fig17_matches_fig16_minus_overhead(benchmark):
+    def both():
+        return _measured_sweep(), _simulated_sweep()
+
+    measured, simulated = once(benchmark, both)
+    laptop = LaptopPowerModel()
+    scale = laptop.cycle_energy_scale_for(k6_2_plus())
+    duration = MICRO_PLATFORM["duration"]
+    for label in POLICIES:
+        m_watts = [y / duration for y in measured.raw.get(label).ys]
+        s_watts = [y * scale / duration
+                   for y in simulated.raw.get(label).ys]
+        for mw, sw in zip(m_watts, s_watts):
+            assert mw == pytest.approx(sw, abs=1e-9), label

@@ -1,0 +1,35 @@
+"""Fig. 9 — energy vs utilization for varying task counts.
+
+Regenerates the figure's series at micro scale and asserts the paper's
+two findings: laEDF tracks the bound, and the task count barely matters.
+"""
+
+import pytest
+
+from benchmarks.conftest import micro_sweep, once
+
+
+@pytest.mark.parametrize("n_tasks", [5, 10, 15])
+def test_bench_fig9_panel(benchmark, n_tasks):
+    sweep = once(benchmark, micro_sweep, n_tasks=n_tasks, seed=90 + n_tasks)
+    table = sweep.normalized
+    mid = 0.5
+    la = table.get("laEDF").y_at(mid)
+    bound = table.get("bound").y_at(mid)
+    assert la < 0.9, "RT-DVS must save energy at mid utilization"
+    assert la <= bound * 1.2 + 0.02, "laEDF must track the bound"
+    cc = table.get("ccEDF").y_at(mid)
+    st = table.get("staticEDF").y_at(mid)
+    assert la <= cc + 0.02 <= st + 0.04
+
+
+def test_bench_fig9_task_count_invariance(benchmark):
+    def both():
+        return (micro_sweep(n_tasks=5, seed=95),
+                micro_sweep(n_tasks=15, seed=105))
+
+    five, fifteen = once(benchmark, both)
+    la5 = five.normalized.get("laEDF").ys
+    la15 = fifteen.normalized.get("laEDF").ys
+    gap = max(abs(a - b) for a, b in zip(la5, la15))
+    assert gap < 0.25, "task count should have little effect"

@@ -1,0 +1,42 @@
+"""Benchmarks regenerating Table 1 and Table 4."""
+
+import pytest
+
+from repro import (
+    PAPER_POLICIES,
+    example_taskset,
+    machine0,
+    make_policy,
+    paper_example_trace,
+    simulate,
+)
+from repro.experiments import table1, table4
+
+
+def test_bench_table1(benchmark):
+    """Table 1: laptop power states from the component model."""
+    result = benchmark(table1.run)
+    assert result.all_checks_pass
+
+
+def test_bench_table4_experiment(benchmark):
+    """Table 4: the full six-policy worked example driver."""
+    result = benchmark(table4.run)
+    assert result.all_checks_pass
+
+
+@pytest.mark.parametrize("name,expected", [
+    ("EDF", 175.0), ("staticRM", 175.0), ("staticEDF", 112.0),
+    ("ccEDF", 91.0), ("ccRM", 125.0), ("laEDF", 77.0),
+])
+def test_bench_table4_policy(benchmark, name, expected):
+    """Table 4, per policy: one 16 ms worked-example simulation."""
+    taskset = example_taskset()
+    machine = machine0()
+
+    def run():
+        return simulate(taskset, machine, make_policy(name),
+                        demand=paper_example_trace(), duration=16.0)
+
+    result = benchmark(run)
+    assert result.total_energy == pytest.approx(expected)

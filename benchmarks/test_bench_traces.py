@@ -1,0 +1,9 @@
+"""Benchmark regenerating the worked-example traces (Figs. 2, 3, 5, 7)."""
+
+from repro.experiments import traces
+
+
+def test_bench_traces(benchmark):
+    result = benchmark(traces.run)
+    assert result.all_checks_pass, [str(c) for c in result.checks
+                                    if not c.passed]

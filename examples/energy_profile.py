@@ -1,0 +1,42 @@
+"""Per-task energy profiling, PowerScope style.
+
+The paper's measurement methodology follows PowerScope, the tool for
+attributing energy to program activity.  This example profiles the
+videophone workload under three policies and shows *where* the energy
+goes: which tasks pay for high-voltage cycles, how much the policies
+differ per task rather than just in aggregate, and what the idle state
+costs when halting isn't free.
+"""
+
+from repro import machine0, make_policy, simulate
+from repro.hw.energy import EnergyModel
+from repro.measure import EnergyProfiler
+from repro.workloads import load
+
+
+def main() -> None:
+    taskset, demand = load("videophone")
+    duration = 6.0 * max(t.period for t in taskset)
+    energy_model = EnergyModel(idle_level=0.05)
+
+    print(f"videophone workload: U = {taskset.utilization:.2f}, "
+          f"{duration:g} ms horizon, idle level 0.05\n")
+    for policy_name in ("EDF", "ccEDF", "laEDF"):
+        demand.reset()
+        result = simulate(taskset, machine0(), make_policy(policy_name),
+                          demand=demand, duration=duration,
+                          energy_model=energy_model, record_trace=True)
+        profiler = EnergyProfiler(result)
+        print(f"--- {policy_name}: total energy "
+              f"{profiler.total_energy:.0f} ---")
+        print(profiler.table())
+        print()
+
+    print("Reading the tables: under plain EDF every cycle costs 25 "
+          "(5 V); the RT-DVS policies push most tasks down to 9-16 "
+          "V²/cycle, and the mean V²/cycle column shows which tasks "
+          "still pay for high-frequency catch-up.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Laptop power measurement, Fig. 15/16 style.
+
+Recreates the paper's measurement setup on the emulated platform: the HP
+N3350 component model supplies the constant board overhead, the K6-2+
+machine supplies the two-voltage operating table, and the oscilloscope
+emulation samples the instantaneous system power of a recorded run —
+showing both the transient frequency steps (which a slow multimeter would
+miss) and the long-interval averages the paper reports.
+"""
+
+from repro import Task, TaskSet, k6_2_plus, make_policy
+from repro.hw.energy import EnergyModel
+from repro.measure import (DigitalOscilloscope, LaptopPowerModel, PowerTrace,
+                           table1_rows)
+from repro.sim.engine import simulate
+
+
+def main() -> None:
+    laptop = LaptopPowerModel()
+    machine = k6_2_plus()
+
+    print("Table 1 (component model calibration):")
+    for screen, disk, cpu, watts in table1_rows(laptop):
+        print(f"  CPU {cpu:<9} screen {screen:<3} disk {disk:<8} "
+              f"-> {watts:5.1f} W")
+    print()
+
+    taskset = TaskSet([
+        Task(wcet=12.0, period=40.0, name="mpeg"),
+        Task(wcet=5.0, period=25.0, name="net"),
+        Task(wcet=8.0, period=80.0, name="ui"),
+    ])
+    energy_model = EnergyModel(
+        cycle_energy_scale=laptop.cycle_energy_scale_for(machine))
+    duration = 2000.0
+
+    oscilloscope = DigitalOscilloscope(sample_interval=5.0)
+    print(f"task set U = {taskset.utilization:.3f}; system power with the "
+          "display off (watts):")
+    print(f"{'policy':<12} {'mean':>7} {'peak':>7} {'trough':>7}")
+    for name in ("EDF", "staticRM", "ccEDF", "laEDF"):
+        result = simulate(taskset, machine, make_policy(name),
+                          demand=0.9, duration=duration,
+                          energy_model=energy_model, record_trace=True)
+        trace = PowerTrace(result, laptop=laptop)
+        acquisition = oscilloscope.acquire(trace)
+        print(f"{name:<12} {acquisition.mean:>7.2f} {acquisition.peak:>7.2f} "
+              f"{acquisition.trough:>7.2f}")
+    print()
+
+    # Transient view: sample a short window of the laEDF run.
+    result = simulate(taskset, machine, make_policy("laEDF"), demand=0.9,
+                      duration=200.0, energy_model=energy_model,
+                      record_trace=True)
+    trace = PowerTrace(result, laptop=laptop)
+    fine = DigitalOscilloscope(sample_interval=2.0).acquire(trace, 0.0, 120.0)
+    print("laEDF transient (first 120 ms, 2 ms samples):")
+    scale_max = max(fine.watts)
+    for t, w in zip(fine.times, fine.watts):
+        bar = "#" * int(40 * w / scale_max)
+        print(f"  t={t:6.1f} ms {w:6.2f} W |{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Statistical deadline guarantees — the paper's future work, live.
+
+Sec. 6: "we will investigate DVS with probabilistic or statistical
+deadline guarantees."  `StatisticalEDF` reserves a percentile of each
+task's *observed* demand distribution instead of the worst case.  This
+example sweeps that knob on a bursty workload and prints the resulting
+energy / miss-rate tradeoff, with ccEDF (the hard-guarantee equivalent)
+as the anchor.
+"""
+
+from repro import machine0, make_policy, simulate
+from repro.analysis.sweep import materialize_demand
+from repro.core.statistical import StatisticalEDF
+from repro.model.demand import UniformFractionDemand
+from repro.model.generator import TaskSetGenerator
+
+
+def main() -> None:
+    taskset = TaskSetGenerator(n_tasks=6, utilization=0.8,
+                               seed=2026).generate()
+    duration = 4000.0
+    demand = materialize_demand(
+        UniformFractionDemand(low=0.2, high=1.0, seed=7), taskset,
+        duration)
+    print(f"bursty workload: {len(taskset)} tasks, worst-case U = "
+          f"{taskset.utilization:.2f}, demands uniform in [0.2, 1.0] "
+          "of worst case\n")
+
+    cc = simulate(taskset, machine0(), make_policy("ccEDF"),
+                  demand=demand, duration=duration)
+    print(f"{'reservation':<22} {'energy':>8} {'vs ccEDF':>9} "
+          f"{'misses':>7} {'miss rate':>10}")
+    print(f"{'ccEDF (worst case)':<22} {cc.total_energy:>8.0f} "
+          f"{'1.000':>9} {0:>7} {'0.00%':>10}")
+    for percentile in (1.0, 0.95, 0.9, 0.8, 0.7, 0.5):
+        policy = StatisticalEDF(percentile=percentile, warmup=2)
+        result = simulate(taskset, machine0(), policy, demand=demand,
+                          duration=duration, on_miss="drop")
+        rate = result.deadline_miss_count / len(result.jobs)
+        print(f"{'statEDF p=' + format(percentile, '.2f'):<22} "
+              f"{result.total_energy:>8.0f} "
+              f"{result.total_energy / cc.total_energy:>9.3f} "
+              f"{result.deadline_miss_count:>7} {rate:>10.2%}")
+
+    print()
+    print("Dial the percentile down and energy falls below the hard-"
+          "guarantee policy — at the price of a measured miss rate.  "
+          "Even p=1.0 (reserve the observed maximum) is statistical, not "
+          "absolute: a new record demand can slip a deadline, which is "
+          "exactly why the paper's deterministic algorithms reserve the "
+          "specified worst case.")
+
+
+if __name__ == "__main__":
+    main()

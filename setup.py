@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so `pip install -e . --no-use-pep517` works in offline environments
+whose setuptools lacks the `wheel` package needed for PEP 660 editable
+installs.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

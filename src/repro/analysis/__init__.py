@@ -1,0 +1,37 @@
+"""Analysis harness: parameter sweeps, aggregation, rendering, export.
+
+The paper's evaluation (Sec. 3.2) averages energy "across hundreds of
+distinct task sets generated for several different total worst-case
+utilization values".  :mod:`repro.analysis.sweep` runs exactly that
+experiment shape; the other modules turn the results into the tables and
+(ASCII) figures the experiment drivers print.
+"""
+
+from repro.analysis.compare import (PolicyComparison, compare_policies,
+                                    comparison_table)
+from repro.analysis.report import combined_report, write_combined_report
+from repro.analysis.series import Series, SweepTable
+from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.aggregate import mean, sample_std, normalize_series
+from repro.analysis.textplot import line_chart
+from repro.analysis.export import to_csv, to_markdown, trace_to_csv
+
+__all__ = [
+    "PolicyComparison",
+    "compare_policies",
+    "comparison_table",
+    "combined_report",
+    "write_combined_report",
+    "Series",
+    "SweepTable",
+    "SweepConfig",
+    "SweepResult",
+    "utilization_sweep",
+    "mean",
+    "sample_std",
+    "normalize_series",
+    "line_chart",
+    "to_csv",
+    "to_markdown",
+    "trace_to_csv",
+]

@@ -1,0 +1,49 @@
+"""Small statistics helpers used by the sweep machinery.
+
+Kept dependency-free (no numpy) so the core library stays pure-Python; the
+amounts of data involved are tiny.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.analysis.series import Series
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (a silent 0 would corrupt
+    averaged sweeps)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased sample standard deviation (0 for fewer than two values)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def normalize_series(series: Series, reference: Series,
+                     label: str = "") -> Series:
+    """Pointwise normalize one curve by a reference curve.
+
+    The paper normalizes energy to the unmodified-EDF curve ("Energy
+    (normalized)" axes of Figs. 10-13).
+    """
+    return series.divided_by(reference, label=label or series.label)
+
+
+def ratio_map(values: Dict[str, float], reference_key: str
+              ) -> Dict[str, float]:
+    """Normalize a dict of scalars by one entry (e.g. Table 4)."""
+    reference = values[reference_key]
+    if reference == 0:
+        raise ZeroDivisionError(
+            f"reference entry {reference_key!r} is zero")
+    return {k: v / reference for k, v in values.items()}

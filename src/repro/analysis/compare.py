@@ -1,0 +1,125 @@
+"""One-call policy comparison on a single workload.
+
+Bundles what the examples keep doing by hand: run several policies on the
+same task set with byte-identical demands, and tabulate energy (absolute
+and normalized), deadline misses, frequency switches, average power, and
+optionally battery life and peak die temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import PAPER_POLICIES, make_policy
+from repro.errors import SchedulabilityError
+from repro.hw.battery import Battery
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import Machine
+from repro.measure.thermal import ThermalModel, thermal_trajectory
+from repro.model.demand import DemandModel, demand_from_spec
+from repro.model.task import TaskSet
+from repro.sim.engine import simulate
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """One row of the comparison."""
+
+    policy: str
+    energy: float
+    normalized: float
+    misses: int
+    switches: int
+    average_power: float
+    battery_life: Optional[float] = None
+    peak_temperature: Optional[float] = None
+    skipped: str = ""  # non-empty when the policy could not run
+
+
+def compare_policies(taskset: TaskSet, machine: Machine,
+                     policies: Sequence[str] = PAPER_POLICIES,
+                     demand: Union[str, float, DemandModel, None] = "worst",
+                     duration: Optional[float] = None,
+                     energy_model: Optional[EnergyModel] = None,
+                     battery: Optional[Battery] = None,
+                     thermal: Optional[ThermalModel] = None,
+                     ) -> List[PolicyComparison]:
+    """Run every policy on identical demands; first policy is the
+    normalization reference (include "EDF" first for the paper's view).
+
+    Policies whose schedulability test rejects the set (e.g. RM policies
+    on an EDF-only set) come back with a ``skipped`` reason instead of
+    numbers.
+    """
+    duration = (duration if duration is not None
+                else 4.0 * max(t.period for t in taskset))
+    model = demand_from_spec(demand) if demand is not None else None
+    frozen = (materialize_demand(model, taskset, duration)
+              if model is not None else None)
+    rows: List[PolicyComparison] = []
+    reference_energy: Optional[float] = None
+    record = thermal is not None
+    for name in policies:
+        try:
+            result = simulate(taskset, machine, make_policy(name),
+                              demand=frozen, duration=duration,
+                              energy_model=energy_model, on_miss="drop",
+                              record_trace=record)
+        except SchedulabilityError as exc:
+            rows.append(PolicyComparison(
+                policy=name, energy=float("nan"), normalized=float("nan"),
+                misses=0, switches=0, average_power=float("nan"),
+                skipped=str(exc)))
+            continue
+        if reference_energy is None:
+            reference_energy = result.total_energy
+        peak_temp = None
+        if thermal is not None and result.trace is not None:
+            peak_temp = thermal_trajectory(result, thermal).peak
+        rows.append(PolicyComparison(
+            policy=name,
+            energy=result.total_energy,
+            normalized=result.total_energy / reference_energy
+            if reference_energy else float("nan"),
+            misses=result.deadline_miss_count,
+            switches=result.switches,
+            average_power=result.average_power,
+            battery_life=(battery.lifetime(result.average_power)
+                          if battery is not None
+                          and result.average_power > 0 else None),
+            peak_temperature=peak_temp,
+        ))
+    return rows
+
+
+def comparison_table(rows: Sequence[PolicyComparison]) -> str:
+    """Render comparison rows as Markdown."""
+    battery_column = any(r.battery_life is not None for r in rows)
+    thermal_column = any(r.peak_temperature is not None for r in rows)
+    header = ["policy", "energy", "vs ref", "misses", "switches",
+              "avg power"]
+    if battery_column:
+        header.append("battery life")
+    if thermal_column:
+        header.append("peak temp")
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        if row.skipped:
+            cells = [f"{row.policy} (skipped)"] + \
+                ["—"] * (len(header) - 1)
+            lines.append("| " + " | ".join(cells) + " |")
+            continue
+        cells = [row.policy, f"{row.energy:.4g}",
+                 f"{row.normalized:.3f}", str(row.misses),
+                 str(row.switches), f"{row.average_power:.4g}"]
+        if battery_column:
+            cells.append(f"{row.battery_life:.4g}"
+                         if row.battery_life is not None else "—")
+        if thermal_column:
+            cells.append(f"{row.peak_temperature:.1f}"
+                         if row.peak_temperature is not None else "—")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

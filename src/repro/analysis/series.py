@@ -1,0 +1,95 @@
+"""Lightweight containers for plotted/tabulated data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: (x, y) pairs plus a label.
+
+    Immutable; algebraic helpers return new series.
+    """
+
+    label: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys")
+
+    @classmethod
+    def from_pairs(cls, label: str, pairs: Sequence[Tuple[float, float]]
+                   ) -> "Series":
+        xs, ys = zip(*pairs) if pairs else ((), ())
+        return cls(label, tuple(xs), tuple(ys))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def scaled(self, factor: float, label: Optional[str] = None) -> "Series":
+        """Multiply every y by ``factor``."""
+        return Series(label or self.label, self.xs,
+                      tuple(y * factor for y in self.ys))
+
+    def shifted(self, offset: float, label: Optional[str] = None) -> "Series":
+        """Add ``offset`` to every y (e.g. constant system overhead)."""
+        return Series(label or self.label, self.xs,
+                      tuple(y + offset for y in self.ys))
+
+    def divided_by(self, other: "Series",
+                   label: Optional[str] = None) -> "Series":
+        """Pointwise ratio against another series on the same xs."""
+        if self.xs != other.xs:
+            raise ValueError("series have different x grids")
+        ys = tuple(a / b for a, b in zip(self.ys, other.ys))
+        return Series(label or self.label, self.xs, ys)
+
+    def y_at(self, x: float) -> float:
+        """The y value at grid point ``x`` (exact match required)."""
+        for xi, yi in zip(self.xs, self.ys):
+            if abs(xi - x) <= 1e-12:
+                return yi
+        raise KeyError(f"x={x} not on the grid of series {self.label!r}")
+
+
+@dataclass
+class SweepTable:
+    """A family of series over a shared x grid (one per policy).
+
+    This is the in-memory form of each of the paper's figures: x is the
+    task-set worst-case utilization, one curve per scheduling method.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+
+    def add(self, series: Series) -> None:
+        if self.series and series.xs != self.series[0].xs:
+            raise ValueError("all series in a table must share the x grid")
+        self.series.append(series)
+
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        return self.series[0].xs if self.series else ()
+
+    def rows(self) -> List[List[float]]:
+        """Row-major data: one row per x, columns = series order."""
+        return [[s.ys[i] for s in self.series]
+                for i in range(len(self.xs))]

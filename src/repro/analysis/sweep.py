@@ -1,0 +1,241 @@
+"""Utilization sweeps: the experiment shape behind Figs. 9-13 and 16-17.
+
+For each target worst-case utilization, generate ``n_sets`` random task
+sets (paper methodology, Sec. 3.1), simulate every policy on each set with
+identical per-invocation demands, and average raw and EDF-normalized energy
+across the sets.  The theoretical lower bound is computed per set from the
+cycles the plain-EDF reference actually executed.
+
+Demands are *materialized* (pre-drawn into a trace) per task set so every
+policy sees byte-identical invocation demands — otherwise random demand
+models could de-synchronize across policies and corrupt the comparison.
+
+RM-based policies occasionally meet task sets that are EDF- but not
+RM-schedulable (the paper's footnote 3).  Those cells fall back to
+full-speed RM with misses tolerated, and the fallback count is reported in
+the result, so the curves stay defined across the whole utilization range.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.aggregate import mean, sample_std
+from repro.analysis.series import Series, SweepTable
+from repro.core import PAPER_POLICIES, make_policy
+from repro.core.no_dvs import NoDVS
+from repro.errors import ReproError, SchedulabilityError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import Machine, machine0
+from repro.model.demand import DemandModel, TraceDemand, demand_from_spec
+from repro.model.generator import TaskSetGenerator
+from repro.model.task import TaskSet
+from repro.sim.bound import minimum_energy_for_cycles
+from repro.sim.engine import simulate
+
+#: Label used for the theoretical lower bound pseudo-policy.
+BOUND_LABEL = "bound"
+
+#: The reference policy every sweep runs for normalization.
+REFERENCE_POLICY = "EDF"
+
+DEFAULT_UTILIZATIONS: Tuple[float, ...] = tuple(
+    round(0.1 * k, 1) for k in range(1, 11))
+
+
+def materialize_demand(model: DemandModel, taskset: TaskSet,
+                       duration: float) -> TraceDemand:
+    """Pre-draw every invocation's demand over ``[0, duration)``.
+
+    Returns a :class:`TraceDemand` that replays the draws identically for
+    every policy simulated on this task set.
+    """
+    trace: Dict[str, List[float]] = {}
+    for task in taskset:
+        count = max(1, math.ceil(duration / task.period))
+        trace[task.name] = [model.demand(task, k) for k in range(count)]
+    return TraceDemand(trace, repeat=False, fallback_fraction=1.0)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one utilization sweep.
+
+    Defaults follow the paper: 8 tasks, machine 0, perfect idle, worst-case
+    demand, utilizations 0.1 ... 1.0.  ``n_sets`` defaults to a laptop-scale
+    20 (the paper averages "hundreds"; raise it for publication-grade
+    smoothness).
+    """
+
+    policies: Tuple[str, ...] = PAPER_POLICIES
+    utilizations: Tuple[float, ...] = DEFAULT_UTILIZATIONS
+    n_tasks: int = 8
+    n_sets: int = 20
+    machine: Machine = field(default_factory=machine0)
+    demand: Union[str, float, DemandModel] = "worst"
+    idle_level: float = 0.0
+    duration: float = 2000.0
+    seed: int = 1
+    workers: int = 1
+    cycle_energy_scale: float = 1.0
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(idle_level=self.idle_level,
+                           cycle_energy_scale=self.cycle_energy_scale)
+
+
+@dataclass
+class SweepResult:
+    """Aggregated output of :func:`utilization_sweep`."""
+
+    config: SweepConfig
+    raw: SweepTable
+    normalized: SweepTable
+    std: Dict[str, Tuple[float, ...]]
+    rm_fallbacks: int
+
+    def series(self, label: str, normalized: bool = True) -> Series:
+        table = self.normalized if normalized else self.raw
+        return table.get(label)
+
+    def std_table(self) -> SweepTable:
+        """Per-point sample standard deviations of the *raw* energies.
+
+        Exposes the across-task-set spread the mean curves average away;
+        exported alongside the means for error bars in external plots.
+        """
+        table = SweepTable(
+            title=self.raw.title + " — sample std across task sets",
+            x_label=self.raw.x_label,
+            y_label="energy std")
+        xs = self.raw.xs
+        for label in self.raw.labels():
+            table.add(Series(label, xs, self.std[label]))
+        return table
+
+
+def utilization_sweep(config: SweepConfig) -> SweepResult:
+    """Run the sweep described by ``config``."""
+    labels = _result_labels(config)
+    per_label: Dict[str, List[List[float]]] = {
+        label: [] for label in labels}
+    rm_fallbacks = 0
+    for u_index, utilization in enumerate(config.utilizations):
+        cells = _build_cells(config, u_index, utilization)
+        outcomes = _run_cells(cells, config.workers)
+        for label in labels:
+            per_label[label].append([o[label] for o in outcomes])
+        rm_fallbacks += sum(o["_rm_fallbacks"] for o in outcomes)
+
+    raw = SweepTable(title=_title(config, normalized=False),
+                     x_label="worst-case utilization", y_label="energy")
+    normalized = SweepTable(title=_title(config, normalized=True),
+                            x_label="worst-case utilization",
+                            y_label="energy (normalized to EDF)")
+    std: Dict[str, Tuple[float, ...]] = {}
+    xs = tuple(config.utilizations)
+    for label in labels:
+        raw_means = tuple(mean(v) for v in per_label[label])
+        raw.add(Series(label, xs, raw_means))
+        norm_values = [
+            [v / ref for v, ref in zip(values, references)]
+            for values, references in zip(per_label[label],
+                                          per_label[REFERENCE_POLICY])]
+        normalized.add(Series(
+            label, xs, tuple(mean(v) for v in norm_values)))
+        std[label] = tuple(sample_std(v) for v in per_label[label])
+    return SweepResult(config=config, raw=raw, normalized=normalized,
+                       std=std, rm_fallbacks=rm_fallbacks)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+def _result_labels(config: SweepConfig) -> List[str]:
+    labels = list(config.policies)
+    if REFERENCE_POLICY not in labels:
+        labels.insert(0, REFERENCE_POLICY)
+    labels.append(BOUND_LABEL)
+    return labels
+
+
+def _title(config: SweepConfig, normalized: bool) -> str:
+    kind = "normalized energy" if normalized else "energy"
+    return (f"{kind} vs utilization — {config.n_tasks} tasks, "
+            f"{config.machine.name}, demand={config.demand}, "
+            f"idle={config.idle_level}")
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One (task set, all policies) work unit — picklable for workers."""
+
+    taskset: TaskSet
+    demand: TraceDemand
+    policies: Tuple[str, ...]
+    machine: Machine
+    duration: float
+    idle_level: float
+    cycle_energy_scale: float
+
+
+def _build_cells(config: SweepConfig, u_index: int,
+                 utilization: float) -> List[_Cell]:
+    seed_root = random.Random(f"{config.seed}/{u_index}")
+    generator = TaskSetGenerator(
+        n_tasks=config.n_tasks, utilization=utilization,
+        seed=seed_root.randrange(2 ** 63))
+    cells = []
+    for set_index in range(config.n_sets):
+        taskset = generator.generate()
+        model = demand_from_spec(config.demand,
+                                 seed=seed_root.randrange(2 ** 63))
+        demand = materialize_demand(model, taskset, config.duration)
+        cells.append(_Cell(
+            taskset=taskset, demand=demand,
+            policies=tuple(_result_labels(config)[:-1]),
+            machine=config.machine, duration=config.duration,
+            idle_level=config.idle_level,
+            cycle_energy_scale=config.cycle_energy_scale))
+    return cells
+
+
+def _run_cells(cells: List[_Cell], workers: int) -> List[Dict[str, float]]:
+    if workers <= 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cells))
+
+
+def _run_cell(cell: _Cell) -> Dict[str, float]:
+    """Simulate every policy on one task set; returns label -> energy."""
+    energy_model = EnergyModel(idle_level=cell.idle_level,
+                               cycle_energy_scale=cell.cycle_energy_scale)
+    out: Dict[str, float] = {"_rm_fallbacks": 0}
+    reference_cycles: Optional[float] = None
+    for name in cell.policies:
+        try:
+            result = simulate(cell.taskset, cell.machine, make_policy(name),
+                              demand=cell.demand, duration=cell.duration,
+                              energy_model=energy_model, on_miss="raise")
+        except SchedulabilityError:
+            # EDF-schedulable but not RM-schedulable (paper footnote 3):
+            # fall back to full-speed RM and tolerate the misses.
+            result = simulate(cell.taskset, cell.machine,
+                              NoDVS(scheduler="rm"),
+                              demand=cell.demand, duration=cell.duration,
+                              energy_model=energy_model, on_miss="drop")
+            out["_rm_fallbacks"] += 1
+        out[name] = result.total_energy
+        if name == REFERENCE_POLICY:
+            reference_cycles = result.executed_cycles
+    if reference_cycles is None:  # pragma: no cover - labels always add EDF
+        raise ReproError("sweep cell ran without the EDF reference")
+    out[BOUND_LABEL] = cell.cycle_energy_scale * minimum_energy_for_cycles(
+        cell.machine, reference_cycles, cell.duration)
+    return out

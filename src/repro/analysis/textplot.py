@@ -1,0 +1,92 @@
+"""ASCII line charts.
+
+No plotting library is available offline, so the experiment drivers render
+each figure as a character grid: one glyph per series, a y axis with tick
+labels, and a legend.  The *shapes* — who wins, where curves cross — are
+what the reproduction claims, and they read fine in ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.series import SweepTable
+
+_GLYPHS = "ox+*#@%&$~^"
+
+
+def line_chart(table: SweepTable, width: int = 64, height: int = 20,
+               y_min: Optional[float] = None,
+               y_max: Optional[float] = None) -> str:
+    """Render a :class:`SweepTable` as an ASCII chart."""
+    if not table.series:
+        return "(no data)"
+    xs = table.xs
+    if len(xs) < 2:
+        return _single_column(table)
+    all_ys = [y for s in table.series for y in s.ys]
+    lo = y_min if y_min is not None else min(all_ys)
+    hi = y_max if y_max is not None else max(all_ys)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        span = xs[-1] - xs[0]
+        return min(width - 1, max(0, round((x - xs[0]) / span * (width - 1))))
+
+    def row(y: float) -> int:
+        fraction = (y - lo) / (hi - lo)
+        return min(height - 1,
+                   max(0, height - 1 - round(fraction * (height - 1))))
+
+    for index, series in enumerate(table.series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        points = [(col(x), row(y)) for x, y in zip(series.xs, series.ys)]
+        for (c0, r0), (c1, r1) in zip(points, points[1:]):
+            _draw_segment(grid, c0, r0, c1, r1, glyph)
+        for c, r in points:
+            grid[r][c] = glyph
+
+    lines = [f"{table.title}", ""]
+    for r in range(height):
+        if r == 0:
+            label = f"{hi:8.3g} |"
+        elif r == height - 1:
+            label = f"{lo:8.3g} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(grid[r]))
+    lines.append("         +" + "-" * width)
+    left = f"{xs[0]:g}"
+    right = f"{xs[-1]:g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append("          " + left + " " * pad + right)
+    lines.append(f"          x: {table.x_label}   y: {table.y_label}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={s.label}"
+        for i, s in enumerate(table.series))
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid: List[List[str]], c0: int, r0: int, c1: int, r1: int,
+                  glyph: str) -> None:
+    """Bresenham-ish interpolation between consecutive data points."""
+    steps = max(abs(c1 - c0), abs(r1 - r0))
+    if steps == 0:
+        grid[r0][c0] = glyph
+        return
+    for k in range(steps + 1):
+        c = round(c0 + (c1 - c0) * k / steps)
+        r = round(r0 + (r1 - r0) * k / steps)
+        if grid[r][c] == " ":
+            grid[r][c] = glyph
+
+
+def _single_column(table: SweepTable) -> str:
+    lines = [table.title, ""]
+    x = table.xs[0]
+    for series in table.series:
+        lines.append(f"  {series.label:12s} x={x:g}  y={series.ys[0]:.4g}")
+    return "\n".join(lines)

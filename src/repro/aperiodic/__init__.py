@@ -1,0 +1,42 @@
+"""Aperiodic and sporadic work on top of the periodic task model.
+
+The paper's task model is purely periodic, with footnote 1 noting:
+"Although not explicit in the model, aperiodic and sporadic tasks can be
+handled by a periodic or deferred server [16].  For non-real-time tasks,
+too, we can provision processor time using a similar periodic server
+approach."
+
+This package builds that substrate:
+
+* :class:`~repro.aperiodic.request.AperiodicRequest` — a one-shot
+  computation request (arrival time + cycles);
+* :class:`~repro.aperiodic.polling.PollingServer` — the classic polling
+  server: a periodic task whose per-invocation demand is the queued
+  aperiodic backlog, capped at the server budget.  It plugs into the
+  simulator as a regular task plus a demand model, so every RT-DVS policy
+  treats it exactly like the paper prescribes (its worst case = budget is
+  reserved; unused budget is reclaimed by the cycle-conserving and
+  look-ahead schemes);
+* :class:`~repro.aperiodic.background.BackgroundScheduler` — best-effort
+  service in the processor's idle time, computed from a finished run's
+  execution trace (response times + the extra energy the background work
+  would add).
+
+A true deferrable server (budget preserved for mid-period arrivals) would
+need budget accounting inside the engine; the polling server is the
+variant the periodic-job model supports exactly, and DESIGN.md records the
+substitution.
+"""
+
+from repro.aperiodic.request import AperiodicRequest, ResponseStats
+from repro.aperiodic.polling import PollingServer, PollingServerDemand
+from repro.aperiodic.background import BackgroundScheduler, BackgroundOutcome
+
+__all__ = [
+    "AperiodicRequest",
+    "ResponseStats",
+    "PollingServer",
+    "PollingServerDemand",
+    "BackgroundScheduler",
+    "BackgroundOutcome",
+]

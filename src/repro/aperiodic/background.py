@@ -1,0 +1,96 @@
+"""Background (idle-time) service of aperiodic work.
+
+The cheapest way to handle best-effort requests is to run them whenever
+the real-time schedule leaves the processor idle.  This module computes
+that schedule *post hoc* from a finished run's execution trace: requests
+are packed FIFO into the idle segments at the frequency the DVS policy
+left the processor at, yielding response times and the extra energy the
+background work would have cost.
+
+This is an analysis substrate (it does not change the original run's
+timing — by construction background work only occupies time the RT
+schedule proved idle, so the RT guarantees are untouched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.aperiodic.request import (AperiodicRequest, ResponseStats,
+                                     sort_requests)
+from repro.errors import TaskModelError
+from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class BackgroundOutcome:
+    """Result of scheduling requests into a run's idle time."""
+
+    stats: ResponseStats
+    served_cycles: float
+    extra_energy: float
+    idle_cycles_available: float
+
+    @property
+    def all_served(self) -> bool:
+        return not self.stats.unfinished
+
+
+class BackgroundScheduler:
+    """Packs aperiodic requests FIFO into a run's idle segments."""
+
+    def __init__(self, result: SimResult):
+        if result.trace is None:
+            raise TaskModelError(
+                "background scheduling needs a run with record_trace=True")
+        self.result = result
+        self._idle_segments = [s for s in result.trace
+                               if s.kind == "idle"]
+
+    @property
+    def idle_cycles(self) -> float:
+        """Cycles available in idle time (at each segment's frequency)."""
+        return sum(s.duration * s.point.frequency
+                   for s in self._idle_segments)
+
+    def schedule(self, requests: Sequence[AperiodicRequest]
+                 ) -> BackgroundOutcome:
+        """Serve ``requests`` in the idle segments; FIFO, preemptible.
+
+        A request can only use idle time *after* its arrival.  Returns the
+        completion statistics plus the energy the background cycles would
+        add (each cycle at the idle segment's operating voltage).
+        """
+        ordered = sort_requests(requests)
+        completions: List[Optional[float]] = []
+        served = 0.0
+        energy = 0.0
+        # Per-segment consumed-time cursor; requests consume the earliest
+        # usable idle capacity.
+        cursors = [s.start for s in self._idle_segments]
+        for request in ordered:
+            remaining = request.cycles
+            completion: Optional[float] = None
+            for index, segment in enumerate(self._idle_segments):
+                if remaining <= 1e-12:
+                    break
+                start = max(cursors[index], request.arrival)
+                if start >= segment.end - 1e-12:
+                    continue
+                available_time = segment.end - start
+                frequency = segment.point.frequency
+                usable_cycles = available_time * frequency
+                used_cycles = min(remaining, usable_cycles)
+                used_time = used_cycles / frequency
+                cursors[index] = start + used_time
+                remaining -= used_cycles
+                served += used_cycles
+                energy += used_cycles * segment.point.energy_per_cycle
+                if remaining <= 1e-12:
+                    completion = start + used_time
+            completions.append(completion)
+        stats = ResponseStats.from_completions(ordered, completions)
+        return BackgroundOutcome(stats=stats, served_cycles=served,
+                                 extra_energy=energy,
+                                 idle_cycles_available=self.idle_cycles)

@@ -1,0 +1,174 @@
+"""The polling server: periodic capacity for aperiodic work.
+
+A polling server is a periodic task ``(budget, period)``.  At each release
+it serves the aperiodic backlog queued *at that instant*, up to its
+budget; if the queue is empty the invocation consumes nothing (the classic
+polling server "loses" its capacity until the next period).
+
+Because the server is an ordinary periodic task, the RT-DVS algorithms
+treat it exactly per the paper: the static tests reserve its full budget,
+and the cycle-conserving/look-ahead schemes reclaim whatever a release
+does not use — a polling server with a quiet queue makes the processor
+*slower*, not just idle.
+
+Integration: :class:`PollingServerDemand` is a demand model whose
+``demand_at`` hook resolves the server's per-invocation demand from the
+request queue at release time; other tasks delegate to a base model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.aperiodic.request import (AperiodicRequest, ResponseStats,
+                                     sort_requests)
+from repro.errors import TaskModelError
+from repro.model.demand import DemandModel, WorstCaseDemand, demand_from_spec
+from repro.model.task import Task
+from repro.sim.results import SimResult
+
+
+class PollingServer:
+    """A periodic server for aperiodic requests.
+
+    Parameters
+    ----------
+    budget:
+        Maximum cycles served per period (the server task's WCET).
+    period:
+        Server period; also its deadline, like every task in the model.
+    name:
+        Task name of the server in the task set.
+    """
+
+    def __init__(self, budget: float, period: float,
+                 name: str = "server"):
+        # Task() validates budget/period positivity and budget <= period.
+        self._task = Task(wcet=budget, period=period, name=name)
+
+    @property
+    def task(self) -> Task:
+        """The periodic task to include in the task set."""
+        return self._task
+
+    @property
+    def budget(self) -> float:
+        return self._task.wcet
+
+    @property
+    def period(self) -> float:
+        return self._task.period
+
+    @property
+    def name(self) -> str:
+        return self._task.name
+
+    @property
+    def utilization(self) -> float:
+        """Capacity reserved for aperiodic work (budget / period)."""
+        return self._task.utilization
+
+    def demand_model(self, requests: Sequence[AperiodicRequest],
+                     base: Union[str, float, DemandModel, None] = None
+                     ) -> "PollingServerDemand":
+        """Build the engine-facing demand model for a run.
+
+        ``base`` supplies the other (periodic) tasks' demands; defaults to
+        their worst case.
+        """
+        return PollingServerDemand(self, requests, base=base)
+
+    def response_stats(self, result: SimResult,
+                       requests: Sequence[AperiodicRequest]
+                       ) -> ResponseStats:
+        """Response times of ``requests`` as served in ``result``.
+
+        Requests are served FIFO by the server's executed cycles.  The run
+        must have recorded a trace (``record_trace=True``); the server's
+        run segments give the cumulative-service function that is then
+        inverted per request.
+        """
+        if result.trace is None:
+            raise TaskModelError(
+                "response_stats needs a run with record_trace=True")
+        ordered = sort_requests(requests)
+        segments = result.trace.segments_for(self.name)
+        completions: List[Optional[float]] = []
+        needed = 0.0
+        for request in ordered:
+            needed += request.cycles
+            completions.append(
+                _time_of_cumulative_service(segments, needed))
+        return ResponseStats.from_completions(ordered, completions)
+
+
+def _time_of_cumulative_service(segments, target: float) -> Optional[float]:
+    """Earliest time at which the segments' cumulative cycles reach
+    ``target`` (None if they never do)."""
+    done = 0.0
+    for segment in segments:
+        if done + segment.cycles >= target - 1e-9:
+            missing = max(0.0, target - done)
+            fraction = missing / segment.cycles if segment.cycles > 0 else 0
+            return segment.start + fraction * segment.duration
+        done += segment.cycles
+    return None
+
+
+class PollingServerDemand(DemandModel):
+    """Demand model wiring a polling server's queue into the engine.
+
+    For the server task, each invocation's demand is
+    ``min(budget, arrived_work(t_release) - served_so_far)``; for every
+    other task, the base model answers.  The engine calls ``demand_at``
+    exactly once per release, in release order, so the internal
+    served-work counter tracks the schedule.
+    """
+
+    def __init__(self, server: PollingServer,
+                 requests: Sequence[AperiodicRequest],
+                 base: Union[str, float, DemandModel, None] = None):
+        self.server = server
+        self.requests = sort_requests(requests)
+        if base is None:
+            self.base: DemandModel = WorstCaseDemand()
+        else:
+            self.base = demand_from_spec(base)
+        self._granted = 0.0
+        self._memo: Dict[int, float] = {}
+
+    def _arrived_work(self, time: float) -> float:
+        return sum(r.cycles for r in self.requests
+                   if r.arrival <= time + 1e-9)
+
+    def demand_at(self, task: Task, invocation: int, time: float) -> float:
+        """Demand resolved at release time (engine-preferred hook)."""
+        if task.name != self.server.name:
+            return self.base.demand(task, invocation)
+        if invocation in self._memo:
+            return self._memo[invocation]
+        backlog = self._arrived_work(time) - self._granted
+        demand = min(self.server.budget, max(0.0, backlog))
+        self._granted += demand
+        self._memo[invocation] = demand
+        return demand
+
+    def demand(self, task: Task, invocation: int) -> float:
+        if task.name != self.server.name:
+            return self.base.demand(task, invocation)
+        if invocation in self._memo:
+            return self._memo[invocation]
+        raise TaskModelError(
+            "polling-server demand needs the release time; run through the "
+            "simulator (which calls demand_at) rather than querying "
+            "demand() directly")
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._granted = 0.0
+        self._memo.clear()
+
+    @property
+    def granted_cycles(self) -> float:
+        """Total cycles granted to the server so far."""
+        return self._granted

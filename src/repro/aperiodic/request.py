@@ -1,0 +1,92 @@
+"""Aperiodic requests and response-time statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import TaskModelError
+
+
+@dataclass(frozen=True)
+class AperiodicRequest:
+    """A one-shot computation request with no deadline.
+
+    Parameters
+    ----------
+    arrival:
+        Absolute time the request enters the system.
+    cycles:
+        Computation demand, in the same normalized cycles as task WCETs.
+    name:
+        Optional label for reporting.
+    """
+
+    arrival: float
+    cycles: float
+    name: str = ""
+
+    def __post_init__(self):
+        if not (self.arrival >= 0 and math.isfinite(self.arrival)):
+            raise TaskModelError(
+                f"request arrival must be >= 0 and finite, got "
+                f"{self.arrival}")
+        if not (self.cycles > 0 and math.isfinite(self.cycles)):
+            raise TaskModelError(
+                f"request cycles must be positive and finite, got "
+                f"{self.cycles}")
+
+
+def sort_requests(requests: Iterable[AperiodicRequest]
+                  ) -> List[AperiodicRequest]:
+    """Requests in FIFO (arrival) order, stable for equal arrivals."""
+    return sorted(requests, key=lambda r: r.arrival)
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Summary of aperiodic response times for one run.
+
+    ``completed`` maps each finished request to its completion time (in
+    arrival order); ``unfinished`` lists requests still pending at the end
+    of the run.
+    """
+
+    response_times: tuple
+    unfinished: tuple
+
+    @classmethod
+    def from_completions(cls, requests: Sequence[AperiodicRequest],
+                         completions: Sequence[Optional[float]]
+                         ) -> "ResponseStats":
+        responses = []
+        unfinished = []
+        for request, completion in zip(requests, completions):
+            if completion is None:
+                unfinished.append(request)
+            else:
+                responses.append(completion - request.arrival)
+        return cls(response_times=tuple(responses),
+                   unfinished=tuple(unfinished))
+
+    @property
+    def count(self) -> int:
+        return len(self.response_times) + len(self.unfinished)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.response_times)
+
+    @property
+    def mean_response(self) -> float:
+        """Mean response time of completed requests."""
+        if not self.response_times:
+            raise TaskModelError("no completed requests to average")
+        return sum(self.response_times) / len(self.response_times)
+
+    @property
+    def max_response(self) -> float:
+        if not self.response_times:
+            raise TaskModelError("no completed requests")
+        return max(self.response_times)

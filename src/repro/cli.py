@@ -1,0 +1,288 @@
+"""Command-line front-end: ``rtdvs`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``list``
+    Show available experiments, policies, and machine presets.
+``run <experiment> [--full] [--workers N] [--csv DIR] [--no-charts]``
+    Run one experiment (``table1``, ``table4``, ``traces``, ``fig9`` ...)
+    and print its report.
+``run-all [--full] [--workers N] [--out DIR]``
+    Run every experiment; write per-experiment reports/CSVs to DIR.
+``simulate --tasks "C:P,C:P,..." --policy NAME [options]``
+    Simulate an ad-hoc task set and print the energy summary.
+``workloads [NAME] [--policy NAME]``
+    List the named embedded workloads, or simulate one.
+``validate --tasks ... --policy NAME [options]``
+    Simulate, then run the independent schedule validator on the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import available_policies, make_policy
+from repro.experiments.runall import (ALL_EXPERIMENTS, run_all,
+                                      run_experiment, summary_table)
+from repro.hw.machine import MACHINE_PRESETS
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rtdvs",
+        description="RT-DVS reproduction (Pillai & Shin, SOSP 2001)")
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="list experiments and policies")
+    p_list.set_defaults(handler=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    p_run.add_argument("--full", action="store_true",
+                       help="paper-scale parameters (slow)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes for sweeps")
+    p_run.add_argument("--csv", metavar="DIR",
+                       help="also export the data tables as CSV")
+    p_run.add_argument("--no-charts", action="store_true",
+                       help="omit ASCII charts from the report")
+    p_run.set_defaults(handler=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--full", action="store_true")
+    p_all.add_argument("--workers", type=int, default=1)
+    p_all.add_argument("--out", metavar="DIR",
+                       help="write reports and CSVs into DIR")
+    p_all.set_defaults(handler=_cmd_run_all)
+
+    p_sim = sub.add_parser("simulate", help="simulate an ad-hoc task set")
+    p_sim.add_argument("--tasks", required=True,
+                       help="comma-separated C:P pairs, e.g. '3:8,3:10,1:14'")
+    p_sim.add_argument("--policy", default="laEDF",
+                       help=f"one of {available_policies()}")
+    p_sim.add_argument("--machine", default="machine0",
+                       choices=sorted(MACHINE_PRESETS))
+    p_sim.add_argument("--demand", default="worst",
+                       help="'worst', 'uniform', or a fraction like 0.9")
+    p_sim.add_argument("--duration", type=float, default=None)
+    p_sim.add_argument("--trace", action="store_true",
+                       help="print the execution trace")
+    p_sim.set_defaults(handler=_cmd_simulate)
+
+    p_work = sub.add_parser("workloads",
+                            help="list or simulate named workloads")
+    p_work.add_argument("name", nargs="?",
+                        help="workload to simulate (omit to list)")
+    p_work.add_argument("--policy", default="laEDF")
+    p_work.add_argument("--machine", default="machine0",
+                        choices=sorted(MACHINE_PRESETS))
+    p_work.set_defaults(handler=_cmd_workloads)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="simulate and independently validate the schedule")
+    p_val.add_argument("--tasks", required=True,
+                       help="comma-separated C:P pairs")
+    p_val.add_argument("--policy", default="laEDF")
+    p_val.add_argument("--machine", default="machine0",
+                       choices=sorted(MACHINE_PRESETS))
+    p_val.add_argument("--demand", default="worst")
+    p_val.add_argument("--duration", type=float, default=None)
+    p_val.set_defaults(handler=_cmd_validate)
+
+    p_cmp = sub.add_parser(
+        "compare", help="compare policies on one workload")
+    group = p_cmp.add_mutually_exclusive_group(required=True)
+    group.add_argument("--tasks", help="comma-separated C:P pairs")
+    group.add_argument("--workload", help="a named workload")
+    p_cmp.add_argument("--policies", default=None,
+                       help="comma-separated policy names "
+                            "(default: the paper's six)")
+    p_cmp.add_argument("--machine", default="machine0",
+                       choices=sorted(MACHINE_PRESETS))
+    p_cmp.add_argument("--demand", default="worst")
+    p_cmp.add_argument("--duration", type=float, default=None)
+    p_cmp.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for experiment_id in ALL_EXPERIMENTS:
+        print(f"  {experiment_id}")
+    print("policies:")
+    for name in available_policies():
+        print(f"  {name}")
+    print("machines:")
+    for name in sorted(MACHINE_PRESETS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    runner = ALL_EXPERIMENTS[args.experiment]
+    if "workers" in runner.__code__.co_varnames:
+        kwargs["workers"] = args.workers
+    result = run_experiment(args.experiment, quick=not args.full, **kwargs)
+    print(result.render(charts=not args.no_charts))
+    if args.csv:
+        for path in result.write_csvs(args.csv):
+            print(f"wrote {path}")
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    results = run_all(quick=not args.full, workers=args.workers,
+                      output_dir=args.out)
+    print(summary_table(results))
+    return 0 if all(r.all_checks_pass for r in results) else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    tasks = []
+    for index, chunk in enumerate(args.tasks.split(",")):
+        try:
+            wcet_text, period_text = chunk.split(":")
+            tasks.append(Task(wcet=float(wcet_text),
+                              period=float(period_text)))
+        except (ValueError, TypeError):
+            print(f"bad task spec {chunk!r}; expected C:P", file=sys.stderr)
+            return 2
+    taskset = TaskSet(tasks)
+    machine = MACHINE_PRESETS[args.machine]()
+    demand = args.demand
+    try:
+        demand = float(demand)
+    except ValueError:
+        pass
+    result = simulate(taskset, machine, make_policy(args.policy),
+                      demand=demand, duration=args.duration,
+                      record_trace=args.trace, on_miss="drop")
+    print(result.summary())
+    if args.trace and result.trace is not None:
+        from repro.sim.trace import render_trace
+        print(render_trace(result.trace))
+    return 0 if result.met_all_deadlines else 1
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOADS, load
+
+    if args.name is None:
+        print("available workloads:")
+        for name in sorted(WORKLOADS):
+            taskset, _ = load(name)
+            print(f"  {name:<12} {len(taskset)} tasks, "
+                  f"U={taskset.utilization:.2f}")
+        return 0
+    try:
+        taskset, demand = load(args.name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    machine = MACHINE_PRESETS[args.machine]()
+    duration = 4.0 * max(t.period for t in taskset)
+    result = simulate(taskset, machine, make_policy(args.policy),
+                      demand=demand, duration=duration, on_miss="drop")
+    print(result.summary())
+    return 0 if result.met_all_deadlines else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.sim.validation import validate_schedule
+
+    tasks = []
+    for chunk in args.tasks.split(","):
+        try:
+            wcet_text, period_text = chunk.split(":")
+            tasks.append(Task(wcet=float(wcet_text),
+                              period=float(period_text)))
+        except (ValueError, TypeError):
+            print(f"bad task spec {chunk!r}; expected C:P", file=sys.stderr)
+            return 2
+    taskset = TaskSet(tasks)
+    machine = MACHINE_PRESETS[args.machine]()
+    demand = args.demand
+    try:
+        demand = float(demand)
+    except ValueError:
+        pass
+    result = simulate(taskset, machine, make_policy(args.policy),
+                      demand=demand, duration=args.duration,
+                      record_trace=True, on_miss="drop")
+    print(result.summary())
+    violations = validate_schedule(result)
+    if violations:
+        print(f"{len(violations)} violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("schedule validated: priority, work-conservation, budget and "
+          "energy conformance all hold")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_policies, comparison_table
+    from repro.core import PAPER_POLICIES
+
+    if args.workload:
+        from repro.workloads import load
+        try:
+            taskset, workload_demand = load(args.workload)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        demand = workload_demand if args.demand == "worst" else args.demand
+    else:
+        tasks = []
+        for chunk in args.tasks.split(","):
+            try:
+                wcet_text, period_text = chunk.split(":")
+                tasks.append(Task(wcet=float(wcet_text),
+                                  period=float(period_text)))
+            except (ValueError, TypeError):
+                print(f"bad task spec {chunk!r}; expected C:P",
+                      file=sys.stderr)
+                return 2
+        taskset = TaskSet(tasks)
+        demand = args.demand
+    if isinstance(demand, str):
+        try:
+            demand = float(demand)
+        except ValueError:
+            pass
+    policies = (tuple(p.strip() for p in args.policies.split(","))
+                if args.policies else PAPER_POLICIES)
+    machine = MACHINE_PRESETS[args.machine]()
+    rows = compare_policies(taskset, machine, policies=policies,
+                            demand=demand, duration=args.duration)
+    print(comparison_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's contribution: RT-DVS policies.
+
+Every policy couples DVS decisions to the real-time scheduler's task
+management events, as the paper prescribes: frequency/voltage may change at
+task *release* and task *completion* (at most two switches per task per
+invocation), and never in a way that violates the EDF/RM deadline
+guarantees.
+
+Policies
+--------
+* :class:`~repro.core.no_dvs.NoDVS` — plain EDF/RM at full speed (baseline);
+* :class:`~repro.core.static_scaling.StaticEDF` /
+  :class:`~repro.core.static_scaling.StaticRM` — Sec. 2.3, Fig. 1;
+* :class:`~repro.core.cycle_conserving.CycleConservingEDF` — Sec. 2.4, Fig. 4;
+* :class:`~repro.core.cycle_conserving_rm.CycleConservingRM` — Sec. 2.4, Fig. 6;
+* :class:`~repro.core.look_ahead.LookAheadEDF` — Sec. 2.5, Fig. 8;
+* :class:`~repro.core.avg_throughput.AveragingDVS` — the *non*-real-time
+  interval-based baseline the paper argues against (Sec. 2.2).
+"""
+
+from repro.core.base import DVSPolicy
+from repro.core.no_dvs import NoDVS
+from repro.core.static_scaling import StaticEDF, StaticRM
+from repro.core.cycle_conserving import CycleConservingEDF
+from repro.core.cycle_conserving_rm import CycleConservingRM
+from repro.core.look_ahead import LookAheadEDF
+from repro.core.oracle import ClairvoyantEDF
+from repro.core.statistical import StatisticalEDF
+from repro.core.avg_throughput import AveragingDVS
+from repro.core.fixed import FixedSpeed
+from repro.core.governors import (AgedAveragesGovernor, FlatGovernor,
+                                  IntervalGovernor, PastGovernor)
+from repro.core.registry import (
+    PAPER_POLICIES,
+    available_policies,
+    make_policy,
+)
+
+__all__ = [
+    "DVSPolicy",
+    "NoDVS",
+    "StaticEDF",
+    "StaticRM",
+    "CycleConservingEDF",
+    "CycleConservingRM",
+    "LookAheadEDF",
+    "ClairvoyantEDF",
+    "StatisticalEDF",
+    "AveragingDVS",
+    "FixedSpeed",
+    "IntervalGovernor",
+    "PastGovernor",
+    "FlatGovernor",
+    "AgedAveragesGovernor",
+    "PAPER_POLICIES",
+    "available_policies",
+    "make_policy",
+]

@@ -1,0 +1,106 @@
+"""Interval-based average-throughput DVS — the non-real-time baseline.
+
+This is the class of algorithm the paper argues is unsuitable for real-time
+systems (Sec. 2.2, citing Weiser et al. and Govil et al.): "they use a
+simple feedback mechanism, such as detecting the amount of idle time on the
+processor over a period of time, and then adjust the frequency and voltage
+to just handle the computational load ... but cannot provide any timeliness
+guarantees and tasks may miss their execution deadlines."
+
+The implementation mirrors the classic PAST/interval schemes: every
+``interval`` time units, measure the fraction of the window the CPU was
+busy, estimate the normalized cycle demand, apply exponential smoothing,
+and pick the slowest operating point that would have served that demand at
+a target utilization.
+
+It exists here to reproduce the paper's motivating example (the camcorder
+task that misses its 5 ms deadline once a throughput-based policy halves
+the clock) and as a measuring stick in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SimulationError
+from repro.hw.operating_point import OperatingPoint
+
+
+class AveragingDVS(DVSPolicy):
+    """Weiser-style interval scheduler (NOT deadline-safe — by design).
+
+    Parameters
+    ----------
+    interval:
+        Length of the measurement window.
+    target_utilization:
+        The policy scales frequency so the predicted demand would occupy
+        this fraction of the next window (1.0 = run exactly at the average
+        demand; lower values leave headroom).
+    smoothing:
+        Exponential-smoothing weight on the newest window (1.0 = use only
+        the last window, like PAST).
+    scheduler:
+        Priority policy used underneath ("edf" or "rm"); misses are the
+        point of this baseline, so either works.
+    """
+
+    name = "avgDVS"
+
+    def __init__(self, interval: float = 10.0,
+                 target_utilization: float = 0.7,
+                 smoothing: float = 0.5,
+                 scheduler: str = "edf"):
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval}")
+        if not 0.0 < target_utilization <= 1.0:
+            raise SimulationError(
+                "target_utilization must be in (0, 1], got "
+                f"{target_utilization}")
+        if not 0.0 < smoothing <= 1.0:
+            raise SimulationError(
+                f"smoothing must be in (0, 1], got {smoothing}")
+        self.interval = interval
+        self.target_utilization = target_utilization
+        self.smoothing = smoothing
+        self.scheduler = scheduler.strip().lower()
+        if self.scheduler not in ("edf", "rm"):
+            raise SimulationError(
+                f"scheduler must be 'edf' or 'rm', got {scheduler!r}")
+        self._next_wakeup = 0.0
+        self._busy_snapshot = 0.0
+        self._frequency_in_window = 1.0
+        self._demand_estimate = 0.0
+
+    # -- timer hooks used by the engine -------------------------------------
+    def wakeup_time(self) -> Optional[float]:
+        """Next instant the policy wants control (end of current window)."""
+        return self._next_wakeup
+
+    def on_wakeup(self, view) -> Optional[OperatingPoint]:
+        """Close the window, update the demand estimate, set the speed."""
+        busy = view.busy_time - self._busy_snapshot
+        self._busy_snapshot = view.busy_time
+        window_demand = busy * self._frequency_in_window / self.interval
+        self._demand_estimate = (
+            self.smoothing * window_demand
+            + (1.0 - self.smoothing) * self._demand_estimate)
+        requested = min(1.0, self._demand_estimate / self.target_utilization)
+        point = view.machine.lowest_at_least(requested)
+        self._frequency_in_window = point.frequency
+        self._next_wakeup += self.interval
+        return point
+
+    # -- scheduler hooks ------------------------------------------------------
+    def setup(self, view) -> Optional[OperatingPoint]:
+        self._next_wakeup = self.interval
+        self._busy_snapshot = 0.0
+        self._demand_estimate = 0.0
+        start = view.machine.fastest
+        self._frequency_in_window = start.frequency
+        return start
+
+    # Releases and completions do not move this policy: that is precisely
+    # what makes it blind to deadlines.

@@ -1,0 +1,69 @@
+"""Base class for DVS policies.
+
+A policy is attached to a :class:`~repro.sim.engine.Simulator` and reacts to
+scheduler events by returning the operating point the processor should use
+from now on (or ``None`` to leave it unchanged).  The hooks correspond to
+the "upon task_release" / "upon task_completion" clauses of the paper's
+pseudo-code (Figs. 4, 6 and 8); ``setup`` runs once before time 0.
+
+Policies are stateful during a run but reusable across runs: ``setup`` must
+reinitialize all per-run state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Optional
+
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+class DVSPolicy(ABC):
+    """Common interface for all DVS policies.
+
+    Class attributes
+    ----------------
+    name:
+        Short identifier used in results and plots (e.g. ``"ccEDF"``).
+    scheduler:
+        The real-time scheduler this policy is designed for (``"edf"`` or
+        ``"rm"``); the simulator uses it to pick the priority policy.
+    """
+
+    name: str = "policy"
+    scheduler: str = "edf"
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        """Initialize per-run state; return the initial operating point.
+
+        ``view`` is the :class:`~repro.sim.engine.SchedulerView`.  Returning
+        ``None`` keeps the machine's default (full speed).
+        """
+        return None
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        """Called after ``task`` is released; may change operating point."""
+        return None
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        """Called after ``task`` completes its invocation."""
+        return None
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        """Called when a task is admitted dynamically (Sec. 4.3)."""
+        return None
+
+    def on_idle(self, view) -> Optional[OperatingPoint]:
+        """Called when the ready queue empties (the processor will halt).
+
+        "The dynamic algorithms switch to the lowest frequency and voltage
+        during idle, while the static ones do not" (Sec. 3.2, discussion of
+        Fig. 10).  Dynamic policies override this to drop to the bottom of
+        the table; it is always safe, because no work is pending and every
+        release re-runs the frequency selection.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} ({self.scheduler})>"

@@ -1,0 +1,82 @@
+"""Cycle-conserving EDF (Sec. 2.4, Fig. 4).
+
+The algorithm, verbatim from the paper::
+
+    select_frequency():
+        use lowest freq. f_i such that U_1 + ... + U_n <= f_i / f_m
+
+    upon task_release(T_i):
+        set U_i to C_i / P_i
+        select_frequency()
+
+    upon task_completion(T_i):
+        set U_i to cc_i / P_i     /* cc_i is the actual cycles used */
+        select_frequency()
+
+When a task completes early, its utilization entry shrinks to what it
+actually used, which stays valid until its next release (condition C2 still
+holds with the lowered bound, so EDF's guarantee is untouched).  On release
+the worst case is restored — possibly raising the frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SchedulabilityError
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+class CycleConservingEDF(DVSPolicy):
+    """Cycle-conserving RT-DVS for EDF schedulers (``ccEDF``)."""
+
+    name = "ccEDF"
+    scheduler = "edf"
+
+    def __init__(self):
+        self._utilization: Dict[str, float] = {}
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        if view.taskset.utilization > 1.0 + 1e-9:
+            raise SchedulabilityError(
+                f"task set utilization {view.taskset.utilization:.3f} > 1; "
+                "not EDF-schedulable at any frequency")
+        self._utilization = {
+            task.name: task.utilization for task in view.taskset}
+        return self._select(view)
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        self._utilization[task.name] = task.utilization
+        return self._select(view)
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        actual = view.executed_in_invocation(task)
+        self._utilization[task.name] = actual / task.period
+        return self._select(view)
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        # An admitted-but-unreleased task reserves its full worst case, so
+        # DVS decisions are already based on the new task set (Sec. 4.3).
+        self._utilization[task.name] = task.utilization
+        return self._select(view)
+
+    def on_idle(self, view) -> Optional[OperatingPoint]:
+        # Nothing is runnable: halt at the bottom of the table.  Safe — the
+        # next release re-runs select_frequency() before any work starts.
+        return view.machine.slowest
+
+    def _select(self, view) -> OperatingPoint:
+        total = sum(self._utilization.values())
+        if total > 1.0 + 1e-9:
+            raise SchedulabilityError(
+                f"utilization sum {total:.3f} > 1 at t={view.time}; the "
+                "task set is not schedulable at any frequency")
+        return view.machine.lowest_at_least(min(total, 1.0))
+
+    @property
+    def utilization_estimate(self) -> float:
+        """Current ``ΣU_i`` (worst case for running tasks, actual for
+        completed ones) — the numbers annotated on the paper's Fig. 3."""
+        return sum(self._utilization.values())

@@ -1,0 +1,156 @@
+"""Cycle-conserving RM (Sec. 2.4, Figs. 5 and 6).
+
+The idea: the statically-scaled RM schedule meets all deadlines even in the
+worst case.  ccRM therefore only needs to make *equal or better progress*
+than that worst-case schedule would by the next deadline in the system.
+Until the next deadline ``D``, the statically-scaled schedule (frequency
+``f_ss``) can execute ``s_j = f_ss · (D − t_alloc)`` cycles; those cycles
+are granted to tasks in RM priority order (``allocate_cycles``), giving
+each task a quota ``d_i``.  Running fast enough to drain ``Σd_i`` by ``D``
+keeps pace.  Early completions zero the completing task's quota, letting
+the frequency drop.
+
+The paper's pseudo-code (Fig. 6)::
+
+    assume f_ss is frequency set by the static scaling algorithm
+
+    select_frequency():
+        set s_m = max_cycles_until_next_deadline()
+        use lowest freq. f_i such that (d_1 + ... + d_n)/s_m <= f_i/f_m
+
+    upon task_release(T_i):
+        set c_left_i = C_i
+        set s_m = max_cycles_until_next_deadline()
+        set s_j = s_m * f_ss / f_m
+        allocate_cycles(s_j)
+        select_frequency()
+
+    upon task_completion(T_i):
+        set c_left_i = 0
+        set d_i = 0
+        select_frequency()
+
+    during task_execution(T_i):
+        decrement c_left_i and d_i
+
+    allocate_cycles(k):
+        for i = 1 to n, T_i in order of period:
+            if c_left_i < k:  set d_i = c_left_i ; k = k - c_left_i
+            else:             set d_i = k        ; k = 0
+
+The "during task_execution" decrements are realized lazily: at each
+selection point the quota is reduced by the cycles the task executed since
+the last allocation (the engine exposes per-invocation executed cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.base import DVSPolicy
+from repro.core.static_scaling import StaticRM
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+@dataclass
+class _Quota:
+    """One task's cycle allotment ``d_i`` plus the execution snapshot that
+    lets us decrement it lazily."""
+
+    allotted: float = 0.0
+    executed_at_alloc: float = 0.0
+    invocation: int = -1
+    completed: bool = False
+
+
+class CycleConservingRM(DVSPolicy):
+    """Cycle-conserving RT-DVS for RM schedulers (``ccRM``).
+
+    Parameters
+    ----------
+    exact_rm_test:
+        Which RM test the embedded static-scaling step uses (see
+        :class:`~repro.core.static_scaling.StaticRM`).
+    """
+
+    name = "ccRM"
+    scheduler = "rm"
+
+    def __init__(self, exact_rm_test: bool = True):
+        self._static = StaticRM(exact=exact_rm_test)
+        self._static_frequency = 1.0
+        self._quota: Dict[str, _Quota] = {}
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        static_point = self._static.select_point(view.taskset, view.machine)
+        self._static_frequency = static_point.frequency
+        self._quota = {task.name: _Quota() for task in view.taskset}
+        # No jobs exist yet; the t=0 releases will allocate immediately.
+        return view.machine.slowest
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        self._allocate(view)
+        return self._select(view)
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        quota = self._quota.setdefault(task.name, _Quota())
+        quota.completed = True
+        return self._select(view)
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        # Re-derive the static frequency for the enlarged set, then re-pace.
+        static_point = self._static.select_point(view.taskset, view.machine)
+        self._static_frequency = static_point.frequency
+        self._quota.setdefault(task.name, _Quota())
+        self._allocate(view)
+        return self._select(view)
+
+    # ------------------------------------------------------------------
+    def _allocate(self, view) -> None:
+        """``allocate_cycles``: split the statically-scaled capacity until
+        the next deadline among tasks in RM priority order."""
+        deadline = view.earliest_deadline()
+        if deadline is None:
+            return
+        budget = max(0.0, (deadline - view.time) * self._static_frequency)
+        for task in sorted(view.taskset, key=lambda t: t.period):
+            quota = self._quota.setdefault(task.name, _Quota())
+            c_left = view.worst_case_remaining(task)
+            job = view.job_of(task)
+            quota.invocation = job.index if job else -1
+            quota.executed_at_alloc = view.executed_in_invocation(task)
+            quota.completed = job is not None and job.is_complete
+            grant = min(c_left, budget)
+            quota.allotted = grant
+            budget -= grant
+
+    def _current_quota(self, view, task: Task) -> float:
+        """``d_i`` right now: the allotment minus cycles executed since the
+        allocation; zero once the invocation completes."""
+        quota = self._quota.get(task.name)
+        if quota is None or quota.completed:
+            return 0.0
+        job = view.job_of(task)
+        if job is None or job.index != quota.invocation or job.is_complete:
+            return 0.0
+        executed_since = job.executed - quota.executed_at_alloc
+        return max(0.0, quota.allotted - executed_since)
+
+    def _select(self, view) -> OperatingPoint:
+        """``select_frequency``: pace the outstanding quotas over the time
+        left until the next deadline."""
+        deadline = view.earliest_deadline()
+        if deadline is None:
+            return view.machine.slowest
+        s_m = deadline - view.time  # cycles at max frequency until deadline
+        if s_m <= 1e-12:
+            return view.machine.fastest
+        total = sum(self._current_quota(view, task) for task in view.taskset)
+        return view.machine.lowest_at_least(min(1.0, total / s_m))
+
+    @property
+    def static_frequency(self) -> float:
+        """The statically-scaled RM frequency ``f_ss`` used for pacing."""
+        return self._static_frequency

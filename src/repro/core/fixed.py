@@ -1,0 +1,39 @@
+"""A fixed operating point, regardless of load.
+
+Not one of the paper's algorithms — a utility policy for demonstrations
+and ablations, e.g. showing that statically running RM at 0.75 on the
+worked example makes T3 miss its deadline (Fig. 2), or measuring a single
+operating point's power.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import DVSPolicy
+from repro.hw.operating_point import OperatingPoint
+
+
+class FixedSpeed(DVSPolicy):
+    """Pin the processor at one operating frequency.
+
+    Parameters
+    ----------
+    frequency:
+        Relative frequency; must be an exact operating point of the
+        machine the simulation runs on.
+    scheduler:
+        Underlying priority policy ("edf" or "rm").
+    """
+
+    def __init__(self, frequency: float, scheduler: str = "edf"):
+        scheduler = scheduler.strip().lower()
+        if scheduler not in ("edf", "rm"):
+            raise ValueError(
+                f"scheduler must be 'edf' or 'rm', got {scheduler!r}")
+        self.frequency = frequency
+        self.scheduler = scheduler
+        self.name = f"fixed@{frequency:g}"
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        return view.machine.point_for(self.frequency)

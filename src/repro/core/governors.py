@@ -1,0 +1,150 @@
+"""Classic interval-based DVS governors (the paper's related work).
+
+The paper positions RT-DVS against "average throughput-based mechanism[s]
+typical of many current DVS algorithms" [7, 23, 30].  Govil, Chan &
+Wassermann (MOBICOM'95) compared a family of such interval schedulers;
+this module implements the three canonical ones so the reproduction can
+quantify the paper's motivating claim (they save energy but break
+deadlines):
+
+* :class:`PastGovernor` — PAST: assume the next window repeats the last
+  one;
+* :class:`FlatGovernor` — FLAT: aim at the long-run average utilization,
+  smoothing out bursts;
+* :class:`AgedAveragesGovernor` — AGED_AVERAGES: geometrically-decaying
+  weighted history.
+
+All share :class:`IntervalGovernor`'s machinery (measure busy time per
+fixed window through the engine's wakeup hook, convert to normalized
+demand, pick the lowest sufficient frequency); they differ only in the
+prediction function, as in the original comparison.  None of them is
+deadline-safe — that is the point.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import List, Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SimulationError
+from repro.hw.operating_point import OperatingPoint
+
+
+class IntervalGovernor(DVSPolicy):
+    """Shared skeleton for interval-based (non-real-time) governors.
+
+    Parameters
+    ----------
+    interval:
+        Window length.
+    target_utilization:
+        Headroom factor: the predicted demand is divided by this before
+        choosing a frequency, so values < 1 run faster than the bare
+        prediction.
+    """
+
+    scheduler = "edf"
+
+    def __init__(self, interval: float = 10.0,
+                 target_utilization: float = 0.7):
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval}")
+        if not 0.0 < target_utilization <= 1.0:
+            raise SimulationError(
+                "target_utilization must be in (0, 1], got "
+                f"{target_utilization}")
+        self.interval = interval
+        self.target_utilization = target_utilization
+        self._next_wakeup = 0.0
+        self._busy_snapshot = 0.0
+        self._window_frequency = 1.0
+        self._history: List[float] = []
+
+    # -- engine hooks ----------------------------------------------------
+    def setup(self, view) -> Optional[OperatingPoint]:
+        self._next_wakeup = self.interval
+        self._busy_snapshot = 0.0
+        self._history = []
+        start = view.machine.fastest
+        self._window_frequency = start.frequency
+        return start
+
+    def wakeup_time(self) -> Optional[float]:
+        return self._next_wakeup
+
+    def on_wakeup(self, view) -> Optional[OperatingPoint]:
+        busy = view.busy_time - self._busy_snapshot
+        self._busy_snapshot = view.busy_time
+        demand = busy * self._window_frequency / self.interval
+        self._history.append(demand)
+        predicted = self.predict()
+        requested = min(1.0, predicted / self.target_utilization)
+        point = view.machine.lowest_at_least(requested)
+        self._window_frequency = point.frequency
+        self._next_wakeup += self.interval
+        return point
+
+    # -- the strategy ----------------------------------------------------
+    @abstractmethod
+    def predict(self) -> float:
+        """Normalized demand expected in the next window, from
+        ``self._history`` (most recent last; never empty when called)."""
+
+
+class PastGovernor(IntervalGovernor):
+    """PAST: the next window will look exactly like the last one."""
+
+    name = "gov-past"
+
+    def predict(self) -> float:
+        return self._history[-1]
+
+
+class FlatGovernor(IntervalGovernor):
+    """FLAT: aim at the long-run average utilization.
+
+    Smooths bursts aggressively — the best average-power behaviour of the
+    family and the worst at meeting latency spikes.
+    """
+
+    name = "gov-flat"
+
+    def predict(self) -> float:
+        return sum(self._history) / len(self._history)
+
+
+class AgedAveragesGovernor(IntervalGovernor):
+    """AGED_AVERAGES: geometric decay over the window history.
+
+    Parameters
+    ----------
+    aging:
+        Decay factor in (0, 1); weight of the window ``k`` steps in the
+        past is ``aging**k``.  Small values behave like PAST, values near
+        1 like FLAT.
+    """
+
+    name = "gov-aged"
+
+    def __init__(self, interval: float = 10.0,
+                 target_utilization: float = 0.7, aging: float = 0.5):
+        super().__init__(interval=interval,
+                         target_utilization=target_utilization)
+        if not 0.0 < aging < 1.0:
+            raise SimulationError(
+                f"aging must be in (0, 1), got {aging}")
+        self.aging = aging
+
+    def predict(self) -> float:
+        weight = 1.0
+        total = 0.0
+        normalizer = 0.0
+        for value in reversed(self._history):
+            total += weight * value
+            normalizer += weight
+            weight *= self.aging
+            if weight < 1e-6:
+                break
+        return total / normalizer

@@ -1,0 +1,114 @@
+"""Look-ahead EDF (Sec. 2.5, Figs. 7 and 8).
+
+The most aggressive RT-DVS algorithm: defer as much work as possible past
+the earliest deadline in the system, and run just fast enough to finish the
+work that *cannot* be deferred.  If tasks keep finishing early, the deferred
+peak never materializes and the processor stays slow.
+
+The paper's pseudo-code (Fig. 8)::
+
+    select_frequency(x):
+        use lowest freq. f_i such that x <= f_i / f_m
+
+    upon task_release(T_i):   set c_left_i = C_i ; defer()
+    upon task_completion(T_i): set c_left_i = 0  ; defer()
+    during task_execution(T_i): decrement c_left_i
+
+    defer():
+        set U = C_1/P_1 + ... + C_n/P_n
+        set s = 0
+        for i = 1 to n, T_i in reverse EDF order (latest deadline first):
+            set U = U - C_i/P_i
+            set x = max(0, c_left_i - (1 - U)(D_i - D_n))
+            set U = U + (c_left_i - x)/(D_i - D_n)
+            set s = s + x
+        select_frequency(s / (D_n - current_time))
+
+where ``D_n`` is the earliest deadline in the system.  Walking tasks from
+the latest deadline backwards, each task may push work into its window
+beyond ``D_n`` only up to the capacity ``(1 - U)`` left after reserving the
+worst-case utilization of all earlier-deadline tasks (their future
+invocations); whatever does not fit (``x``) must execute before ``D_n``.
+
+``c_left_i`` is tracked by the engine (worst-case remaining cycles of the
+current invocation); tasks admitted but not yet released have no deadline
+and simply keep their full worst-case utilization reserved in ``U``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SchedulabilityError
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+class LookAheadEDF(DVSPolicy):
+    """Look-ahead RT-DVS for EDF schedulers (``laEDF``)."""
+
+    name = "laEDF"
+    scheduler = "edf"
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        if view.taskset.utilization > 1.0 + 1e-9:
+            raise SchedulabilityError(
+                f"task set utilization {view.taskset.utilization:.3f} > 1; "
+                "not EDF-schedulable at any frequency")
+        # Nothing is released yet; start at the bottom — the t=0 releases
+        # immediately re-run defer().
+        return view.machine.slowest
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        return self._defer(view)
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        return self._defer(view)
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        return self._defer(view)
+
+    # ------------------------------------------------------------------
+    def _defer(self, view) -> OperatingPoint:
+        """The deferral calculation; returns the selected operating point."""
+        now = view.time
+        earliest = view.earliest_deadline()
+        if earliest is None or earliest <= now + 1e-12:
+            return view.machine.slowest
+        utilization = view.taskset.utilization
+        must_run = 0.0  # `s`: cycles that must execute before `earliest`
+        for task in self._reverse_edf_order(view):
+            deadline = view.current_deadline(task)
+            if deadline is None:
+                # Admitted but unreleased: keep its worst case reserved in
+                # `utilization`, no current-invocation work to place.
+                continue
+            c_left = view.worst_case_remaining(task)
+            utilization -= task.utilization
+            span = deadline - earliest
+            if span <= 1e-12:
+                # This task's deadline *is* the earliest: nothing can be
+                # deferred.
+                deferred = 0.0
+            else:
+                capacity = max(0.0, 1.0 - utilization) * span
+                deferred = min(c_left, capacity)
+                utilization += deferred / span
+            must_run += c_left - deferred
+        speed = must_run / (earliest - now)
+        return view.machine.lowest_at_least(min(1.0, speed))
+
+    @staticmethod
+    def _reverse_edf_order(view):
+        """Tasks with current jobs, latest deadline first (ties broken by
+        task-set order, reversed, for determinism)."""
+        indexed = [(view.current_deadline(task), index, task)
+                   for index, task in enumerate(view.taskset)]
+        with_jobs = [(d, i, t) for d, i, t in indexed if d is not None]
+        without_jobs = [t for d, i, t in indexed if d is None]
+        ordered = [t for d, i, t in
+                   sorted(with_jobs, key=lambda e: (e[0], e[1]), reverse=True)]
+        # Unreleased tasks are only skipped in the loop; order is irrelevant,
+        # but yield them first so the reservation logic sees them.
+        return list(without_jobs) + ordered

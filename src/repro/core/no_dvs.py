@@ -1,0 +1,29 @@
+"""The no-DVS baseline: run at full speed, always.
+
+The paper's comparison point ("none (plain EDF)" in Table 4; the "EDF"
+curves in Figs. 9-13).  Without DVS the energy is the same under EDF and RM
+— the same cycles execute at the same voltage — but the paper simulates
+both to confirm RM schedulability, so the scheduler is selectable here too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import DVSPolicy
+from repro.hw.operating_point import OperatingPoint
+
+
+class NoDVS(DVSPolicy):
+    """Plain EDF or RM scheduling at the maximum operating point."""
+
+    def __init__(self, scheduler: str = "edf"):
+        scheduler = scheduler.strip().lower()
+        if scheduler not in ("edf", "rm"):
+            raise ValueError(
+                f"scheduler must be 'edf' or 'rm', got {scheduler!r}")
+        self.scheduler = scheduler
+        self.name = "EDF" if scheduler == "edf" else "RM"
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        return view.machine.fastest

@@ -1,0 +1,65 @@
+"""Clairvoyant EDF DVS — an analysis reference, not a real policy.
+
+The gap between look-ahead EDF and the theoretical lower bound has two
+components: not knowing the future (how many cycles each invocation will
+really use) and the discreteness of the frequency table.
+:class:`ClairvoyantEDF` removes the first component: on each release it
+reads the invocation's *actual* demand (which a real system cannot know)
+and runs the ccEDF selection rule on actual utilizations.
+
+Deadlines are still guaranteed: with per-invocation demands fixed at
+release, EDF at any speed covering the *actual* utilization sum meets all
+deadlines, by the same argument as ccEDF's (the "worst case" is simply
+replaced by the exact case, which each invocation never exceeds).
+
+Useful in ablations: `bound <= clairvoyant <= laEDF/ccEDF` quantifies how
+much of the remaining gap is clairvoyance vs discreteness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SchedulabilityError
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+class ClairvoyantEDF(DVSPolicy):
+    """ccEDF with oracle knowledge of each invocation's actual demand."""
+
+    name = "oracleEDF"
+    scheduler = "edf"
+
+    def __init__(self):
+        self._utilization: Dict[str, float] = {}
+
+    def setup(self, view) -> Optional[OperatingPoint]:
+        if view.taskset.utilization > 1.0 + 1e-9:
+            raise SchedulabilityError(
+                f"task set utilization {view.taskset.utilization:.3f} > 1")
+        self._utilization = {t.name: t.utilization for t in view.taskset}
+        return self._select(view)
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        job = view.job_of(task)
+        demand = job.demand if job is not None else task.wcet
+        self._utilization[task.name] = demand / task.period
+        return self._select(view)
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        actual = view.executed_in_invocation(task)
+        self._utilization[task.name] = actual / task.period
+        return self._select(view)
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        self._utilization[task.name] = task.utilization
+        return self._select(view)
+
+    def on_idle(self, view) -> Optional[OperatingPoint]:
+        return view.machine.slowest
+
+    def _select(self, view) -> OperatingPoint:
+        total = sum(self._utilization.values())
+        return view.machine.lowest_at_least(min(1.0, total))

@@ -1,0 +1,84 @@
+"""Policy registry: build policies by the names the paper uses."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.avg_throughput import AveragingDVS
+from repro.core.base import DVSPolicy
+from repro.core.cycle_conserving import CycleConservingEDF
+from repro.core.fixed import FixedSpeed
+from repro.core.governors import (AgedAveragesGovernor, FlatGovernor,
+                                  PastGovernor)
+from repro.core.cycle_conserving_rm import CycleConservingRM
+from repro.core.look_ahead import LookAheadEDF
+from repro.core.no_dvs import NoDVS
+from repro.core.oracle import ClairvoyantEDF
+from repro.core.static_scaling import StaticEDF, StaticRM
+from repro.core.statistical import StatisticalEDF
+
+_FACTORIES: Dict[str, Callable[..., DVSPolicy]] = {
+    "edf": lambda **kw: NoDVS(scheduler="edf", **kw),
+    "rm": lambda **kw: NoDVS(scheduler="rm", **kw),
+    "staticedf": StaticEDF,
+    "staticrm": StaticRM,
+    "ccedf": CycleConservingEDF,
+    "ccrm": CycleConservingRM,
+    "laedf": LookAheadEDF,
+    "avgdvs": AveragingDVS,
+    "fixed": FixedSpeed,
+    "statedf": StatisticalEDF,
+    "oracleedf": ClairvoyantEDF,
+    "govpast": PastGovernor,
+    "govflat": FlatGovernor,
+    "govaged": AgedAveragesGovernor,
+}
+
+_ALIASES: Dict[str, str] = {
+    "none": "edf",
+    "plain": "edf",
+    "plainedf": "edf",
+    "static-edf": "staticedf",
+    "statically-scaled-edf": "staticedf",
+    "static-rm": "staticrm",
+    "statically-scaled-rm": "staticrm",
+    "cc-edf": "ccedf",
+    "cycle-conserving-edf": "ccedf",
+    "cc-rm": "ccrm",
+    "cycle-conserving-rm": "ccrm",
+    "la-edf": "laedf",
+    "look-ahead-edf": "laedf",
+    "lookahead": "laedf",
+    "avg": "avgdvs",
+    "averaging": "avgdvs",
+    "statistical": "statedf",
+    "stat-edf": "statedf",
+    "oracle": "oracleedf",
+    "clairvoyant": "oracleedf",
+}
+
+#: The six methods of the paper's Table 4 / Figs. 9-13, in the paper's
+#: plotting order.
+PAPER_POLICIES = ("EDF", "staticRM", "staticEDF", "ccEDF", "ccRM", "laEDF")
+
+
+def available_policies() -> List[str]:
+    """Canonical policy names accepted by :func:`make_policy`."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> DVSPolicy:
+    """Instantiate a policy by (case-insensitive) name.
+
+    Accepts the paper's names ("ccEDF", "laEDF", "staticRM", ...) plus a
+    few aliases; extra keyword arguments go to the policy constructor.
+    """
+    key = name.strip().lower().replace("_", "-")
+    key = _ALIASES.get(key, key)
+    key = key.replace("-", "")
+    key = _ALIASES.get(key, key)
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}")
+    return factory(**kwargs)

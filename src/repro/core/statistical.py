@@ -1,0 +1,162 @@
+"""Statistical RT-DVS — the paper's stated future direction.
+
+"In the future, we would like to expand this work beyond the
+deterministic/absolute real-time paradigm presented here.  In particular,
+we will investigate DVS with probabilistic or statistical deadline
+guarantees" (Sec. 6).
+
+:class:`StatisticalEDF` explores that direction on top of the ccEDF
+skeleton: instead of reserving each task's *worst case* on release, it
+reserves an online percentile estimate of the task's observed demand
+distribution.  Energy drops below ccEDF (less pessimistic reservations);
+the price is that a task exceeding its estimate can transiently overload
+the schedule — a *statistical* rather than absolute guarantee.
+
+Safety valve: whenever a running task has already executed more cycles
+than its reservation, the policy restores the full worst case for it at
+the next scheduling event, bounding how long an underestimate can distort
+the frequency.  Misses remain possible between events — that is the
+nature of a statistical guarantee; with ``warmup`` set high enough the
+policy falls back to reserving the worst case everywhere and becomes
+exactly ccEDF (hard guarantees restored).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.base import DVSPolicy
+from repro.errors import SchedulabilityError, SimulationError
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task
+
+
+class _DemandHistory:
+    """Bounded per-task record of observed per-invocation demands."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+        if len(self._values) > self.capacity:
+            del self._values[0]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile of the observed demands (nearest-rank)."""
+        if not self._values:
+            raise SimulationError("no observations yet")
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1,
+                   max(0, int(q * len(ordered) + 0.5) - 1))
+        if q >= 1.0:
+            rank = len(ordered) - 1
+        return ordered[rank]
+
+
+class StatisticalEDF(DVSPolicy):
+    """Percentile-reservation EDF DVS (statistical guarantees).
+
+    Parameters
+    ----------
+    percentile:
+        Demand quantile reserved on release, in (0, 1].  1.0 reserves the
+        observed maximum; lower values save more energy and miss more.
+    warmup:
+        Invocations per task that reserve the full worst case before the
+        estimator takes over (the paper's cold-start observation argues
+        early invocations are unrepresentative anyway).
+    history:
+        Sliding-window length of the per-task demand history.
+    """
+
+    name = "statEDF"
+    scheduler = "edf"
+
+    def __init__(self, percentile: float = 0.95, warmup: int = 3,
+                 history: int = 64):
+        if not 0.0 < percentile <= 1.0:
+            raise SimulationError(
+                f"percentile must be in (0, 1], got {percentile}")
+        if warmup < 0:
+            raise SimulationError(f"warmup must be >= 0, got {warmup}")
+        if history < 1:
+            raise SimulationError(f"history must be >= 1, got {history}")
+        self.percentile = percentile
+        self.warmup = warmup
+        self.history = history
+        self._utilization: Dict[str, float] = {}
+        self._reserved: Dict[str, float] = {}
+        self._histories: Dict[str, _DemandHistory] = {}
+        self._observed: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, view) -> Optional[OperatingPoint]:
+        if view.taskset.utilization > 1.0 + 1e-9:
+            raise SchedulabilityError(
+                f"task set utilization {view.taskset.utilization:.3f} > 1")
+        self._utilization = {t.name: t.utilization for t in view.taskset}
+        self._reserved = {t.name: t.wcet for t in view.taskset}
+        self._histories = {t.name: _DemandHistory(self.history)
+                           for t in view.taskset}
+        self._observed = {t.name: 0 for t in view.taskset}
+        return self._select(view)
+
+    def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        reservation = self._reservation(task)
+        self._reserved[task.name] = reservation
+        self._utilization[task.name] = reservation / task.period
+        return self._select(view)
+
+    def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        actual = view.executed_in_invocation(task)
+        history = self._histories.setdefault(
+            task.name, _DemandHistory(self.history))
+        history.observe(actual)
+        self._observed[task.name] = self._observed.get(task.name, 0) + 1
+        self._utilization[task.name] = actual / task.period
+        return self._select(view)
+
+    def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        self._utilization[task.name] = task.utilization
+        self._reserved[task.name] = task.wcet
+        self._histories[task.name] = _DemandHistory(self.history)
+        self._observed[task.name] = 0
+        return self._select(view)
+
+    def on_idle(self, view) -> Optional[OperatingPoint]:
+        return view.machine.slowest
+
+    # ------------------------------------------------------------------
+    def _reservation(self, task: Task) -> float:
+        """Cycles reserved for the next invocation of ``task``."""
+        history = self._histories.get(task.name)
+        observed = self._observed.get(task.name, 0)
+        if history is None or observed < self.warmup or len(history) == 0:
+            return task.wcet
+        estimate = history.percentile(self.percentile)
+        return min(task.wcet, estimate)
+
+    def _select(self, view) -> OperatingPoint:
+        total = 0.0
+        for task in view.taskset:
+            entry = self._utilization.get(task.name, task.utilization)
+            job = view.job_of(task)
+            if job is not None and not job.is_complete:
+                # Safety valve: a running invocation that already exceeded
+                # its reservation gets its worst case back, so a bad
+                # estimate cannot keep the frequency low indefinitely.
+                if job.executed > self._reserved.get(task.name,
+                                                     task.wcet) - 1e-12:
+                    entry = task.utilization
+            total += entry
+        return view.machine.lowest_at_least(min(1.0, total))
+
+    # -- introspection -------------------------------------------------
+    def reservation_for(self, task: Task) -> float:
+        """Current reservation (for tests and reporting)."""
+        return self._reservation(task)

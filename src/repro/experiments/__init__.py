@@ -1,0 +1,61 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(quick=True, **overrides) -> ExperimentResult``.
+``quick=True`` (the default) uses laptop-scale parameters (fewer task sets,
+shorter simulations); ``quick=False`` approaches the paper's scale
+("averaged across hundreds of distinct task sets").
+
+The mapping to the paper:
+
+===========  =====================================================
+module       reproduces
+===========  =====================================================
+table1       Table 1 — laptop power states
+table4       Table 4 — normalized energy of the worked example
+traces       Figs. 2, 3, 5, 7 — worked-example execution traces
+fig9         Fig. 9 — energy vs U for 5/10/15 tasks
+fig10        Fig. 10 — idle level 0.01 / 0.1 / 1.0
+fig11        Fig. 11 — machines 0 / 1 / 2
+fig12        Fig. 12 — demand = 90/70/50 % of worst case
+fig13        Fig. 13 — uniform demand distribution
+fig16        Fig. 16 — measured system power (laptop model)
+fig17        Fig. 17 — simulated counterpart of Fig. 16
+===========  =====================================================
+"""
+
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments import (  # noqa: F401  (re-exported driver modules)
+    ext_battery,
+    ext_future,
+    ext_governors,
+    ext_mp,
+    ext_server,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig16,
+    fig17,
+    table1,
+    table4,
+    traces,
+)
+from repro.experiments.runall import ALL_EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "table1",
+    "table4",
+    "traces",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig16",
+    "fig17",
+]

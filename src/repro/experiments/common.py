@@ -1,0 +1,99 @@
+"""Shared experiment-result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.export import to_csv, to_markdown
+from repro.analysis.series import SweepTable
+from repro.analysis.textplot import line_chart
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """A named assertion about the *shape* of a result.
+
+    The reproduction does not claim to match the paper's absolute numbers
+    (different substrate), but it does claim the qualitative relationships
+    — who wins, roughly by how much, where curves cross.  Each experiment
+    encodes those claims as shape checks, and EXPERIMENTS.md reports them.
+    """
+
+    description: str
+    passed: bool
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.description}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    description: str
+    tables: List[SweepTable] = field(default_factory=list)
+    text_blocks: List[str] = field(default_factory=list)
+    checks: List[ShapeCheck] = field(default_factory=list)
+    quick: bool = True
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def check(self, description: str, passed: bool) -> None:
+        """Record a shape check."""
+        self.checks.append(ShapeCheck(description, bool(passed)))
+
+    def render(self, charts: bool = True, width: int = 64) -> str:
+        """Human-readable report: description, data tables, ASCII charts,
+        shape checks."""
+        scale = "quick" if self.quick else "full"
+        lines = [f"## {self.experiment_id}: {self.title} ({scale} scale)",
+                 "", self.description.strip(), ""]
+        for block in self.text_blocks:
+            lines.extend([block.rstrip(), ""])
+        for table in self.tables:
+            lines.append(f"### {table.title}")
+            lines.append("")
+            lines.append(to_markdown(table))
+            lines.append("")
+            if charts and len(table.xs) > 1:
+                lines.append("```")
+                lines.append(line_chart(table, width=width))
+                lines.append("```")
+                lines.append("")
+        if self.checks:
+            lines.append("### Shape checks")
+            lines.append("")
+            for check in self.checks:
+                lines.append(f"- {check}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def write_csvs(self, directory: str) -> List[str]:
+        """Export every table as CSV into ``directory``; returns paths."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        paths = []
+        for index, table in enumerate(self.tables):
+            slug = _slugify(table.title) or f"table{index}"
+            path = os.path.join(directory,
+                                f"{self.experiment_id}_{slug}.csv")
+            to_csv(table, path)
+            paths.append(path)
+        return paths
+
+
+def _slugify(text: str) -> str:
+    out = []
+    for ch in text.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")[:48]

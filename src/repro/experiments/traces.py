@@ -1,0 +1,150 @@
+"""Figs. 2, 3, 5 and 7 — worked-example execution traces.
+
+All four figures use the Table 2 task set on machine 0.  Fig. 2 shows the
+worst-case traces under the two static policies (and that RM *cannot* be
+statically scaled to 0.75 — T3 would miss at 14 ms); Figs. 3, 5 and 7 show
+ccEDF, ccRM and laEDF with the Table 3 actual execution times.  The key
+events asserted here (frequency steps and completion times) are the ones
+annotated in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import make_policy
+from repro.core.fixed import FixedSpeed
+from repro.experiments.common import ExperimentResult
+from repro.hw.machine import machine0
+from repro.model.demand import paper_example_trace
+from repro.model.task import example_taskset
+from repro.sim.engine import simulate
+from repro.sim.results import SimResult
+from repro.sim.trace import render_trace
+
+DURATION = 16.0
+
+
+def _run(policy, demand) -> SimResult:
+    return simulate(example_taskset(), machine0(), policy, demand=demand,
+                    duration=DURATION, record_trace=True, on_miss="drop")
+
+
+def _completion(result: SimResult, task_name: str, invocation: int
+                ) -> Optional[float]:
+    for job in result.jobs:
+        if job.task.name == task_name and job.index == invocation:
+            return job.completion_time
+    return None
+
+
+def _approx(a: Optional[float], b: float, tolerance: float = 1e-6) -> bool:
+    return a is not None and abs(a - b) <= tolerance
+
+
+def fig2(result: ExperimentResult) -> None:
+    """Static scaling: EDF runs at 0.75, RM needs 1.0, RM@0.75 misses."""
+    static_edf = _run(make_policy("staticEDF"), demand="worst")
+    static_rm = _run(make_policy("staticRM"), demand="worst")
+    rm_075 = _run(FixedSpeed(0.75, scheduler="rm"), demand="worst")
+
+    result.text_blocks.append(
+        "Fig. 2 — statically-scaled EDF (worst case):\n```\n"
+        + render_trace(static_edf.trace, end=DURATION) + "\n```")
+    result.text_blocks.append(
+        "Fig. 2 — statically-scaled RM (worst case):\n```\n"
+        + render_trace(static_rm.trace, end=DURATION) + "\n```")
+
+    result.check("staticEDF selects frequency 0.75 (U=0.746 <= 0.75)",
+                 static_edf.trace.segments[0].point.frequency == 0.75)
+    result.check("staticRM must stay at 1.0 (RM test fails at 0.75)",
+                 static_rm.trace.segments[0].point.frequency == 1.0)
+    t3_misses = [m for m in rm_075.misses if m.task_name == "T3"]
+    result.check("forced RM @ 0.75: T3 misses its 14 ms deadline",
+                 any(abs(m.deadline - 14.0) < 1e-9 for m in t3_misses))
+    result.check("staticEDF meets all deadlines",
+                 static_edf.met_all_deadlines)
+    result.check("staticRM meets all deadlines", static_rm.met_all_deadlines)
+
+
+def fig3(result: ExperimentResult) -> None:
+    """ccEDF: frequency 0.75 until T2 completes (t=4), then 0.5."""
+    run = _run(make_policy("ccEDF"), demand=paper_example_trace())
+    result.text_blocks.append(
+        "Fig. 3 — cycle-conserving EDF (Table 3 demands):\n```\n"
+        + render_trace(run.trace, end=DURATION) + "\n```")
+    profile = run.trace.frequency_profile()
+    result.check("ccEDF starts at 0.75", profile[0] == (0.0, 0.75))
+    result.check("ccEDF drops to 0.5 when T2 completes at t=4",
+                 (4.0, 0.5) in [(round(t, 6), f) for t, f in profile])
+    result.check("T1 completes at 8/3 ms",
+                 _approx(_completion(run, "T1", 0), 8.0 / 3.0))
+    result.check("T2 completes at 4 ms",
+                 _approx(_completion(run, "T2", 0), 4.0))
+    result.check("T3 completes at 6 ms",
+                 _approx(_completion(run, "T3", 0), 6.0))
+    result.check("T2 second invocation runs at 0.5 "
+                 "(U=0.496 <= 0.5) and completes at 12 ms",
+                 _approx(_completion(run, "T2", 1), 12.0))
+    result.check("no deadline misses", run.met_all_deadlines)
+
+
+def fig5(result: ExperimentResult) -> None:
+    """ccRM: 1.0 -> 0.75 at t=2 -> 0.5 at t=10/3, per the paper's frames."""
+    run = _run(make_policy("ccRM"), demand=paper_example_trace())
+    result.text_blocks.append(
+        "Fig. 5 — cycle-conserving RM (Table 3 demands):\n```\n"
+        + render_trace(run.trace, end=DURATION) + "\n```")
+    profile = [(round(t, 6), f) for t, f in run.trace.frequency_profile()]
+    result.check("ccRM starts at 1.0 (7 cycles over 8 ms rounds up)",
+                 profile[0] == (0.0, 1.0))
+    result.check("ccRM drops to 0.75 when T1 completes at t=2",
+                 (2.0, 0.75) in profile)
+    result.check("ccRM drops to 0.5 when T2 completes at t=10/3",
+                 any(abs(t - 10.0 / 3.0) < 1e-6 and f == 0.5
+                     for t, f in profile))
+    result.check("T1 completes at 2 ms",
+                 _approx(_completion(run, "T1", 0), 2.0))
+    result.check("T2 completes at 10/3 ms",
+                 _approx(_completion(run, "T2", 0), 10.0 / 3.0))
+    result.check("T3 completes at 16/3 ms",
+                 _approx(_completion(run, "T3", 0), 16.0 / 3.0))
+    result.check("no deadline misses", run.met_all_deadlines)
+
+
+def fig7(result: ExperimentResult) -> None:
+    """laEDF: 0.75 until T1 completes (t=8/3), 0.5 for everything else."""
+    run = _run(make_policy("laEDF"), demand=paper_example_trace())
+    result.text_blocks.append(
+        "Fig. 7 — look-ahead EDF (Table 3 demands):\n```\n"
+        + render_trace(run.trace, end=DURATION) + "\n```")
+    profile = [(round(t, 6), f) for t, f in run.trace.frequency_profile()]
+    result.check("laEDF starts at 0.75 (defer() gives 5.08/8 = 0.64 -> "
+                 "round up)", profile[0] == (0.0, 0.75))
+    result.check("laEDF drops to 0.5 when T1 completes at t=8/3",
+                 any(abs(t - 8.0 / 3.0) < 1e-6 and f == 0.5
+                     for t, f in profile))
+    result.check("T2 completes at 14/3 ms (frame d of Fig. 7)",
+                 _approx(_completion(run, "T2", 0), 14.0 / 3.0))
+    result.check("T3 completes at 20/3 ms",
+                 _approx(_completion(run, "T3", 0), 20.0 / 3.0))
+    result.check("everything after T1's first completion runs at 0.5",
+                 all(f == 0.5 for t, f in profile if t > 8.0 / 3.0 + 1e-6))
+    result.check("T3 second invocation completes exactly at 16 ms",
+                 _approx(_completion(run, "T3", 1), 16.0))
+    result.check("no deadline misses", run.met_all_deadlines)
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Reproduce all four worked-example trace figures."""
+    result = ExperimentResult(
+        experiment_id="traces",
+        title="Worked-example execution traces (Figs. 2, 3, 5, 7)",
+        description=__doc__ or "",
+        quick=quick,
+    )
+    fig2(result)
+    fig3(result)
+    fig5(result)
+    fig7(result)
+    return result

@@ -1,0 +1,43 @@
+"""Hardware model: DVS-capable machines, the CMOS energy model, and the
+voltage-regulator switching-overhead model.
+
+The paper assumes "special hardware, in particular, a programmable DC-DC
+switching voltage regulator, a programmable clock generator, and a
+high-performance processor with wide operating ranges" (Sec. 2.1).  This
+package models exactly the pieces the paper's simulator and prototype need:
+
+* :class:`~repro.hw.operating_point.OperatingPoint` — a (relative frequency,
+  voltage) pair;
+* :class:`~repro.hw.machine.Machine` — an ordered table of operating points,
+  with the paper's machine 0/1/2 and the AMD K6-2+ PowerNow presets;
+* :class:`~repro.hw.energy.EnergyModel` — per-cycle energy ∝ V², plus the
+  idle-level factor of Sec. 3.1;
+* :class:`~repro.hw.regulator.SwitchingModel` — the mandatory-halt switching
+  overheads measured on the prototype (Sec. 4.1).
+"""
+
+from repro.hw.operating_point import OperatingPoint
+from repro.hw.machine import (
+    Machine,
+    machine0,
+    machine1,
+    machine2,
+    k6_2_plus,
+    MACHINE_PRESETS,
+)
+from repro.hw.energy import EnergyModel
+from repro.hw.regulator import SwitchingModel
+from repro.hw.battery import Battery
+
+__all__ = [
+    "Battery",
+    "OperatingPoint",
+    "Machine",
+    "machine0",
+    "machine1",
+    "machine2",
+    "k6_2_plus",
+    "MACHINE_PRESETS",
+    "EnergyModel",
+    "SwitchingModel",
+]

@@ -1,0 +1,77 @@
+"""Battery-life estimation from simulated power.
+
+The paper's entire motivation is battery life: "the practical size and
+weight of the device are generally fixed, so for a given battery
+technology, the available energy is also fixed.  This means that only
+power consumption affects the battery life of the device" (Sec. 2.1).
+
+:class:`Battery` turns a run's average power into an estimated lifetime,
+with an optional Peukert-style correction for the well-known effect that
+real batteries deliver less charge at higher discharge rates — which makes
+DVS savings compound: halving the power *more* than doubles the life when
+the exponent exceeds 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An energy reservoir with rate-dependent effective capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Energy at the nominal discharge power, in (power unit) × (time
+        unit) — e.g. W·h if powers are watts and you want hours out.
+    nominal_power:
+        Discharge power at which ``capacity`` is rated.
+    peukert:
+        Rate-sensitivity exponent ``k`` >= 1.  Effective lifetime is
+        ``(capacity / power) × (nominal_power / power)^(k-1)``; ``k = 1``
+        is the ideal (linear) battery.
+    """
+
+    capacity: float
+    nominal_power: float = 1.0
+    peukert: float = 1.0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise MachineError(
+                f"capacity must be positive, got {self.capacity}")
+        if self.nominal_power <= 0:
+            raise MachineError(
+                f"nominal_power must be positive, got {self.nominal_power}")
+        if self.peukert < 1.0:
+            raise MachineError(
+                f"peukert exponent must be >= 1, got {self.peukert}")
+
+    def lifetime(self, power: float) -> float:
+        """Estimated runtime at a constant draw of ``power``."""
+        if power <= 0:
+            raise MachineError(f"power must be positive, got {power}")
+        linear = self.capacity / power
+        rate_penalty = (self.nominal_power / power) ** (self.peukert - 1.0)
+        return linear * rate_penalty
+
+    def lifetime_for(self, result: SimResult,
+                     overhead_power: float = 0.0) -> float:
+        """Runtime sustaining ``result``'s average power (plus a constant
+        platform overhead, e.g. the laptop board)."""
+        if overhead_power < 0:
+            raise MachineError(
+                f"overhead_power must be >= 0, got {overhead_power}")
+        return self.lifetime(result.average_power + overhead_power)
+
+    def extension_factor(self, baseline: SimResult, improved: SimResult,
+                         overhead_power: float = 0.0) -> float:
+        """How much longer the battery lasts under ``improved`` than under
+        ``baseline`` (> 1 means longer)."""
+        return (self.lifetime_for(improved, overhead_power)
+                / self.lifetime_for(baseline, overhead_power))

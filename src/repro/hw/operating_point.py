@@ -1,0 +1,72 @@
+"""A single DVS operating point: a relative frequency and its voltage.
+
+In CMOS, the maximum stable operating frequency increases with the supply
+voltage, and the energy dissipated per cycle scales with V² (Sec. 2.1 of the
+paper, citing Burd & Brodersen).  A machine is described by a table of
+discrete (frequency, voltage) pairs; this class is one row of that table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+
+
+@dataclass(frozen=True, order=True)
+class OperatingPoint:
+    """A (relative frequency, supply voltage) pair.
+
+    Parameters
+    ----------
+    frequency:
+        Relative operating frequency in (0, 1]; 1.0 is the maximum
+        frequency of the machine.
+    voltage:
+        Supply voltage at this frequency, in volts (any consistent unit
+        works; only ratios of V² matter for normalized energy).
+
+    Ordering is by frequency (then voltage), so a sorted list of points is
+    sorted by speed.
+    """
+
+    frequency: float
+    voltage: float
+
+    def __post_init__(self):
+        if not (0.0 < self.frequency <= 1.0) or not math.isfinite(self.frequency):
+            raise MachineError(
+                f"relative frequency must be in (0, 1], got {self.frequency}")
+        if not (self.voltage > 0.0 and math.isfinite(self.voltage)):
+            raise MachineError(
+                f"voltage must be positive and finite, got {self.voltage}")
+
+    @property
+    def energy_per_cycle(self) -> float:
+        """Energy per executed cycle, in V² units (the CMOS model)."""
+        return self.voltage * self.voltage
+
+    @property
+    def power(self) -> float:
+        """Power while executing at this point, in V² · (cycles/time) units.
+
+        Running at relative frequency ``f`` executes ``f`` cycles per unit
+        time, each costing V², so power = f · V².
+        """
+        return self.frequency * self.energy_per_cycle
+
+    def time_for_cycles(self, cycles: float) -> float:
+        """Wall time needed to execute ``cycles`` at this point."""
+        if cycles < 0:
+            raise MachineError(f"cycles must be >= 0, got {cycles}")
+        return cycles / self.frequency
+
+    def cycles_in_time(self, duration: float) -> float:
+        """Cycles executed over ``duration`` time units at this point."""
+        if duration < 0:
+            raise MachineError(f"duration must be >= 0, got {duration}")
+        return duration * self.frequency
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.frequency:g}, {self.voltage:g}V)"

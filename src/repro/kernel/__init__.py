@@ -1,0 +1,38 @@
+"""The prototype substrate: a Linux-module-style RT-DVS stack (Sec. 4).
+
+The paper's implementation is a set of Linux 2.2 kernel modules (Fig. 14):
+
+* a *periodic RT task* module hooked into the scheduler and timer tick,
+* swappable *RT scheduler / RT-DVS policy* modules,
+* a *PowerNow!* module driving the K6-2+ frequency/voltage interface,
+* a ``/procfs`` file interface for user-level tasks and control.
+
+This package reproduces that architecture in-process on top of the
+simulator: the same policy objects the simulator uses are loaded as
+"modules", tasks register through a procfs-style text interface, the
+PowerNow module enforces the mandatory stop intervals measured on the real
+hardware, and the kernel runs phases of simulated time (policy modules can
+be swapped between phases without unregistering the task set, as on the
+prototype).
+"""
+
+from repro.kernel.procfs import ProcFS
+from repro.kernel.powernow import PowerNowModule
+from repro.kernel.modules import PolicyModule, RTKernel
+from repro.kernel.rt_task import PeriodicRTTask
+from repro.kernel.admission import AdmissionController
+from repro.kernel.coldstart import ColdStartDemand
+from repro.kernel.userland import UserTask, constant_body, phased_body
+
+__all__ = [
+    "UserTask",
+    "constant_body",
+    "phased_body",
+    "ProcFS",
+    "PowerNowModule",
+    "PolicyModule",
+    "RTKernel",
+    "PeriodicRTTask",
+    "AdmissionController",
+    "ColdStartDemand",
+]

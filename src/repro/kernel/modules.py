@@ -1,0 +1,320 @@
+"""The module layer: loadable policies and the kernel facade (Fig. 14).
+
+The prototype separates three kernel modules:
+
+* the periodic-RT-task machinery (scheduler hook + timer tick),
+* one loadable RT-scheduler/RT-DVS *policy module* at a time, swappable
+  "without shutting down the system or the running RT tasks",
+* the PowerNow! module for frequency/voltage control.
+
+:class:`RTKernel` reproduces this composition in-process.  Simulated time
+advances in *phases* (:meth:`RTKernel.run_phase`); between phases the
+policy module may be swapped while the registered task set persists —
+matching the prototype's behaviour, including its caveat that during the
+swap "a real-time scheduler is not defined" (running a phase with no
+module loaded is refused).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core import DVSPolicy, make_policy
+from repro.errors import AdmissionError, KernelError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import Machine
+from repro.hw.regulator import SwitchingModel
+from repro.kernel.admission import AdmissionController
+from repro.kernel.powernow import PowerNowModule
+from repro.kernel.procfs import ProcFS
+from repro.kernel.rt_task import KernelDemand, PeriodicRTTask
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Admission, Simulator
+from repro.sim.results import SimResult
+
+
+class PolicyModule:
+    """A loadable RT-scheduler + RT-DVS policy module.
+
+    Thin metadata wrapper around a :class:`~repro.core.base.DVSPolicy`; the
+    class exists so the kernel mirrors the prototype's "one RT
+    scheduler/DVS module loaded at a time" structure.
+    """
+
+    def __init__(self, policy: DVSPolicy):
+        self.policy = policy
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def scheduler(self) -> str:
+        return self.policy.scheduler
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolicyModule({self.policy!r})"
+
+
+class RTKernel:
+    """In-process emulation of the prototype's kernel extension stack.
+
+    Parameters
+    ----------
+    powernow:
+        The frequency/voltage module; defaults to the K6-2+ configuration.
+        Its machine table and stop intervals feed the simulator.
+    energy_model:
+        Energy accounting for simulated phases.
+    charge_switch_overhead:
+        When True (default), phases pay the PowerNow stop intervals on
+        every operating-point change, like the real hardware; when False,
+        switching is free (the paper's pure-simulation assumption).
+    enforce_wcet:
+        Clamp demands to worst case (condition C2); set False to let
+        cold-start overruns through (Sec. 4.3).
+    """
+
+    def __init__(self, powernow: Optional[PowerNowModule] = None,
+                 energy_model: Optional[EnergyModel] = None,
+                 charge_switch_overhead: bool = True,
+                 enforce_wcet: bool = True):
+        self.powernow = powernow if powernow is not None else PowerNowModule()
+        self.machine: Machine = self.powernow.machine
+        self.energy_model = energy_model or EnergyModel()
+        self.charge_switch_overhead = charge_switch_overhead
+        self.enforce_wcet = enforce_wcet
+        self.procfs = ProcFS()
+        self._tasks: Dict[str, PeriodicRTTask] = {}
+        self._module: Optional[PolicyModule] = None
+        self._results: List[SimResult] = []
+        self._uptime = 0.0
+        self._register_procfs()
+
+    # ------------------------------------------------------------------
+    # task management
+    # ------------------------------------------------------------------
+    def register_task(self, task: PeriodicRTTask,
+                      check_admission: bool = True) -> None:
+        """Register a periodic RT task (takes effect next phase)."""
+        if task.name in self._tasks:
+            raise KernelError(f"task {task.name!r} already registered")
+        if check_admission and self._tasks:
+            controller = AdmissionController(self._scheduler_name())
+            decision = controller.check(self.taskset(), task.task)
+            if not decision:
+                raise AdmissionError(
+                    f"refusing task {task.name!r}: {decision.reason}")
+        self._tasks[task.name] = task
+
+    def unregister_task(self, name: str) -> None:
+        """Remove a task (the prototype's close-the-file-handle path)."""
+        if name not in self._tasks:
+            raise KernelError(f"task {name!r} is not registered")
+        del self._tasks[name]
+
+    def taskset(self) -> TaskSet:
+        """The registered tasks as a simulator task set."""
+        if not self._tasks:
+            raise KernelError("no real-time tasks are registered")
+        return TaskSet([t.task for t in self._tasks.values()])
+
+    def padded_taskset(self) -> TaskSet:
+        """The task set with switch overheads folded into the WCETs.
+
+        "At most only two transitions are attributable to each task in each
+        invocation" (Sec. 4.1), so when phases charge the PowerNow stop
+        intervals, each task's worst case is padded by two voltage-switch
+        halts.  Scheduling and DVS decisions then remain safe; actual
+        demands are unchanged.
+        """
+        if not self.charge_switch_overhead:
+            return self.taskset()
+        pad = 2.0 * self.powernow.switching_model().voltage_switch_time
+        padded = []
+        for rt_task in self._tasks.values():
+            wcet = rt_task.task.wcet + pad
+            if wcet > rt_task.task.period:
+                raise KernelError(
+                    f"task {rt_task.name!r}: wcet {rt_task.task.wcet:g} plus "
+                    f"switch-overhead pad {pad:g} exceeds its period "
+                    f"{rt_task.task.period:g}")
+            padded.append(Task(wcet=wcet, period=rt_task.task.period,
+                               name=rt_task.name))
+        return TaskSet(padded)
+
+    def task(self, name: str) -> PeriodicRTTask:
+        """Look up a registered task by name."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KernelError(f"task {name!r} is not registered") from None
+
+    @property
+    def tasks(self) -> List[PeriodicRTTask]:
+        return list(self._tasks.values())
+
+    # ------------------------------------------------------------------
+    # policy modules
+    # ------------------------------------------------------------------
+    def load_policy(self, policy: Union[str, DVSPolicy, PolicyModule],
+                    **kwargs) -> PolicyModule:
+        """Load (or swap in) the RT-scheduler/RT-DVS policy module."""
+        if isinstance(policy, PolicyModule):
+            module = policy
+        elif isinstance(policy, DVSPolicy):
+            module = PolicyModule(policy)
+        else:
+            module = PolicyModule(make_policy(policy, **kwargs))
+        self._module = module
+        return module
+
+    def unload_policy(self) -> None:
+        """Unload the policy module; phases are refused until a new load."""
+        self._module = None
+
+    @property
+    def loaded_policy(self) -> Optional[PolicyModule]:
+        return self._module
+
+    def _scheduler_name(self) -> str:
+        return self._module.scheduler if self._module else "edf"
+
+    # ------------------------------------------------------------------
+    # running phases
+    # ------------------------------------------------------------------
+    def run_phase(self, duration: float,
+                  admissions: Sequence[Admission] = (),
+                  record_trace: bool = False,
+                  on_miss: str = "raise") -> SimResult:
+        """Advance simulated time by ``duration`` under the loaded module.
+
+        Admission records use phase-relative times.  Tasks admitted during
+        the phase stay registered afterwards.
+        """
+        if self._module is None:
+            raise KernelError(
+                "no RT scheduler/DVS policy module is loaded; \"during the "
+                "switch-over time ... a real-time scheduler is not defined\"")
+        taskset = self.padded_taskset()
+        pad = (2.0 * self.powernow.switching_model().voltage_switch_time
+               if self.charge_switch_overhead else 0.0)
+        controller = AdmissionController(self._scheduler_name())
+        checked = taskset
+        padded_admissions = []
+        for admission in admissions:
+            padded_task = Task(wcet=admission.task.wcet + pad,
+                               period=admission.task.period,
+                               name=admission.task.name)
+            decision = controller.check(checked, padded_task)
+            if not decision:
+                raise AdmissionError(
+                    f"refusing admission of {admission.task.name!r}: "
+                    f"{decision.reason}")
+            checked = checked.with_task(padded_task)
+            padded_admissions.append(Admission(
+                time=admission.time, task=padded_task,
+                defer=admission.defer))
+        switching = (self.powernow.switching_model()
+                     if self.charge_switch_overhead
+                     else SwitchingModel.free())
+        simulator = Simulator(
+            taskset=taskset,
+            machine=self.machine,
+            policy=self._module.policy,
+            demand=KernelDemand(dict(self._tasks)),
+            duration=duration,
+            energy_model=self.energy_model,
+            switching=switching,
+            on_miss=on_miss,
+            record_trace=record_trace,
+            admissions=padded_admissions,
+            enforce_wcet=self.enforce_wcet,
+        )
+        # Tasks admitted mid-phase must be resolvable by the demand adapter.
+        for admission in admissions:
+            if admission.task.name not in self._tasks:
+                rt_task = PeriodicRTTask(
+                    name=admission.task.name,
+                    period=admission.task.period,
+                    wcet=admission.task.wcet)
+                self._tasks[rt_task.name] = rt_task
+                simulator.demand_model = KernelDemand(dict(self._tasks))
+        result = simulator.run()
+        self._absorb(result)
+        return result
+
+    def _absorb(self, result: SimResult) -> None:
+        self._results.append(result)
+        self._uptime += result.duration
+        per_task_jobs: Dict[str, List] = {}
+        for job in result.jobs:
+            per_task_jobs.setdefault(job.task.name, []).append(job)
+        for name, jobs in per_task_jobs.items():
+            task = self._tasks.get(name)
+            if task is None:
+                continue
+            task.stats.invocations += len(jobs)
+            task.stats.completions += sum(1 for j in jobs if j.is_complete)
+            task.stats.cycles += sum(j.executed for j in jobs)
+            task.advance_phase(len(jobs))
+        for miss in result.misses:
+            task = self._tasks.get(miss.task_name)
+            if task is not None:
+                task.stats.misses += 1
+
+    # ------------------------------------------------------------------
+    # accumulated accounting
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[SimResult]:
+        return list(self._results)
+
+    @property
+    def uptime(self) -> float:
+        """Total simulated time across phases."""
+        return self._uptime
+
+    @property
+    def total_energy(self) -> float:
+        return sum(r.total_energy for r in self._results)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(r.deadline_miss_count for r in self._results)
+
+    # ------------------------------------------------------------------
+    # procfs plumbing
+    # ------------------------------------------------------------------
+    def _register_procfs(self) -> None:
+        fs = self.procfs
+        fs.register("/rt/tasks", read=self._tasks_text,
+                    write=self._tasks_write)
+        fs.register("/rt/policy", read=self._policy_text,
+                    write=self._policy_write)
+        fs.register("/rt/stats", read=self._stats_text)
+        fs.register("/powernow", read=self.powernow.status_text,
+                    write=self.powernow.handle_write)
+
+    def _tasks_text(self) -> str:
+        lines = ["name period wcet stats"]
+        for task in self._tasks.values():
+            lines.append(f"{task.name} {task.period:g} {task.wcet:g} "
+                         f"[{task.stats.as_text()}]")
+        return "\n".join(lines)
+
+    def _tasks_write(self, text: str) -> None:
+        self.register_task(PeriodicRTTask.parse(text))
+
+    def _policy_text(self) -> str:
+        if self._module is None:
+            return "(no policy module loaded)"
+        return (f"{self._module.name} "
+                f"(scheduler={self._module.scheduler})")
+
+    def _policy_write(self, text: str) -> None:
+        self.load_policy(text.strip())
+
+    def _stats_text(self) -> str:
+        return (f"uptime={self.uptime:g} phases={len(self._results)} "
+                f"energy={self.total_energy:g} misses={self.total_misses}")

@@ -1,0 +1,187 @@
+"""Emulation of the AMD K6-2+ PowerNow! interface (Sec. 4.1).
+
+The real processor exposes frequency/voltage control through a special
+feature register: software writes a frequency identifier (PLL multiplier
+selection) and a 5-bit voltage identifier, plus a programmable "stop
+interval" in multiples of 41 µs (4096 cycles of the 100 MHz bus clock)
+during which the CPU halts while the clock and regulator settle.
+
+This module reproduces that register-level interface on top of a
+:class:`~repro.hw.machine.Machine`:
+
+* frequencies are requested in MHz and must match a PLL step;
+* the voltage is *not* chosen by the caller — like HP's board, the module
+  maps each frequency to the lowest stable voltage (1.4 V up to 450 MHz,
+  2.0 V above, for the default machine);
+* every transition charges the mandatory stop interval: the measured
+  behaviour is ~41 µs for frequency-only changes and ~0.4 ms (halt
+  duration value 10) when the voltage changes;
+* a ``/proc/powernow`` style status text mirrors the prototype's
+  human-readable interface.
+
+The module also converts to the simulator's abstractions: it *is* a
+factory for the :class:`~repro.hw.regulator.SwitchingModel` and machine the
+kernel passes to the engine, so simulated runs pay exactly the overheads
+the prototype measured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import PowerNowError
+from repro.hw.machine import Machine, k6_2_plus
+from repro.hw.operating_point import OperatingPoint
+from repro.hw.regulator import SwitchingModel
+
+#: One stop-interval unit: 4096 cycles of the 100 MHz system bus (41 µs),
+#: expressed in milliseconds (the library's canonical time unit).
+STOP_INTERVAL_UNIT_MS = 0.041
+
+#: Halt duration (in units) that the paper found sufficient for stable
+#: voltage transitions ("a halt duration value of 10 (approximately
+#: 0.4 ms) resulted in no observable instability").
+DEFAULT_VOLTAGE_HALT_UNITS = 10
+
+
+class PowerNowModule:
+    """Software-controlled frequency/voltage switching with stop intervals.
+
+    Parameters
+    ----------
+    machine:
+        Operating-point table; defaults to the HP N3350's K6-2+
+        configuration (550 MHz max, two wired voltages).
+    max_mhz:
+        Nominal frequency of the relative-1.0 point, used to translate
+        between MHz and relative frequency.
+    voltage_halt_units:
+        Programmed stop interval (multiples of 41 µs) for transitions that
+        change the voltage.
+    """
+
+    def __init__(self, machine: Optional[Machine] = None,
+                 max_mhz: float = 550.0,
+                 voltage_halt_units: int = DEFAULT_VOLTAGE_HALT_UNITS):
+        if voltage_halt_units < 1:
+            raise PowerNowError(
+                f"stop interval must be >= 1 unit, got {voltage_halt_units}")
+        self.machine = machine if machine is not None else k6_2_plus()
+        self.max_mhz = max_mhz
+        self.voltage_halt_units = voltage_halt_units
+        self._current: OperatingPoint = self.machine.fastest
+        self._transitions: List[Tuple[OperatingPoint, OperatingPoint, float]] = []
+
+    # -- unit conversion ----------------------------------------------------
+    def mhz_of(self, point: OperatingPoint) -> float:
+        """Nominal MHz of an operating point."""
+        return point.frequency * self.max_mhz
+
+    def point_for_mhz(self, mhz: float) -> OperatingPoint:
+        """The operating point for a PLL frequency in MHz."""
+        relative = mhz / self.max_mhz
+        for point in self.machine:
+            if abs(point.frequency - relative) <= 1e-6:
+                return point
+        available = [round(self.mhz_of(p)) for p in self.machine]
+        raise PowerNowError(
+            f"{mhz} MHz is not a PLL step; available: {available}")
+
+    # -- register-level interface --------------------------------------------
+    @property
+    def current_point(self) -> OperatingPoint:
+        return self._current
+
+    @property
+    def current_mhz(self) -> float:
+        return self.mhz_of(self._current)
+
+    @property
+    def current_voltage(self) -> float:
+        return self._current.voltage
+
+    def set_frequency(self, mhz: float) -> float:
+        """Program the PLL to ``mhz``; returns the halt duration (ms).
+
+        The voltage follows the board's frequency-to-voltage mapping
+        automatically, as on the prototype.
+        """
+        target = self.point_for_mhz(mhz)
+        return self._transition(target)
+
+    def set_point(self, point: OperatingPoint) -> float:
+        """Program an operating point directly; returns the halt (ms)."""
+        if point not in self.machine.points:
+            raise PowerNowError(
+                f"{point} is not an operating point of {self.machine.name}")
+        return self._transition(point)
+
+    def _transition(self, target: OperatingPoint) -> float:
+        halt = self.switching_model().switch_time(self._current, target)
+        if target != self._current:
+            self._transitions.append((self._current, target, halt))
+        self._current = target
+        return halt
+
+    @property
+    def transition_count(self) -> int:
+        return len(self._transitions)
+
+    @property
+    def total_halt_time(self) -> float:
+        """Total time spent halted in transitions so far (ms)."""
+        return sum(halt for _, _, halt in self._transitions)
+
+    def tsc_cycles_for_transition(self, target_mhz: float,
+                                  halt_units: int = 1) -> float:
+        """Cycles the time-stamp counter advances during a transition.
+
+        The paper observed that the TSC "continues to increment during
+        the halt duration": "around 8200 cycles occur during any
+        transition to 200 MHz, and around 22500 cycles for a transition
+        to 550 MHz, both with the minimum interval of 41 us" — i.e. the
+        clock reaches the *target* frequency almost immediately and ticks
+        there for the rest of the stop interval.  This method reproduces
+        that measurement: 41 us × 200 MHz = 8200, 41 us × 550 MHz =
+        22550 ≈ the paper's "around 22500".
+        """
+        self.point_for_mhz(target_mhz)  # validate it is a PLL step
+        halt_ms = halt_units * STOP_INTERVAL_UNIT_MS
+        return halt_ms * 1e-3 * target_mhz * 1e6
+
+    # -- integration with the simulator ---------------------------------------
+    def switching_model(self) -> SwitchingModel:
+        """The engine-facing overhead model implied by the stop interval."""
+        return SwitchingModel(
+            frequency_switch_time=STOP_INTERVAL_UNIT_MS,
+            voltage_switch_time=self.voltage_halt_units
+            * STOP_INTERVAL_UNIT_MS)
+
+    # -- procfs text interface --------------------------------------------------
+    def status_text(self) -> str:
+        """Status as shown by ``cat /proc/powernow`` on the prototype."""
+        lines = [
+            "PowerNow! status",
+            f"  cpu: {self.current_mhz:.0f} MHz @ {self.current_voltage:.1f} V",
+            f"  stop interval: {self.voltage_halt_units} x 41us",
+            f"  transitions: {self.transition_count} "
+            f"(halted {self.total_halt_time:.3f} ms total)",
+            "  available:",
+        ]
+        for point in self.machine:
+            marker = "*" if point == self._current else " "
+            lines.append(f"   {marker} {self.mhz_of(point):6.0f} MHz @ "
+                         f"{point.voltage:.1f} V")
+        return "\n".join(lines)
+
+    def handle_write(self, text: str) -> None:
+        """``echo <mhz> > /proc/powernow`` — manual frequency control
+        ("deal with operating frequency and voltage through simple Unix
+        shell commands", Sec. 4.2)."""
+        try:
+            mhz = float(text.strip())
+        except ValueError:
+            raise PowerNowError(
+                f"powernow write expects a frequency in MHz, got {text!r}"
+            ) from None
+        self.set_frequency(mhz)

@@ -1,0 +1,98 @@
+"""An in-memory ``/proc`` filesystem emulation.
+
+The prototype exposes its kernel modules "to user-level programs through
+the Linux /procfs filesystem.  Tasks can use ordinary file read and write
+mechanisms to interact with our modules" (Sec. 4.2) — handy enough that
+status could be read with ``cat``.  This class reproduces that interface:
+modules register files with read/write callbacks, user code reads and
+writes text.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import KernelError
+
+ReadFn = Callable[[], str]
+WriteFn = Callable[[str], None]
+
+
+class ProcFS:
+    """A tree of virtual text files backed by callbacks.
+
+    Paths are ``/``-separated, absolute by convention (a leading ``/proc``
+    prefix is accepted and stripped).
+    """
+
+    def __init__(self):
+        self._reads: Dict[str, ReadFn] = {}
+        self._writes: Dict[str, WriteFn] = {}
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        path = path.strip()
+        if path.startswith("/proc/"):
+            path = path[len("/proc"):]
+        if not path.startswith("/"):
+            path = "/" + path
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") or "/"
+
+    def register(self, path: str, read: Optional[ReadFn] = None,
+                 write: Optional[WriteFn] = None) -> None:
+        """Expose a virtual file; at least one of read/write is required."""
+        if read is None and write is None:
+            raise KernelError(f"file {path!r} needs a read or write handler")
+        key = self._normalize(path)
+        if key in self._reads or key in self._writes:
+            raise KernelError(f"procfs path {key!r} already registered")
+        if read is not None:
+            self._reads[key] = read
+        if write is not None:
+            self._writes[key] = write
+
+    def unregister(self, path: str) -> None:
+        """Remove a virtual file (module unload)."""
+        key = self._normalize(path)
+        found = False
+        if key in self._reads:
+            del self._reads[key]
+            found = True
+        if key in self._writes:
+            del self._writes[key]
+            found = True
+        if not found:
+            raise KernelError(f"procfs path {key!r} not registered")
+
+    def read(self, path: str) -> str:
+        """``cat`` a virtual file."""
+        key = self._normalize(path)
+        handler = self._reads.get(key)
+        if handler is None:
+            raise KernelError(f"cannot read procfs path {key!r}")
+        return handler()
+
+    def write(self, path: str, text: str) -> None:
+        """``echo text >`` a virtual file."""
+        key = self._normalize(path)
+        handler = self._writes.get(key)
+        if handler is None:
+            raise KernelError(f"cannot write procfs path {key!r}")
+        handler(text)
+
+    def listdir(self, prefix: str = "/") -> List[str]:
+        """All registered paths under ``prefix``."""
+        prefix = self._normalize(prefix)
+        if prefix != "/":
+            prefix += "/"
+        paths = set(self._reads) | set(self._writes)
+        if prefix == "/":
+            return sorted(paths)
+        return sorted(p for p in paths if p.startswith(prefix))
+
+    def exists(self, path: str) -> bool:
+        """Whether a virtual file is registered at ``path``."""
+        key = self._normalize(path)
+        return key in self._reads or key in self._writes

@@ -1,0 +1,147 @@
+"""User-level periodic real-time tasks, prototype style.
+
+On the prototype, "a task can write its required period and maximum
+computing bound to our module, and it will be made into a periodic
+real-time task that will be released periodically ... The task also uses
+writes to indicate the completion of each invocation" (Sec. 4.2).
+
+:class:`PeriodicRTTask` is that user-level object.  Instead of running real
+code, each invocation's computational behaviour is given by a *workload*: a
+fraction of the worst case, a callable ``invocation -> cycles``, or a
+:class:`~repro.model.demand.DemandModel`.  The kernel turns registered
+tasks into the simulator's :class:`~repro.model.task.Task` objects and a
+combined demand model, and fills in per-task statistics after each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Union
+
+from repro.errors import KernelError
+from repro.model.demand import DemandModel
+from repro.model.task import Task
+
+Workload = Union[float, Callable[[int], float], DemandModel, None]
+
+
+@dataclass
+class TaskStats:
+    """Per-task statistics accumulated across kernel phases."""
+
+    invocations: int = 0
+    completions: int = 0
+    misses: int = 0
+    cycles: float = 0.0
+
+    def as_text(self) -> str:
+        return (f"invocations={self.invocations} "
+                f"completions={self.completions} misses={self.misses} "
+                f"cycles={self.cycles:g}")
+
+
+class PeriodicRTTask:
+    """A registered periodic RT task plus its workload behaviour.
+
+    Parameters
+    ----------
+    name:
+        Unique task name (the prototype keys tasks by open file handle; we
+        use names).
+    period, wcet:
+        The classic parameters, in milliseconds / cycles.
+    workload:
+        How many cycles each invocation actually uses:
+
+        * ``None`` — always the worst case;
+        * a float ``c`` in (0, 1] — fixed fraction of the worst case;
+        * a callable ``invocation -> cycles`` — arbitrary behaviour
+          (cycles are clamped to the worst case unless the kernel runs
+          with ``enforce_wcet=False``);
+        * a :class:`~repro.model.demand.DemandModel`.
+    """
+
+    def __init__(self, name: str, period: float, wcet: float,
+                 workload: Workload = None):
+        self.task = Task(wcet=wcet, period=period, name=name)
+        self.workload = workload
+        self.stats = TaskStats()
+        self._invocation_offset = 0  # invocations completed in past phases
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def period(self) -> float:
+        return self.task.period
+
+    @property
+    def wcet(self) -> float:
+        return self.task.wcet
+
+    def demand_for(self, invocation: int) -> float:
+        """Actual cycles for a *global* invocation index (phases append)."""
+        workload = self.workload
+        if workload is None:
+            return self.task.wcet
+        if isinstance(workload, DemandModel):
+            return workload.demand(self.task, invocation)
+        if callable(workload):
+            value = workload(invocation)
+            if value < 0:
+                raise KernelError(
+                    f"task {self.name!r} workload returned negative cycles "
+                    f"({value}) for invocation {invocation}")
+            return value
+        fraction = float(workload)
+        if not 0.0 < fraction <= 1.0:
+            raise KernelError(
+                f"task {self.name!r} workload fraction must be in (0, 1], "
+                f"got {fraction}")
+        return self.task.wcet * fraction
+
+    def advance_phase(self, invocations: int) -> None:
+        """Shift the global invocation counter after a kernel phase."""
+        self._invocation_offset += invocations
+
+    @property
+    def invocation_offset(self) -> int:
+        return self._invocation_offset
+
+    @classmethod
+    def parse(cls, text: str) -> "PeriodicRTTask":
+        """Parse the procfs registration line: ``<name> <period> <wcet>``
+        with an optional trailing constant workload fraction."""
+        parts = text.split()
+        if len(parts) not in (3, 4):
+            raise KernelError(
+                "task registration expects '<name> <period> <wcet> "
+                f"[fraction]', got {text!r}")
+        name = parts[0]
+        try:
+            period = float(parts[1])
+            wcet = float(parts[2])
+            workload: Workload = float(parts[3]) if len(parts) == 4 else None
+        except ValueError:
+            raise KernelError(
+                f"malformed task registration {text!r}") from None
+        return cls(name=name, period=period, wcet=wcet, workload=workload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PeriodicRTTask({self.name!r}, period={self.period:g}, "
+                f"wcet={self.wcet:g})")
+
+
+class KernelDemand(DemandModel):
+    """Adapter: routes the engine's demand queries to registered tasks,
+    offsetting invocation indices so workloads see phase-global counters."""
+
+    def __init__(self, tasks: Dict[str, PeriodicRTTask]):
+        self._tasks = tasks
+
+    def demand(self, task: Task, invocation: int) -> float:
+        rt_task = self._tasks.get(task.name)
+        if rt_task is None:
+            raise KernelError(f"demand query for unknown task {task.name!r}")
+        return rt_task.demand_for(invocation + rt_task.invocation_offset)

@@ -1,0 +1,40 @@
+"""Power-measurement substrate (Sec. 4.3, Fig. 15, Table 1).
+
+The paper measures whole-system power on an HP N3350 laptop by removing the
+battery, clamping a current probe on the DC adapter, and averaging with a
+digital oscilloscope over 15-30 s windows.  We cannot ship a laptop, so
+this package provides the closest synthetic equivalent:
+
+* :class:`~repro.measure.laptop.LaptopPowerModel` — a component model of
+  the N3350 calibrated to Table 1 (board, display backlight, disk, CPU
+  subsystem);
+* :class:`~repro.measure.probe.PowerTrace` — instantaneous system power
+  reconstructed from a simulation's execution trace (the current-probe
+  signal);
+* :class:`~repro.measure.probe.DigitalOscilloscope` — sampling and
+  long-duration averaging of that signal.
+
+The CPU portion is exactly the simulator's V² energy model, so Fig. 16
+(measured) differs from Fig. 17 (simulated) by precisely the constant
+system overhead — which is the paper's own conclusion.
+"""
+
+from repro.measure.laptop import LaptopPowerModel, PowerState, table1_rows
+from repro.measure.probe import Acquisition, DigitalOscilloscope, PowerTrace
+from repro.measure.profile import EnergyProfiler, TaskEnergyProfile
+from repro.measure.thermal import (ThermalModel, ThermalTrajectory,
+                                   thermal_trajectory)
+
+__all__ = [
+    "EnergyProfiler",
+    "TaskEnergyProfile",
+    "ThermalModel",
+    "ThermalTrajectory",
+    "thermal_trajectory",
+    "LaptopPowerModel",
+    "PowerState",
+    "table1_rows",
+    "PowerTrace",
+    "DigitalOscilloscope",
+    "Acquisition",
+]

@@ -1,0 +1,149 @@
+"""Current-probe and oscilloscope emulation (Fig. 15).
+
+"The laptop battery is removed and the system is run using the external DC
+power adapter.  Using a special current probe, a digital oscilloscope is
+used to measure the power consumed by the laptop as the product of the
+current and voltage supplied ... our power measurements are averaged over
+15 to 30 second intervals."
+
+:class:`PowerTrace` reconstructs the instantaneous system-power signal from
+a simulation's execution trace (per-segment energy over duration, plus the
+constant platform overhead); :class:`DigitalOscilloscope` samples it and
+produces long-duration averages, including the transient view a multimeter
+would miss.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.measure.laptop import LaptopPowerModel
+from repro.sim.results import SimResult
+
+
+class PowerTrace:
+    """Instantaneous system power over a simulated run.
+
+    Parameters
+    ----------
+    result:
+        A simulation result that recorded an execution trace
+        (``record_trace=True``).
+    laptop:
+        Platform overhead model; ``None`` measures the CPU alone (the
+        simulator's own units).
+    screen_on, disk_spinning:
+        Platform state during the "measurement".
+    """
+
+    def __init__(self, result: SimResult,
+                 laptop: Optional[LaptopPowerModel] = None,
+                 screen_on: bool = False, disk_spinning: bool = False):
+        if result.trace is None:
+            raise SimulationError(
+                "PowerTrace needs a run with record_trace=True")
+        self.result = result
+        self.laptop = laptop
+        self.screen_on = screen_on
+        self.disk_spinning = disk_spinning
+        self._starts: List[float] = [s.start for s in result.trace]
+        self._segments = result.trace.segments
+
+    @property
+    def duration(self) -> float:
+        return self.result.duration
+
+    def cpu_power_at(self, time: float) -> float:
+        """CPU power at ``time`` (segment energy rate)."""
+        if not 0.0 <= time <= self.duration + 1e-9:
+            raise SimulationError(
+                f"time {time} outside the recorded run [0, {self.duration}]")
+        index = bisect.bisect_right(self._starts, time) - 1
+        if index < 0:
+            return 0.0
+        segment = self._segments[index]
+        if time > segment.end + 1e-9:
+            return 0.0  # trailing gap (e.g. zero-length tail)
+        if segment.duration <= 0:
+            return 0.0
+        return segment.energy / segment.duration
+
+    def power_at(self, time: float) -> float:
+        """System power at ``time`` (CPU plus platform overhead)."""
+        cpu = self.cpu_power_at(time)
+        if self.laptop is None:
+            return cpu
+        return self.laptop.system_power(cpu, screen_on=self.screen_on,
+                                        disk_spinning=self.disk_spinning)
+
+    def mean_power(self, start: float = 0.0,
+                   end: Optional[float] = None) -> float:
+        """Exact time-weighted mean power over ``[start, end]``."""
+        end = self.duration if end is None else end
+        if not 0.0 <= start < end <= self.duration + 1e-9:
+            raise SimulationError(
+                f"bad averaging window [{start}, {end}] for a run of "
+                f"duration {self.duration}")
+        energy = 0.0
+        for segment in self._segments:
+            lo = max(segment.start, start)
+            hi = min(segment.end, end)
+            if hi > lo and segment.duration > 0:
+                energy += segment.energy * (hi - lo) / segment.duration
+        cpu_mean = energy / (end - start)
+        if self.laptop is None:
+            return cpu_mean
+        return self.laptop.system_power(cpu_mean, screen_on=self.screen_on,
+                                        disk_spinning=self.disk_spinning)
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One oscilloscope acquisition: samples plus summary statistics."""
+
+    times: Tuple[float, ...]
+    watts: Tuple[float, ...]
+    mean: float
+    peak: float
+    trough: float
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class DigitalOscilloscope:
+    """Sampling front-end over a :class:`PowerTrace`.
+
+    The mean reported by :meth:`acquire` is the *exact* time-weighted
+    average ("true average power consumption over long intervals"), while
+    the sample list shows the transient behaviour a slow multimeter would
+    miss — the two capabilities the paper calls out.
+    """
+
+    def __init__(self, sample_interval: float = 0.1):
+        if sample_interval <= 0:
+            raise SimulationError(
+                f"sample_interval must be positive, got {sample_interval}")
+        self.sample_interval = sample_interval
+
+    def acquire(self, trace: PowerTrace, start: float = 0.0,
+                end: Optional[float] = None) -> Acquisition:
+        """Capture samples over ``[start, end]`` plus exact statistics."""
+        end = trace.duration if end is None else end
+        times: List[float] = []
+        watts: List[float] = []
+        t = start
+        while t <= end + 1e-9:
+            times.append(min(t, end))
+            watts.append(trace.power_at(min(t, end)))
+            t += self.sample_interval
+        return Acquisition(
+            times=tuple(times),
+            watts=tuple(watts),
+            mean=trace.mean_power(start, end),
+            peak=max(watts),
+            trough=min(watts),
+        )

@@ -1,0 +1,112 @@
+"""Per-task energy attribution — a PowerScope-style profiler.
+
+The paper's measurement methodology "is very similar to the one used in
+the PowerScope [6]" tool, whose whole point is attributing energy to
+program activity.  This module does that for simulated runs: walk the
+execution trace and charge every segment's energy to the task that ran
+(idle/switch energy to the system), then report totals, shares, and
+per-operating-point breakdowns.
+
+Useful for questions the aggregate numbers hide, e.g. "which task pays
+for the high-voltage catch-up periods under laEDF?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.hw.operating_point import OperatingPoint
+from repro.sim.results import SimResult
+
+IDLE_LABEL = "(idle)"
+SWITCH_LABEL = "(switch)"
+
+
+@dataclass
+class TaskEnergyProfile:
+    """Energy attribution for one task (or the idle/switch pseudo-tasks).
+
+    ``by_point`` maps each operating point to (cycles, energy) executed
+    there.
+    """
+
+    name: str
+    energy: float = 0.0
+    cycles: float = 0.0
+    busy_time: float = 0.0
+    by_point: Dict[OperatingPoint, Tuple[float, float]] = \
+        field(default_factory=dict)
+
+    def add(self, point: OperatingPoint, cycles: float, energy: float,
+            duration: float) -> None:
+        self.energy += energy
+        self.cycles += cycles
+        self.busy_time += duration
+        old_cycles, old_energy = self.by_point.get(point, (0.0, 0.0))
+        self.by_point[point] = (old_cycles + cycles, old_energy + energy)
+
+    @property
+    def mean_energy_per_cycle(self) -> float:
+        """Average V² actually paid per cycle (reveals which tasks ran at
+        high voltage)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.energy / self.cycles
+
+
+class EnergyProfiler:
+    """Attribute a recorded run's energy to its tasks."""
+
+    def __init__(self, result: SimResult):
+        if result.trace is None:
+            raise SimulationError(
+                "energy profiling needs a run with record_trace=True")
+        self.result = result
+        self._profiles: Dict[str, TaskEnergyProfile] = {}
+        for segment in result.trace:
+            label = segment.task if segment.task else (
+                SWITCH_LABEL if segment.kind == "switch" else IDLE_LABEL)
+            profile = self._profiles.setdefault(
+                label, TaskEnergyProfile(name=label))
+            profile.add(segment.point, segment.cycles, segment.energy,
+                        segment.duration)
+
+    def profile(self, task_name: str) -> TaskEnergyProfile:
+        """The profile of one task (KeyError if it never ran)."""
+        return self._profiles[task_name]
+
+    def profiles(self) -> List[TaskEnergyProfile]:
+        """All profiles, tasks first (by energy), system entries last."""
+        tasks = [p for name, p in self._profiles.items()
+                 if name not in (IDLE_LABEL, SWITCH_LABEL)]
+        system = [p for name, p in self._profiles.items()
+                  if name in (IDLE_LABEL, SWITCH_LABEL)]
+        tasks.sort(key=lambda p: -p.energy)
+        return tasks + system
+
+    @property
+    def total_energy(self) -> float:
+        return sum(p.energy for p in self._profiles.values())
+
+    def share(self, task_name: str) -> float:
+        """Fraction of the run's energy attributed to ``task_name``."""
+        total = self.total_energy
+        if total <= 0:
+            return 0.0
+        return self._profiles[task_name].energy / total
+
+    def table(self) -> str:
+        """A Markdown table of the attribution."""
+        lines = ["| task | energy | share | cycles | mean V²/cycle |",
+                 "|---|---|---|---|---|"]
+        total = self.total_energy
+        for profile in self.profiles():
+            share = profile.energy / total if total > 0 else 0.0
+            per_cycle = (f"{profile.mean_energy_per_cycle:.2f}"
+                         if profile.cycles > 0 else "—")
+            lines.append(
+                f"| {profile.name} | {profile.energy:.1f} | {share:.1%} | "
+                f"{profile.cycles:.1f} | {per_cycle} |")
+        return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Task model: periodic tasks, jobs, demand models, generators, tests.
+
+This subpackage implements the classic periodic real-time task model used by
+the paper (Sec. 2.2): each task ``T_i`` has a period ``P_i`` and a worst-case
+computation time ``C_i`` expressed at the maximum processor frequency, with
+deadline equal to the end of the period.
+"""
+
+from repro.model.task import Task, TaskSet
+from repro.model.job import Job, JobOutcome
+from repro.model.demand import (
+    DemandModel,
+    WorstCaseDemand,
+    ConstantFractionDemand,
+    UniformFractionDemand,
+    TraceDemand,
+    demand_from_spec,
+)
+from repro.model.generator import TaskSetGenerator, PeriodBand, DEFAULT_BANDS
+from repro.model.schedulability import (
+    edf_schedulable,
+    rm_liu_layland_bound,
+    rm_liu_layland_schedulable,
+    rm_exact_schedulable,
+    rm_scheduling_points,
+    response_time_analysis,
+)
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "Job",
+    "JobOutcome",
+    "DemandModel",
+    "WorstCaseDemand",
+    "ConstantFractionDemand",
+    "UniformFractionDemand",
+    "TraceDemand",
+    "demand_from_spec",
+    "TaskSetGenerator",
+    "PeriodBand",
+    "DEFAULT_BANDS",
+    "edf_schedulable",
+    "rm_liu_layland_bound",
+    "rm_liu_layland_schedulable",
+    "rm_exact_schedulable",
+    "rm_scheduling_points",
+    "response_time_analysis",
+]

@@ -1,0 +1,215 @@
+"""Per-invocation computation-demand models.
+
+The paper's simulator (Sec. 3.1) parameterizes "the actual fraction of the
+worst-case execution cycles that the tasks will require for each invocation"
+as either a constant (e.g. ``c = 0.9``) or a random function (e.g. a
+uniformly-distributed multiplier per invocation).  This module provides those
+two models plus a worst-case model and a trace-driven model used to replay
+the paper's worked example (Table 3).
+
+All models are deterministic given their seed, so experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence, Union
+
+from repro.errors import TaskModelError
+from repro.model.task import Task
+
+
+class DemandModel(ABC):
+    """Maps (task, invocation index) to the actual cycles that invocation
+    will consume.  Results must never exceed the task's worst case (the
+    paper's guarantee condition C2)."""
+
+    @abstractmethod
+    def demand(self, task: Task, invocation: int) -> float:
+        """Actual cycles required by invocation ``invocation`` of ``task``."""
+
+    def reset(self) -> None:
+        """Restore the model to its initial state (re-seed randomness)."""
+
+    @property
+    def mean_fraction(self) -> Optional[float]:
+        """Expected demand as a fraction of the worst case, if known.
+
+        Used by analysis helpers; ``None`` when the model cannot say
+        (e.g. trace-driven demand).
+        """
+        return None
+
+
+class WorstCaseDemand(DemandModel):
+    """Every invocation consumes exactly the worst case (``c = 1``)."""
+
+    def demand(self, task: Task, invocation: int) -> float:
+        return task.wcet
+
+    @property
+    def mean_fraction(self) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WorstCaseDemand()"
+
+
+class ConstantFractionDemand(DemandModel):
+    """Every invocation consumes a fixed fraction ``c`` of the worst case.
+
+    The paper evaluates ``c`` in {0.9, 0.7, 0.5} (Fig. 12).
+    """
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction <= 1.0:
+            raise TaskModelError(
+                f"demand fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def demand(self, task: Task, invocation: int) -> float:
+        return task.wcet * self.fraction
+
+    @property
+    def mean_fraction(self) -> float:
+        return self.fraction
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantFractionDemand({self.fraction})"
+
+
+class UniformFractionDemand(DemandModel):
+    """Each invocation independently draws a uniform fraction of the worst
+    case in ``[low, high]`` (paper's Fig. 13 uses ``[0, 1]``).
+
+    Draws are memoized per (task name, invocation), so repeated queries for
+    the same invocation — e.g. from a policy and the engine — agree, and two
+    simulations over the same model instance see identical demands until
+    :meth:`reset` is called.
+    """
+
+    def __init__(self, low: float = 0.0, high: float = 1.0,
+                 seed: Optional[int] = 0):
+        if not (0.0 <= low <= high <= 1.0):
+            raise TaskModelError(
+                f"uniform demand bounds must satisfy 0 <= low <= high <= 1, "
+                f"got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._memo: Dict[tuple, float] = {}
+
+    def demand(self, task: Task, invocation: int) -> float:
+        key = (task.name, invocation)
+        if key not in self._memo:
+            fraction = self._rng.uniform(self.low, self.high)
+            self._memo[key] = task.wcet * fraction
+        return self._memo[key]
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._memo.clear()
+
+    @property
+    def mean_fraction(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"UniformFractionDemand(low={self.low}, high={self.high}, "
+                f"seed={self.seed})")
+
+
+class TraceDemand(DemandModel):
+    """Replay explicit per-invocation demands, as in the paper's Table 3.
+
+    Parameters
+    ----------
+    trace:
+        Maps task name to the list of actual computation times for its
+        successive invocations.
+    repeat:
+        If True (default), the list wraps around for later invocations;
+        otherwise invocations past the end of the list use the fallback.
+    fallback_fraction:
+        Fraction of the worst case used when a task or invocation is not
+        covered by the trace and ``repeat`` is False.
+    """
+
+    def __init__(self, trace: Dict[str, Sequence[float]], repeat: bool = True,
+                 fallback_fraction: float = 1.0):
+        if not 0.0 < fallback_fraction <= 1.0:
+            raise TaskModelError(
+                f"fallback fraction must be in (0, 1], got {fallback_fraction}")
+        self.trace = {name: list(values) for name, values in trace.items()}
+        for name, values in self.trace.items():
+            if not values:
+                raise TaskModelError(
+                    f"trace for task {name!r} must not be empty")
+            for value in values:
+                if value < 0:
+                    raise TaskModelError(
+                        f"trace demand for {name!r} must be >= 0, got {value}")
+        self.repeat = repeat
+        self.fallback_fraction = fallback_fraction
+
+    def demand(self, task: Task, invocation: int) -> float:
+        values = self.trace.get(task.name)
+        if values is None:
+            return task.wcet * self.fallback_fraction
+        if invocation < len(values):
+            return values[invocation]
+        if self.repeat:
+            return values[invocation % len(values)]
+        return task.wcet * self.fallback_fraction
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceDemand({self.trace!r}, repeat={self.repeat})"
+
+
+def demand_from_spec(spec: Union[str, float, DemandModel],
+                     seed: Optional[int] = 0) -> DemandModel:
+    """Build a demand model from a compact specification.
+
+    Accepted forms:
+
+    * an existing :class:`DemandModel` (returned unchanged);
+    * a float ``c`` in (0, 1] — :class:`ConstantFractionDemand` (``1.0``
+      yields :class:`WorstCaseDemand`);
+    * the string ``"worst"`` or ``"wcet"`` — :class:`WorstCaseDemand`;
+    * the string ``"uniform"`` — :class:`UniformFractionDemand` on [0, 1].
+
+    This mirrors the paper's simulator input: "a constant (e.g., 0.9 ...) or
+    ... a uniformly-distributed random multiplier for each invocation".
+    """
+    if isinstance(spec, DemandModel):
+        return spec
+    if isinstance(spec, str):
+        lowered = spec.strip().lower()
+        if lowered in ("worst", "wcet", "worst-case"):
+            return WorstCaseDemand()
+        if lowered == "uniform":
+            return UniformFractionDemand(seed=seed)
+        raise TaskModelError(f"unknown demand spec {spec!r}")
+    try:
+        fraction = float(spec)
+    except (TypeError, ValueError):
+        raise TaskModelError(f"unknown demand spec {spec!r}") from None
+    if fraction == 1.0:
+        return WorstCaseDemand()
+    return ConstantFractionDemand(fraction)
+
+
+def paper_example_trace() -> TraceDemand:
+    """Actual computation requirements of the worked example (Table 3).
+
+    Invocation 1 uses (2, 1, 1) ms for (T1, T2, T3); invocation 2 uses
+    (1, 1, 1) ms.  Later invocations repeat the pattern.
+    """
+    return TraceDemand({
+        "T1": [2.0, 1.0],
+        "T2": [1.0, 1.0],
+        "T3": [1.0, 1.0],
+    })

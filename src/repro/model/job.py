@@ -1,0 +1,98 @@
+"""Jobs: single invocations of a periodic task.
+
+A :class:`Job` is created by the simulator each time a task is released.  It
+records the release time, absolute deadline, the *actual* cycle demand of
+this invocation (drawn from the task set's demand model), and what happened
+to it (completion time, cycles executed, whether the deadline was met).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TaskModelError
+from repro.model.task import Task
+
+
+class JobOutcome(enum.Enum):
+    """Terminal status of a job at the end of a simulation."""
+
+    COMPLETED = "completed"          #: finished all its cycles by its deadline
+    MISSED = "missed"                #: finished or still running past deadline
+    UNFINISHED = "unfinished"        #: simulation ended before its deadline
+
+
+@dataclass
+class Job:
+    """One invocation of a periodic task.
+
+    Attributes
+    ----------
+    task:
+        The task this job belongs to.
+    release_time:
+        Absolute time at which the job became ready.
+    demand:
+        Actual cycles this invocation needs (``≤ task.wcet``).
+    index:
+        Zero-based invocation number of this task.
+    executed:
+        Cycles executed so far (maintained by the simulator).
+    completion_time:
+        Set when the job finishes.
+    """
+
+    task: Task
+    release_time: float
+    demand: float
+    index: int
+    executed: float = 0.0
+    completion_time: Optional[float] = None
+
+    def __post_init__(self):
+        if self.demand < 0:
+            raise TaskModelError(
+                f"job demand must be non-negative, got {self.demand}")
+        # Note: demand may exceed task.wcet when the simulator is run with
+        # enforce_wcet=False (cold-start overrun emulation, Sec. 4.3); by
+        # default the engine clamps demand to the worst case (condition C2).
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Deadline = release time + period (deadline equals period)."""
+        return self.release_time + self.task.period
+
+    @property
+    def remaining(self) -> float:
+        """Actual cycles still to execute."""
+        return max(0.0, self.demand - self.executed)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether all the demanded cycles have been executed."""
+        return self.completion_time is not None
+
+    @property
+    def worst_case_remaining(self) -> float:
+        """Cycles left against the *worst-case* budget (``c_left`` in the
+        paper's pseudo-code): ``C_i`` minus the cycles executed so far, zero
+        after completion."""
+        if self.is_complete:
+            return 0.0
+        return max(0.0, self.task.wcet - self.executed)
+
+    def outcome(self, now: float) -> JobOutcome:
+        """Classify this job at simulation time ``now``."""
+        if self.is_complete:
+            if self.completion_time <= self.absolute_deadline + 1e-9:
+                return JobOutcome.COMPLETED
+            return JobOutcome.MISSED
+        if now >= self.absolute_deadline - 1e-9:
+            return JobOutcome.MISSED
+        return JobOutcome.UNFINISHED
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Job({self.task.name}#{self.index} r={self.release_time:g} "
+                f"d={self.absolute_deadline:g} demand={self.demand:g})")

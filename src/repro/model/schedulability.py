@@ -1,0 +1,201 @@
+"""Schedulability tests for EDF and RM, with frequency scaling.
+
+These are the tests the paper's static voltage-scaling algorithm (Fig. 1)
+evaluates at each candidate operating frequency.  Scaling the operating
+frequency by a factor ``alpha`` (0 < alpha <= 1, relative to the maximum)
+multiplies every worst-case computation time by ``1/alpha``; equivalently,
+the right-hand side of each test is multiplied by ``alpha``.
+
+Three tests are provided:
+
+* :func:`edf_schedulable` — the necessary and sufficient EDF utilization
+  test ``ΣC_i/P_i <= alpha`` [Liu & Layland 1973].
+* :func:`rm_liu_layland_schedulable` — the sufficient (not necessary)
+  utilization bound ``ΣU_i <= alpha * n(2^{1/n} - 1)``.
+* :func:`rm_exact_schedulable` — the exact scheduling-point test of
+  Lehoczky, Sha & Ding (1989): task ``T_i`` is schedulable iff the
+  cumulative demand of ``T_i`` and all higher-priority tasks fits before
+  some scheduling point ``t <= P_i``.
+
+The paper's Figure 1 presents the scheduling-point style test; its example
+(Table 2, Fig. 2: "Static RM fails at 0.75") is reproduced by both RM tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import TaskModelError
+from repro.model.task import Task
+
+#: Relative tolerance for the "<=" comparisons, so that utilization sums that
+#: are exactly equal to the bound (up to floating-point noise) pass, matching
+#: the paper's use of exact arithmetic in the examples (e.g. U = 0.746 at
+#: alpha = 0.75).
+_EPS = 1e-9
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha <= 1.0 + _EPS:
+        raise TaskModelError(
+            f"frequency scaling factor must be in (0, 1], got {alpha}")
+
+
+def edf_schedulable(tasks: Iterable[Task], alpha: float = 1.0) -> bool:
+    """EDF test at relative frequency ``alpha``: ``ΣC_i/P_i <= alpha``.
+
+    Necessary and sufficient for the periodic, deadline-equals-period,
+    preemptive, independent-task model.
+    """
+    _check_alpha(alpha)
+    total = sum(t.utilization for t in tasks)
+    return total <= alpha + _EPS
+
+
+def rm_liu_layland_bound(n: int) -> float:
+    """The Liu & Layland utilization bound ``n(2^{1/n} - 1)`` for n tasks."""
+    if n <= 0:
+        raise TaskModelError(f"task count must be positive, got {n}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def rm_liu_layland_schedulable(tasks: Iterable[Task],
+                               alpha: float = 1.0) -> bool:
+    """Sufficient RM test at relative frequency ``alpha``.
+
+    ``ΣU_i <= alpha * n(2^{1/n} - 1)``.  Conservative: may reject task sets
+    that the exact test accepts.
+    """
+    _check_alpha(alpha)
+    tasks = list(tasks)
+    total = sum(t.utilization for t in tasks)
+    return total <= alpha * rm_liu_layland_bound(len(tasks)) + _EPS
+
+
+def rm_scheduling_points(tasks: Sequence[Task], i: int) -> List[float]:
+    """Scheduling points for task ``tasks[i]`` (tasks sorted by period).
+
+    The points are every multiple of every period of priority >= tasks[i]
+    (shorter or equal period) that is <= tasks[i].period, plus tasks[i]'s
+    own period.  Demand only needs to be checked at these points [Lehoczky,
+    Sha & Ding 1989].
+    """
+    if not 0 <= i < len(tasks):
+        raise TaskModelError(f"task index {i} out of range")
+    horizon = tasks[i].period
+    points = set()
+    for j in range(i + 1):
+        period = tasks[j].period
+        k = 1
+        while k * period <= horizon + _EPS:
+            points.add(k * period)
+            k += 1
+    points.add(horizon)
+    return sorted(points)
+
+
+def rm_exact_schedulable(tasks: Iterable[Task], alpha: float = 1.0) -> bool:
+    """Exact (necessary and sufficient) RM test at relative frequency
+    ``alpha`` via the scheduling-point criterion.
+
+    Task ``T_i`` (in period order) is schedulable iff there exists a
+    scheduling point ``t <= P_i`` with ``Σ_{j<=i} ceil(t/P_j) * C_j <=
+    alpha * t``.  The whole set is schedulable iff every task is.
+
+    For the paper's example set {(3,8), (3,10), (1,14)} this fails at
+    ``alpha = 0.75`` and passes at ``alpha = 1.0``, matching Fig. 2.
+    """
+    _check_alpha(alpha)
+    ordered = sorted(tasks, key=lambda t: t.period)
+    if not ordered:
+        raise TaskModelError("cannot test an empty task set")
+    for i in range(len(ordered)):
+        if not _rm_task_feasible(ordered, i, alpha):
+            return False
+    return True
+
+
+def _rm_task_feasible(ordered: Sequence[Task], i: int, alpha: float) -> bool:
+    """Exact feasibility of ``ordered[i]`` under RM at frequency ``alpha``."""
+    for point in rm_scheduling_points(ordered, i):
+        demand = 0.0
+        for j in range(i + 1):
+            demand += math.ceil(point / ordered[j].period - _EPS) \
+                * ordered[j].wcet
+        if demand <= alpha * point + _EPS:
+            return True
+    return False
+
+
+def response_time_analysis(tasks: Iterable[Task], alpha: float = 1.0,
+                           max_iterations: int = 10_000
+                           ) -> Optional[List[float]]:
+    """Worst-case response times under RM at relative frequency ``alpha``.
+
+    Uses the standard fixed-point iteration
+    ``R = C_i/alpha + Σ_{j higher prio} ceil(R/P_j) * C_j/alpha``.
+
+    Returns the response times in the order of the *input* iterable, or
+    ``None`` if any task's response time exceeds its period (unschedulable).
+    This complements :func:`rm_exact_schedulable` and is used by tests as an
+    independent oracle.
+    """
+    _check_alpha(alpha)
+    original = list(tasks)
+    ordered = sorted(range(len(original)), key=lambda k: original[k].period)
+    responses: List[Optional[float]] = [None] * len(original)
+    higher: List[Task] = []
+    for rank, k in enumerate(ordered):
+        task = original[k]
+        scaled_c = task.wcet / alpha
+        response = scaled_c
+        for _ in range(max_iterations):
+            demand = scaled_c + sum(
+                math.ceil(response / h.period - _EPS) * (h.wcet / alpha)
+                for h in higher)
+            if demand > task.period + _EPS:
+                return None
+            if abs(demand - response) <= _EPS * max(1.0, demand):
+                response = demand
+                break
+            response = demand
+        else:  # pragma: no cover - defensive; iteration always converges
+            raise TaskModelError("response-time iteration did not converge")
+        responses[k] = response
+        higher.append(task)
+    return [r for r in responses]  # type: ignore[misc]
+
+
+def min_edf_frequency(tasks: Iterable[Task]) -> float:
+    """Smallest continuous relative frequency keeping the set EDF-schedulable
+    (= total worst-case utilization)."""
+    return sum(t.utilization for t in tasks)
+
+
+def min_rm_frequency(tasks: Iterable[Task], exact: bool = True,
+                     tolerance: float = 1e-6) -> float:
+    """Smallest continuous relative frequency keeping the set RM-schedulable.
+
+    Found by bisection over ``alpha`` (both RM tests are monotone in
+    ``alpha``).  ``exact`` selects the scheduling-point test; otherwise the
+    Liu-Layland bound is inverted in closed form.
+    """
+    tasks = list(tasks)
+    if not exact:
+        return min(1.0, sum(t.utilization for t in tasks)
+                   / rm_liu_layland_bound(len(tasks)))
+    if not rm_exact_schedulable(tasks, 1.0):
+        raise TaskModelError(
+            "task set is not RM-schedulable even at full frequency")
+    lo = sum(t.utilization for t in tasks)  # necessary condition: alpha >= U
+    hi = 1.0
+    if rm_exact_schedulable(tasks, lo):
+        return lo
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if rm_exact_schedulable(tasks, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,593 @@
+"""The discrete-event simulation engine.
+
+Model (matching the paper's simulator, Sec. 3.1):
+
+* one preemptive processor with a discrete table of operating points;
+* task execution reduces to counting cycles — running at relative frequency
+  ``f`` executes ``f`` cycles per time unit;
+* preemption and task-switch overheads are ignored (the paper argues they
+  are identical with and without DVS); operating-point switch halts are
+  optional via :class:`~repro.hw.regulator.SwitchingModel`;
+* energy: each executed cycle costs V² at the current point, each halted
+  cycle costs ``idle_level`` × V².
+
+The engine exposes the :class:`SchedulerView` protocol to DVS policies: the
+per-task state the paper's pseudo-code reads (current deadlines, worst-case
+remaining cycles ``c_left``, executed cycles, the earliest deadline in the
+system, ...).  Policies react to *release* and *completion* events — exactly
+the two hook points of Figs. 4, 6 and 8 — by returning a new operating
+point.
+
+Dynamic task addition (Sec. 4.3) is supported through scheduled
+:class:`Admission` records: at the admission time the task joins the task
+set (so DVS decisions immediately account for it), and its first release
+happens either immediately or — with ``defer=True`` — once the current
+invocations of all existing tasks have completed, the paper's recipe for
+avoiding transient misses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import DeadlineMissError, SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import Machine
+from repro.hw.operating_point import OperatingPoint
+from repro.hw.regulator import SwitchingModel
+from repro.model.demand import DemandModel, WorstCaseDemand, demand_from_spec
+from repro.model.job import Job
+from repro.model.task import Task, TaskSet
+from repro.sim.results import DeadlineMiss, EnergyBreakdown, SimResult
+from repro.sim.scheduler import PriorityPolicy, make_priority
+from repro.sim.trace import ExecutionTrace, Segment
+
+_EPS = 1e-9
+
+#: What to do when a deadline miss is detected.
+MISS_MODES = ("raise", "drop", "continue")
+
+
+@dataclass(frozen=True)
+class Admission:
+    """A task scheduled to join the system mid-run.
+
+    Parameters
+    ----------
+    time:
+        Simulated time at which the task is admitted (joins the task set).
+    task:
+        The task to add.
+    defer:
+        When True, the first release waits until every current invocation
+        of the pre-existing tasks has completed (the paper's transient-miss
+        avoidance); when False the task releases at the admission time.
+    """
+
+    time: float
+    task: Task
+    defer: bool = True
+
+
+@dataclass
+class _TaskState:
+    """Mutable per-task bookkeeping."""
+
+    task: Task
+    next_release: float  # math.inf while a deferred admission is pending
+    invocation: int = 0
+    job: Optional[Job] = None  # most recently released job
+    pending_defer: bool = False
+    # Jobs that were in flight when this task was admitted with defer=True;
+    # the first release waits until every one of them has completed (the
+    # paper's transient-miss avoidance, Sec. 4.3).
+    defer_blockers: List[Job] = None  # type: ignore[assignment]
+
+
+class SchedulerView:
+    """Read-only protocol that DVS policies use to inspect the system.
+
+    :class:`Simulator` implements this protocol directly.  The methods map
+    one-to-one onto the quantities in the paper's pseudo-code:
+
+    * :meth:`worst_case_remaining` — ``c_left_i``;
+    * :meth:`current_deadline` — ``D_i`` (deadline of the current
+      invocation, which persists until the next release even after the job
+      completes);
+    * :meth:`earliest_deadline` — "the next deadline in the system";
+    * :meth:`executed_in_invocation` — cycles the current invocation has
+      executed so far (lets ccRM maintain its ``d_i`` counters).
+
+    An admitted-but-not-yet-released task has no job: ``job_of`` returns
+    ``None`` and ``current_deadline`` ``None``.  Policies treat such tasks
+    conservatively (they reserve the full worst-case utilization but have
+    no current-invocation work).
+    """
+
+    time: float
+    taskset: TaskSet
+    machine: Machine
+
+    def job_of(self, task: Task) -> Optional[Job]:
+        raise NotImplementedError
+
+    def current_deadline(self, task: Task) -> Optional[float]:
+        raise NotImplementedError
+
+    def earliest_deadline(self) -> Optional[float]:
+        raise NotImplementedError
+
+    def worst_case_remaining(self, task: Task) -> float:
+        raise NotImplementedError
+
+    def executed_in_invocation(self, task: Task) -> float:
+        raise NotImplementedError
+
+    def invocation_of(self, task: Task) -> int:
+        raise NotImplementedError
+
+
+class Simulator(SchedulerView):
+    """Simulate one task set under one DVS policy.
+
+    Parameters
+    ----------
+    taskset:
+        The periodic tasks to run; all tasks release at time 0 (phase 0).
+    machine:
+        Operating-point table.
+    policy:
+        A DVS policy (see :mod:`repro.core`).  Its ``scheduler`` attribute
+        ("edf" or "rm") selects the priority policy unless ``scheduler`` is
+        given explicitly.
+    demand:
+        Per-invocation actual computation model; a float, string, or
+        :class:`~repro.model.demand.DemandModel` (see
+        :func:`~repro.model.demand.demand_from_spec`).  Defaults to the
+        worst case.
+    duration:
+        Simulated time span; defaults to ``2 ×`` the largest period so
+        every task runs at least twice.
+    energy_model:
+        Idle-level and unit scaling; defaults to a perfect halt
+        (``idle_level = 0``).
+    switching:
+        Operating-point switch-overhead model; defaults to free switching
+        (the paper's simulation assumption).
+    on_miss:
+        ``"raise"`` (default) aborts with :class:`DeadlineMissError`;
+        ``"drop"`` abandons the late job's remaining work; ``"continue"``
+        lets the late job keep executing alongside its successor.  RT-DVS
+        policies never miss on schedulable sets, so the default is safe for
+        all the paper's experiments.
+    record_trace:
+        When True, keep a full :class:`~repro.sim.trace.ExecutionTrace`
+        (costs memory; off by default for large sweeps).
+    admissions:
+        Tasks to add dynamically during the run (see :class:`Admission`).
+    enforce_wcet:
+        When True (default), per-invocation demands are clamped to the
+        task's worst case — the paper's guarantee condition C2.  Setting it
+        False lets demands overrun the bound, emulating the prototype's
+        cold-start overruns (Sec. 4.3); deadline guarantees then no longer
+        hold.
+    """
+
+    def __init__(self, taskset: TaskSet, machine: Machine, policy,
+                 demand: Union[str, float, DemandModel, None] = None,
+                 duration: Optional[float] = None,
+                 energy_model: Optional[EnergyModel] = None,
+                 switching: Optional[SwitchingModel] = None,
+                 scheduler: Optional[str] = None,
+                 on_miss: str = "raise",
+                 record_trace: bool = False,
+                 admissions: Sequence[Admission] = (),
+                 enforce_wcet: bool = True):
+        if on_miss not in MISS_MODES:
+            raise SimulationError(
+                f"on_miss must be one of {MISS_MODES}, got {on_miss!r}")
+        self.taskset = taskset
+        self.machine = machine
+        self.policy = policy
+        if demand is None:
+            self.demand_model: DemandModel = WorstCaseDemand()
+        else:
+            self.demand_model = demand_from_spec(demand)
+        self.duration = (duration if duration is not None
+                         else 2.0 * max(t.period for t in taskset))
+        if self.duration <= 0:
+            raise SimulationError(
+                f"duration must be positive, got {self.duration}")
+        self.energy_model = energy_model or EnergyModel()
+        self.switching = switching or SwitchingModel.free()
+        scheduler_name = scheduler or getattr(policy, "scheduler", "edf")
+        self.priority: PriorityPolicy = make_priority(scheduler_name, taskset)
+        self.on_miss = on_miss
+        self.record_trace = record_trace
+        self.enforce_wcet = enforce_wcet
+        self._admissions: List[Admission] = sorted(admissions,
+                                                   key=lambda a: a.time)
+
+        # -- mutable run state --
+        self.time = 0.0
+        self._states: Dict[str, _TaskState] = {}
+        self._ready: List[Job] = []
+        self._jobs: List[Job] = []
+        self._misses: List[DeadlineMiss] = []
+        self._energy = EnergyBreakdown()
+        self._switches = 0
+        self._point: OperatingPoint = machine.fastest
+        self._trace = ExecutionTrace() if record_trace else None
+        self._busy_time = 0.0
+        self._idle_time = 0.0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # SchedulerView protocol
+    # ------------------------------------------------------------------
+    def job_of(self, task: Task) -> Optional[Job]:
+        """The most recently released job of ``task`` (may be complete)."""
+        state = self._states.get(task.name)
+        return state.job if state else None
+
+    def current_deadline(self, task: Task) -> Optional[float]:
+        """Absolute deadline of the task's current invocation.
+
+        The deadline of a completed invocation remains "current" until the
+        next release — exactly how the paper's algorithms treat ``D_i``.
+        """
+        job = self.job_of(task)
+        return job.absolute_deadline if job else None
+
+    def earliest_deadline(self) -> Optional[float]:
+        """The next deadline in the system (minimum current deadline)."""
+        deadlines = [s.job.absolute_deadline
+                     for s in self._states.values() if s.job is not None]
+        return min(deadlines) if deadlines else None
+
+    def worst_case_remaining(self, task: Task) -> float:
+        """``c_left_i``: worst-case cycles the current invocation may still
+        use (0 once it completes, and 0 before the first release)."""
+        job = self.job_of(task)
+        if job is None:
+            return 0.0
+        return job.worst_case_remaining
+
+    def executed_in_invocation(self, task: Task) -> float:
+        """Cycles executed by the current invocation so far."""
+        job = self.job_of(task)
+        return job.executed if job else 0.0
+
+    def invocation_of(self, task: Task) -> int:
+        """Index of the current invocation (-1 before the first release)."""
+        job = self.job_of(task)
+        return job.index if job else -1
+
+    @property
+    def current_point(self) -> OperatingPoint:
+        """The operating point currently in effect."""
+        return self._point
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative time spent executing tasks."""
+        return self._busy_time
+
+    @property
+    def idle_time(self) -> float:
+        """Cumulative time spent idle."""
+        return self._idle_time
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Execute the simulation and return its result (single use)."""
+        if self._finished:
+            raise SimulationError("Simulator instances are single-use; "
+                                  "construct a new one to run again")
+        self._finished = True
+        for task in self.taskset:
+            self._states[task.name] = _TaskState(task=task, next_release=0.0)
+        initial = self.policy.setup(self)
+        if initial is not None:
+            self._point = initial
+        while True:
+            self._process_due_events()
+            if self.time >= self.duration - _EPS:
+                break
+            self._advance_one_segment()
+        self._final_deadline_check()
+        return SimResult(
+            taskset=self.taskset,
+            policy_name=getattr(self.policy, "name",
+                                type(self.policy).__name__),
+            scheduler_name=self.priority.name,
+            duration=self.duration,
+            energy=self._energy,
+            jobs=self._jobs,
+            misses=self._misses,
+            switches=self._switches,
+            trace=self._trace,
+        )
+
+    # ------------------------------------------------------------------
+    # event processing
+    # ------------------------------------------------------------------
+    def _process_due_events(self) -> None:
+        """Handle every admission, release, and policy wakeup that is due.
+
+        Loops to a fixed point because a hook may advance time (switch
+        halts) past further events.
+        """
+        for _ in range(100_000):  # defensive bound; each pass makes progress
+            progressed = self._process_due_admissions()
+            progressed |= self._process_due_releases()
+            progressed |= self._process_due_wakeup()
+            if not progressed:
+                return
+        raise SimulationError(
+            "event processing did not reach a fixed point")
+
+    def _process_due_admissions(self) -> bool:
+        progressed = False
+        while self._admissions and self._admissions[0].time <= self.time + _EPS:
+            admission = self._admissions.pop(0)
+            self._admit(admission)
+            progressed = True
+        self._check_deferred_releases()
+        return progressed
+
+    def _admit(self, admission: Admission) -> None:
+        """Add a task to the live task set (Sec. 4.3)."""
+        self.taskset = self.taskset.with_task(admission.task)
+        task = self.taskset[-1]  # carries an auto-assigned name if needed
+        self.priority.register_task(task)
+        state = _TaskState(task=task, next_release=math.inf,
+                           pending_defer=admission.defer)
+        if admission.defer:
+            state.defer_blockers = [
+                s.job for s in self._states.values()
+                if s.job is not None and not s.job.is_complete]
+        else:
+            state.next_release = max(self.time, admission.time)
+            state.pending_defer = False
+        self._states[task.name] = state
+        hook = getattr(self.policy, "on_task_added", None)
+        if hook is not None:
+            new_point = hook(self, task)
+            if new_point is not None:
+                self._set_point(new_point)
+
+    def _check_deferred_releases(self) -> None:
+        """Release deferred admissions once the invocations that were in
+        flight at their admission time have all completed."""
+        for state in self._states.values():
+            if not state.pending_defer:
+                continue
+            if all(job.is_complete for job in state.defer_blockers or ()):
+                state.pending_defer = False
+                state.defer_blockers = None
+                state.next_release = self.time
+
+    def _process_due_releases(self) -> bool:
+        """Release every task whose release time has arrived.
+
+        Jobs for simultaneous releases are created *before* any policy hook
+        fires, so policies observe a consistent system state (all current
+        deadlines and ``c_left`` values updated), then the per-task
+        ``on_release`` hooks fire in task order as in the paper's
+        pseudo-code.
+        """
+        released: List[Task] = []
+        for task in self.taskset:
+            state = self._states[task.name]
+            while state.next_release <= self.time + _EPS \
+                    and state.next_release < self.duration - _EPS:
+                self._create_job(state)
+                released.append(task)
+        zero_demand: List[Task] = []
+        for task in released:
+            job = self._states[task.name].job
+            assert job is not None
+            if job.demand <= _EPS and not job.is_complete:
+                job.completion_time = self.time
+                zero_demand.append(task)
+        for task in released:
+            self._policy_hook(self.policy.on_release, task)
+        for task in zero_demand:
+            self._policy_hook(self.policy.on_completion, task)
+        return bool(released)
+
+    def _create_job(self, state: _TaskState) -> None:
+        release_time = state.next_release
+        old_job = state.job
+        if old_job is not None and not old_job.is_complete:
+            self._record_miss(old_job)
+            if self.on_miss == "drop":
+                self._ready.remove(old_job)
+        # Demand models that need the release time (e.g. a polling server
+        # reading its queue) expose demand_at; plain models expose demand.
+        demand_at = getattr(self.demand_model, "demand_at", None)
+        if demand_at is not None:
+            demand = demand_at(state.task, state.invocation, release_time)
+        else:
+            demand = self.demand_model.demand(state.task, state.invocation)
+        if self.enforce_wcet:
+            demand = min(demand, state.task.wcet)
+        job = Job(task=state.task, release_time=release_time, demand=demand,
+                  index=state.invocation)
+        state.job = job
+        state.invocation += 1
+        state.next_release = release_time + state.task.period
+        self._jobs.append(job)
+        if job.demand > _EPS:
+            self._ready.append(job)
+
+    def _process_due_wakeup(self) -> bool:
+        """Fire the policy's timer hook when its wakeup time has arrived."""
+        progressed = False
+        for _ in range(64):  # defensive bound on same-instant wakeups
+            wakeup = self._policy_wakeup_time()
+            if wakeup is None or wakeup > self.time + _EPS:
+                return progressed
+            new_point = self.policy.on_wakeup(self)
+            if self._policy_wakeup_time() == wakeup:
+                raise SimulationError(
+                    f"policy {self.policy!r} did not advance its wakeup time")
+            if new_point is not None:
+                self._set_point(new_point)
+            progressed = True
+        raise SimulationError("too many policy wakeups at one instant")
+
+    def _policy_wakeup_time(self) -> Optional[float]:
+        getter = getattr(self.policy, "wakeup_time", None)
+        return getter() if getter is not None else None
+
+    def _policy_hook(self, hook, task: Task) -> None:
+        new_point = hook(self, task)
+        if new_point is not None:
+            self._set_point(new_point)
+
+    def _set_point(self, new_point: OperatingPoint) -> None:
+        """Change the operating point, charging any switch halt."""
+        if new_point == self._point:
+            return
+        if new_point not in self.machine.points:
+            raise SimulationError(
+                f"policy requested {new_point}, which is not an operating "
+                f"point of {self.machine.name}")
+        old_point = self._point
+        self._switches += 1
+        halt = self.switching.switch_time(old_point, new_point)
+        self._point = new_point
+        if halt > 0.0:
+            # The processor halts for the transition; the halt is charged
+            # like an idle interval at the *target* point ("almost no energy
+            # ... the processor does not operate during the switching
+            # interval" — at most idle-level energy).
+            energy = self.energy_model.idle_energy(new_point, halt)
+            self._energy.switch += energy
+            self._record_segment(self.time, self.time + halt, None, 0.0,
+                                 energy, kind="switch")
+            self.time += halt
+
+    # ------------------------------------------------------------------
+    # time advancement
+    # ------------------------------------------------------------------
+    def _advance_one_segment(self) -> None:
+        """Run or idle until the next event (release, completion, wakeup,
+        admission, or end of simulation)."""
+        horizon = min(self._next_event_time(), self.duration)
+        if horizon <= self.time + _EPS:
+            # An event became due while a hook advanced time (switch halt);
+            # let the main loop process it before executing anything.
+            return
+        job = self._pick_job()
+        if job is None:
+            idle_hook = getattr(self.policy, "on_idle", None)
+            if idle_hook is not None:
+                new_point = idle_hook(self)
+                if new_point is not None:
+                    self._set_point(new_point)
+            self._idle_until(horizon)
+            return
+        frequency = self._point.frequency
+        completion_time = self.time + job.remaining / frequency
+        if completion_time <= horizon + _EPS:
+            self._execute(job, cycles=job.remaining,
+                          until=completion_time, completes=True)
+        else:
+            dt = horizon - self.time
+            self._execute(job, cycles=dt * frequency, until=horizon,
+                          completes=False)
+
+    def _next_event_time(self) -> float:
+        horizon = min((s.next_release for s in self._states.values()),
+                      default=math.inf)
+        if self._admissions:
+            horizon = min(horizon, self._admissions[0].time)
+        wakeup = self._policy_wakeup_time()
+        if wakeup is not None:
+            horizon = min(horizon, wakeup)
+        return horizon
+
+    def _pick_job(self) -> Optional[Job]:
+        if not self._ready:
+            return None
+        return min(self._ready, key=self.priority.key)
+
+    def _execute(self, job: Job, cycles: float, until: float,
+                 completes: bool) -> None:
+        start = self.time
+        if until < start - _EPS:
+            raise SimulationError(
+                f"time would run backwards: {start} -> {until}")
+        energy = self.energy_model.execution_energy(self._point, cycles)
+        self._energy.add_execution(self._point, energy)
+        job.executed += cycles
+        self._busy_time += until - start
+        self._record_segment(start, until, job.task.name, cycles, energy)
+        self.time = until
+        if completes:
+            job.executed = job.demand  # absorb floating-point residue
+            job.completion_time = self.time
+            self._ready.remove(job)
+            self._policy_hook(self.policy.on_completion, job.task)
+            self._check_deferred_releases()
+
+    def _idle_until(self, horizon: float) -> None:
+        if horizon <= self.time + _EPS:
+            self.time = max(self.time, horizon)
+            return
+        duration = horizon - self.time
+        energy = self.energy_model.idle_energy(self._point, duration)
+        self._energy.idle += energy
+        self._idle_time += duration
+        self._record_segment(self.time, horizon, None, 0.0, energy,
+                             kind="idle")
+        self.time = horizon
+
+    def _record_segment(self, start: float, end: float, task: Optional[str],
+                        cycles: float, energy: float,
+                        kind: str = "run") -> None:
+        if self._trace is None:
+            return
+        self._trace.append(Segment(start=start, end=end, task=task,
+                                   point=self._point, cycles=cycles,
+                                   energy=energy, kind=kind))
+
+    # ------------------------------------------------------------------
+    # deadline accounting
+    # ------------------------------------------------------------------
+    def _record_miss(self, job: Job) -> None:
+        miss = DeadlineMiss(task_name=job.task.name,
+                            release_time=job.release_time,
+                            deadline=job.absolute_deadline,
+                            demand=job.demand, executed=job.executed)
+        self._misses.append(miss)
+        if self.on_miss == "raise":
+            raise DeadlineMissError(job.task.name, job.release_time,
+                                    job.absolute_deadline, self.time)
+
+    def _final_deadline_check(self) -> None:
+        """Flag jobs whose deadline fell inside the run but never finished."""
+        for job in self._jobs:
+            if job.is_complete:
+                continue
+            if job.absolute_deadline <= self.duration + _EPS:
+                already = any(m.task_name == job.task.name
+                              and m.release_time == job.release_time
+                              for m in self._misses)
+                if not already:
+                    self._record_miss(job)
+
+
+def simulate(taskset: TaskSet, machine: Machine, policy, **kwargs) -> SimResult:
+    """Convenience one-shot wrapper: build a :class:`Simulator` and run it.
+
+    All keyword arguments are forwarded to :class:`Simulator`.
+    """
+    return Simulator(taskset, machine, policy, **kwargs).run()

@@ -1,0 +1,177 @@
+"""Execution traces: what ran when, at which operating point.
+
+Traces are the raw material behind the paper's worked-example figures
+(Figs. 2, 3, 5 and 7): a sequence of contiguous segments, each either
+executing one task or idling, at one operating point.  The module also
+renders traces as ASCII timelines resembling those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.hw.operating_point import OperatingPoint
+
+#: Segments shorter than this are dropped when recording (pure bookkeeping
+#: artifacts of coincident events).
+_MIN_SEGMENT = 1e-12
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval of homogeneous processor activity.
+
+    Attributes
+    ----------
+    start, end:
+        Segment bounds (``start < end``).
+    task:
+        Name of the executing task, or ``None`` while idle or halted for an
+        operating-point switch.
+    point:
+        Operating point during the segment.
+    cycles:
+        Cycles executed (0 for idle/halt segments).
+    energy:
+        Energy dissipated in the segment.
+    kind:
+        ``"run"``, ``"idle"`` or ``"switch"``.
+    """
+
+    start: float
+    end: float
+    task: Optional[str]
+    point: OperatingPoint
+    cycles: float
+    energy: float
+    kind: str = "run"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.task if self.task else self.kind
+        return (f"[{self.start:g}, {self.end:g}) {label} @ f={self.point.frequency:g}"
+                f" ({self.cycles:g} cyc, {self.energy:g} E)")
+
+
+class ExecutionTrace:
+    """An append-only list of :class:`Segment` with merge-on-append.
+
+    Consecutive segments with identical (task, point, kind) are coalesced so
+    the trace shows maximal intervals, like the paper's figures.
+    """
+
+    def __init__(self):
+        self._segments: List[Segment] = []
+
+    def append(self, segment: Segment) -> None:
+        """Add a segment, merging with the previous one when homogeneous."""
+        if segment.duration <= _MIN_SEGMENT:
+            return
+        if self._segments:
+            last = self._segments[-1]
+            mergeable = (last.task == segment.task
+                         and last.point == segment.point
+                         and last.kind == segment.kind
+                         and abs(last.end - segment.start) <= 1e-9)
+            if mergeable:
+                self._segments[-1] = Segment(
+                    start=last.start, end=segment.end, task=last.task,
+                    point=last.point, cycles=last.cycles + segment.cycles,
+                    energy=last.energy + segment.energy, kind=last.kind)
+                return
+        self._segments.append(segment)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __getitem__(self, index) -> Segment:
+        return self._segments[index]
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    def run_segments(self) -> List[Segment]:
+        """Only the segments in which a task executed."""
+        return [s for s in self._segments if s.kind == "run"]
+
+    def segments_for(self, task_name: str) -> List[Segment]:
+        """Run segments of one task."""
+        return [s for s in self._segments if s.task == task_name]
+
+    def frequency_profile(self) -> List[Tuple[float, float]]:
+        """(time, relative frequency) steps — the tops of the paper's
+        figures.  Returns the frequency in effect starting at each time."""
+        profile: List[Tuple[float, float]] = []
+        for segment in self._segments:
+            frequency = segment.point.frequency
+            if not profile or profile[-1][1] != frequency:
+                profile.append((segment.start, frequency))
+        return profile
+
+    def busy_time(self) -> float:
+        """Total time spent executing tasks."""
+        return sum(s.duration for s in self._segments if s.kind == "run")
+
+    def idle_time(self) -> float:
+        """Total time spent idle (excluding switch halts)."""
+        return sum(s.duration for s in self._segments if s.kind == "idle")
+
+
+def render_trace(trace: ExecutionTrace, width: int = 72,
+                 end: Optional[float] = None) -> str:
+    """Render a trace as an ASCII timeline.
+
+    One row per task plus a frequency row, in the spirit of the paper's
+    Figs. 2/3/5/7.  ``width`` columns cover ``[0, end]`` (``end`` defaults
+    to the trace's last segment).
+    """
+    segments = trace.segments
+    if not segments:
+        return "(empty trace)"
+    horizon = end if end is not None else segments[-1].end
+    if horizon <= 0:
+        return "(empty trace)"
+    tasks: List[str] = []
+    for segment in segments:
+        if segment.task and segment.task not in tasks:
+            tasks.append(segment.task)
+
+    def column(t: float) -> int:
+        return min(width - 1, max(0, int(t / horizon * width)))
+
+    freq_row = [" "] * width
+    rows = {name: [" "] * width for name in tasks}
+    for segment in segments:
+        c0, c1 = column(segment.start), column(min(segment.end, horizon))
+        if segment.start >= horizon:
+            continue
+        for c in range(c0, max(c0 + 1, c1)):
+            freq_row[c] = _frequency_glyph(segment.point.frequency)
+            if segment.task:
+                rows[segment.task][c] = "#"
+    lines = ["freq  |" + "".join(freq_row) + "|"]
+    for name in tasks:
+        lines.append(f"{name:<6}|" + "".join(rows[name]) + "|")
+    lines.append(f"       0{'':{width - 10}}{horizon:g}")
+    legend = ("glyphs: frequency . <=0.25, : <=0.5, + <=0.75, * <=1.0; "
+              "# executing")
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _frequency_glyph(frequency: float) -> str:
+    if frequency <= 0.25:
+        return "."
+    if frequency <= 0.5:
+        return ":"
+    if frequency <= 0.75:
+        return "+"
+    return "*"

@@ -1,0 +1,39 @@
+"""Unit tests for the aggregation helpers."""
+
+import pytest
+
+from repro.analysis.aggregate import (mean, normalize_series, ratio_map,
+                                      sample_std)
+from repro.analysis.series import Series
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_std(self):
+        assert sample_std([2.0, 4.0]) == pytest.approx(2.0 ** 0.5)
+        assert sample_std([5.0]) == 0.0
+        assert sample_std([]) == 0.0
+        assert sample_std([3.0, 3.0, 3.0]) == 0.0
+
+
+class TestNormalization:
+    def test_normalize_series(self):
+        a = Series("a", (1, 2), (2.0, 6.0))
+        ref = Series("ref", (1, 2), (4.0, 3.0))
+        out = normalize_series(a, ref)
+        assert out.ys == (0.5, 2.0)
+        assert out.label == "a"
+
+    def test_ratio_map(self):
+        values = {"EDF": 100.0, "ccEDF": 52.0, "laEDF": 44.0}
+        normalized = ratio_map(values, "EDF")
+        assert normalized["ccEDF"] == pytest.approx(0.52)
+        assert normalized["EDF"] == 1.0
+
+    def test_ratio_map_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio_map({"EDF": 0.0, "x": 1.0}, "EDF")

@@ -1,0 +1,72 @@
+"""Tests for the policy-comparison helper."""
+
+import math
+
+import pytest
+
+from repro.analysis.compare import (PolicyComparison, compare_policies,
+                                    comparison_table)
+from repro.hw.battery import Battery
+from repro.hw.machine import machine0
+from repro.measure.thermal import ThermalModel
+from repro.model.task import Task, TaskSet, example_taskset
+
+
+class TestComparePolicies:
+    def test_reference_normalization(self):
+        rows = compare_policies(example_taskset(), machine0(),
+                                policies=("EDF", "laEDF"), demand=0.7)
+        assert rows[0].normalized == pytest.approx(1.0)
+        assert rows[1].normalized < 1.0
+
+    def test_identical_demands_across_policies(self):
+        """staticEDF and ccEDF must coincide on worst-case demand —
+        only possible if they saw the same per-invocation draws."""
+        rows = compare_policies(example_taskset(), machine0(),
+                                policies=("staticEDF", "ccEDF"),
+                                demand="uniform")
+        # With uniform demands ccEDF <= staticEDF, but both ran the same
+        # workload: staticEDF is deterministic in the worst case only, so
+        # compare executed behaviour through energy ordering instead.
+        assert rows[1].energy <= rows[0].energy + 1e-9
+
+    def test_unschedulable_policy_skipped(self):
+        ts = TaskSet([Task(1, 2), Task(1, 3), Task(1, 5)])  # RM-infeasible
+        rows = compare_policies(ts, machine0(),
+                                policies=("EDF", "staticRM"))
+        assert rows[0].skipped == ""
+        assert rows[1].skipped != ""
+        assert math.isnan(rows[1].energy)
+
+    def test_battery_and_thermal_extras(self):
+        rows = compare_policies(
+            example_taskset(), machine0(), policies=("EDF", "laEDF"),
+            demand=0.7, battery=Battery(capacity=1000.0),
+            thermal=ThermalModel(2.0, 10.0))
+        for row in rows:
+            assert row.battery_life is not None
+            assert row.peak_temperature is not None
+        assert rows[1].battery_life > rows[0].battery_life
+        assert rows[1].peak_temperature < rows[0].peak_temperature
+
+    def test_default_duration(self):
+        rows = compare_policies(example_taskset(), machine0(),
+                                policies=("EDF",))
+        assert rows[0].energy > 0
+
+
+class TestComparisonTable:
+    def test_columns_follow_extras(self):
+        basic = comparison_table([PolicyComparison(
+            "EDF", 10.0, 1.0, 0, 0, 1.0)])
+        assert "battery" not in basic
+        rich = comparison_table([PolicyComparison(
+            "EDF", 10.0, 1.0, 0, 0, 1.0, battery_life=5.0,
+            peak_temperature=42.0)])
+        assert "battery life" in rich and "42.0" in rich
+
+    def test_skipped_row_rendered(self):
+        text = comparison_table([PolicyComparison(
+            "staticRM", float("nan"), float("nan"), 0, 0, float("nan"),
+            skipped="not RM-schedulable")])
+        assert "skipped" in text

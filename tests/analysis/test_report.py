@@ -1,0 +1,51 @@
+"""Tests for the combined report generator."""
+
+import pytest
+
+from repro.analysis.report import combined_report, write_combined_report
+from repro.analysis.series import Series, SweepTable
+from repro.experiments.common import ExperimentResult
+
+
+def make_result(experiment_id: str, passed: bool = True
+                ) -> ExperimentResult:
+    result = ExperimentResult(experiment_id=experiment_id,
+                              title=f"title {experiment_id}",
+                              description="desc")
+    table = SweepTable("data", "x", "y")
+    table.add(Series("s", (1, 2), (1.0, 2.0)))
+    result.tables.append(table)
+    result.check("a check", passed)
+    return result
+
+
+class TestCombinedReport:
+    def test_summary_and_sections(self):
+        text = combined_report([make_result("e1"), make_result("e2")],
+                               generated_at="TEST-TIME")
+        assert "TEST-TIME" in text
+        assert "| e1 | quick | 1/1 | ok |" in text
+        assert "## e1: title e1" in text
+        assert "## e2: title e2" in text
+
+    def test_failures_flagged(self):
+        text = combined_report([make_result("bad", passed=False)],
+                               generated_at="t")
+        assert "**CHECK FAILURES**" in text
+        assert "[FAIL]" in text
+
+    def test_charts_toggle(self):
+        with_charts = combined_report([make_result("e")], generated_at="t")
+        without = combined_report([make_result("e")], generated_at="t",
+                                  charts=False)
+        assert len(with_charts) > len(without)
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        text = write_combined_report([make_result("e")], str(path),
+                                     generated_at="t")
+        assert path.read_text() == text
+
+    def test_default_timestamp(self):
+        text = combined_report([make_result("e")])
+        assert "UTC" in text

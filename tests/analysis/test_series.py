@@ -1,0 +1,69 @@
+"""Unit tests for Series and SweepTable containers."""
+
+import pytest
+
+from repro.analysis.series import Series, SweepTable
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1, 2), (1,))
+
+    def test_from_pairs(self):
+        s = Series.from_pairs("x", [(1, 10), (2, 20)])
+        assert s.xs == (1, 2)
+        assert s.ys == (10, 20)
+        empty = Series.from_pairs("e", [])
+        assert len(empty) == 0
+
+    def test_scaled_and_shifted(self):
+        s = Series("x", (1, 2), (10.0, 20.0))
+        assert s.scaled(0.5).ys == (5.0, 10.0)
+        assert s.shifted(1.0).ys == (11.0, 21.0)
+        assert s.scaled(2.0, label="double").label == "double"
+
+    def test_divided_by(self):
+        a = Series("a", (1, 2), (10.0, 20.0))
+        b = Series("b", (1, 2), (5.0, 4.0))
+        assert a.divided_by(b).ys == (2.0, 5.0)
+
+    def test_divided_by_grid_mismatch(self):
+        a = Series("a", (1, 2), (1.0, 2.0))
+        b = Series("b", (1, 3), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.divided_by(b)
+
+    def test_y_at(self):
+        s = Series("x", (0.1, 0.2), (1.0, 2.0))
+        assert s.y_at(0.2) == 2.0
+        with pytest.raises(KeyError):
+            s.y_at(0.15)
+
+
+class TestSweepTable:
+    def test_shared_grid_enforced(self):
+        table = SweepTable("t", "x", "y")
+        table.add(Series("a", (1, 2), (1.0, 2.0)))
+        with pytest.raises(ValueError):
+            table.add(Series("b", (1, 3), (1.0, 2.0)))
+
+    def test_get_and_labels(self):
+        table = SweepTable("t", "x", "y")
+        table.add(Series("a", (1,), (1.0,)))
+        table.add(Series("b", (1,), (2.0,)))
+        assert table.labels() == ["a", "b"]
+        assert table.get("b").ys == (2.0,)
+        with pytest.raises(KeyError):
+            table.get("c")
+
+    def test_rows(self):
+        table = SweepTable("t", "x", "y")
+        table.add(Series("a", (1, 2), (1.0, 2.0)))
+        table.add(Series("b", (1, 2), (3.0, 4.0)))
+        assert table.rows() == [[1.0, 3.0], [2.0, 4.0]]
+
+    def test_empty_table(self):
+        table = SweepTable("t", "x", "y")
+        assert table.xs == ()
+        assert table.rows() == []

@@ -1,0 +1,122 @@
+"""Tests for the utilization-sweep machinery."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    BOUND_LABEL,
+    SweepConfig,
+    materialize_demand,
+    utilization_sweep,
+)
+from repro.hw.machine import machine0
+from repro.model.demand import UniformFractionDemand, WorstCaseDemand
+from repro.model.task import example_taskset
+
+TINY = dict(n_tasks=3, n_sets=2, utilizations=(0.3, 0.7), duration=400.0,
+            seed=5)
+
+
+class TestMaterializeDemand:
+    def test_covers_all_invocations(self):
+        ts = example_taskset()
+        trace = materialize_demand(WorstCaseDemand(), ts, 100.0)
+        # T1 has 13 releases in [0, 100); all must be pre-drawn.
+        assert len(trace.trace["T1"]) >= 13
+
+    def test_replays_identically(self):
+        ts = example_taskset()
+        model = UniformFractionDemand(seed=3)
+        trace = materialize_demand(model, ts, 100.0)
+        values_a = [trace.demand(ts[0], k) for k in range(5)]
+        values_b = [trace.demand(ts[0], k) for k in range(5)]
+        assert values_a == values_b
+
+
+class TestSweepConfig:
+    def test_defaults_match_paper(self):
+        config = SweepConfig()
+        assert config.n_tasks == 8
+        assert config.machine == machine0()
+        assert config.demand == "worst"
+        assert config.idle_level == 0.0
+        assert config.utilizations == tuple(
+            round(0.1 * k, 1) for k in range(1, 11))
+
+    def test_energy_model_helper(self):
+        config = SweepConfig(idle_level=0.3, cycle_energy_scale=2.0)
+        model = config.energy_model()
+        assert model.idle_level == 0.3
+        assert model.cycle_energy_scale == 2.0
+
+
+class TestSweep:
+    def test_structure(self):
+        result = utilization_sweep(SweepConfig(**TINY))
+        labels = result.normalized.labels()
+        assert labels[0] == "EDF"
+        assert labels[-1] == BOUND_LABEL
+        assert result.normalized.xs == (0.3, 0.7)
+        assert set(result.std) == set(labels)
+
+    def test_edf_normalized_is_one(self):
+        result = utilization_sweep(SweepConfig(**TINY))
+        assert all(y == pytest.approx(1.0)
+                   for y in result.normalized.get("EDF").ys)
+
+    def test_bound_below_policies(self):
+        result = utilization_sweep(SweepConfig(**TINY))
+        bound = result.normalized.get(BOUND_LABEL).ys
+        for label in ("staticEDF", "ccEDF", "laEDF"):
+            ys = result.normalized.get(label).ys
+            assert all(b <= y + 0.02 for b, y in zip(bound, ys))
+
+    def test_deterministic_with_seed(self):
+        a = utilization_sweep(SweepConfig(**TINY))
+        b = utilization_sweep(SweepConfig(**TINY))
+        assert a.raw.rows() == b.raw.rows()
+
+    def test_seed_changes_results(self):
+        a = utilization_sweep(SweepConfig(**TINY))
+        b = utilization_sweep(SweepConfig(**{**TINY, "seed": 6}))
+        assert a.raw.rows() != b.raw.rows()
+
+    def test_reference_added_when_missing(self):
+        config = SweepConfig(policies=("laEDF",), **TINY)
+        result = utilization_sweep(config)
+        assert "EDF" in result.normalized.labels()
+
+    def test_workers_match_serial(self):
+        serial = utilization_sweep(SweepConfig(**TINY, workers=1))
+        parallel = utilization_sweep(SweepConfig(**TINY, workers=2))
+        for s_row, p_row in zip(serial.raw.rows(), parallel.raw.rows()):
+            assert s_row == pytest.approx(p_row)
+
+    def test_uniform_demand_sweep_runs(self):
+        config = SweepConfig(demand="uniform", **TINY)
+        result = utilization_sweep(config)
+        la = result.normalized.get("laEDF").ys
+        assert all(0 < y <= 1.0 + 1e-9 for y in la)
+
+    def test_idle_level_raises_relative_static_cost(self):
+        cold = utilization_sweep(SweepConfig(**TINY, idle_level=0.0))
+        hot = utilization_sweep(SweepConfig(**TINY, idle_level=1.0))
+        # With expensive idle, dynamic policies normalized vs EDF improve
+        # (EDF pays full-voltage idle).
+        assert hot.normalized.get("laEDF").ys[0] <= \
+            cold.normalized.get("laEDF").ys[0] + 1e-9
+
+    def test_std_table_structure(self):
+        result = utilization_sweep(SweepConfig(**TINY))
+        std = result.std_table()
+        assert std.labels() == result.raw.labels()
+        assert std.xs == result.raw.xs
+        # Two task sets per point: std is finite and >= 0 everywhere.
+        for series in std.series:
+            assert all(v >= 0.0 for v in series.ys)
+
+    def test_rm_fallback_counted_at_full_utilization(self):
+        config = SweepConfig(n_tasks=4, n_sets=3, utilizations=(1.0,),
+                             duration=400.0, seed=9)
+        result = utilization_sweep(config)
+        # At U = 1.0, non-harmonic sets are never RM-schedulable.
+        assert result.rm_fallbacks > 0

@@ -1,0 +1,96 @@
+"""Tests for ASCII chart rendering and CSV/Markdown export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import to_csv, to_markdown
+from repro.analysis.series import Series, SweepTable
+from repro.analysis.textplot import line_chart
+
+
+@pytest.fixture
+def table():
+    table = SweepTable("demo", "u", "energy")
+    table.add(Series("EDF", (0.1, 0.5, 1.0), (1.0, 1.0, 1.0)))
+    table.add(Series("laEDF", (0.1, 0.5, 1.0), (0.36, 0.5, 1.0)))
+    return table
+
+
+class TestLineChart:
+    def test_contains_legend_and_bounds(self, table):
+        text = line_chart(table, width=40, height=10)
+        assert "o=EDF" in text
+        assert "x=laEDF" in text
+        assert "demo" in text
+        assert "0.36" in text  # y-min label
+
+    def test_empty_table(self):
+        assert "(no data)" in line_chart(SweepTable("t", "x", "y"))
+
+    def test_single_point_fallback(self):
+        table = SweepTable("t", "x", "y")
+        table.add(Series("a", (0.5,), (2.0,)))
+        text = line_chart(table)
+        assert "a" in text and "2" in text
+
+    def test_flat_series_does_not_crash(self):
+        table = SweepTable("t", "x", "y")
+        table.add(Series("flat", (1, 2, 3), (5.0, 5.0, 5.0)))
+        assert "flat" in line_chart(table)
+
+    def test_explicit_y_range(self, table):
+        text = line_chart(table, y_min=0.0, y_max=2.0)
+        assert "2" in text.splitlines()[2]
+
+
+class TestCsv:
+    def test_round_trip(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        text = to_csv(table, str(path))
+        assert path.read_text() == text
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["u", "EDF", "laEDF"]
+        assert float(rows[1][2]) == pytest.approx(0.36)
+        assert len(rows) == 4
+
+    def test_csv_without_path(self, table):
+        assert "laEDF" in to_csv(table)
+
+
+class TestTraceCsv:
+    def test_round_trip(self, tmp_path):
+        from repro.analysis.export import trace_to_csv
+        from repro.core import make_policy
+        from repro.hw.machine import machine0
+        from repro.model.demand import paper_example_trace
+        from repro.model.task import example_taskset
+        from repro.sim.engine import simulate
+
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("laEDF"),
+                          demand=paper_example_trace(), duration=16.0,
+                          record_trace=True)
+        path = tmp_path / "trace.csv"
+        text = trace_to_csv(result.trace, str(path))
+        assert path.read_text() == text
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "start"
+        assert len(rows) == len(result.trace.segments) + 1
+        # Energy column sums back to the run's total.
+        total = sum(float(r[7]) for r in rows[1:])
+        assert total == pytest.approx(result.total_energy)
+
+
+class TestMarkdown:
+    def test_structure(self, table):
+        text = to_markdown(table)
+        lines = text.splitlines()
+        assert lines[0].startswith("| u | EDF | laEDF |")
+        assert lines[1].count("---") == 3
+        assert len(lines) == 5
+
+    def test_float_format(self, table):
+        text = to_markdown(table, float_format="{:.1f}")
+        assert "| 0.4 |" in text

@@ -1,0 +1,94 @@
+"""Property-based tests for the aperiodic substrate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.aperiodic import (AperiodicRequest, BackgroundScheduler,
+                             PollingServer)
+from repro.core import make_policy
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def request_streams(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    out = []
+    t = 0.0
+    for _ in range(count):
+        t += draw(st.floats(min_value=0.0, max_value=30.0))
+        cycles = draw(st.floats(min_value=0.1, max_value=3.0))
+        out.append(AperiodicRequest(arrival=t, cycles=cycles))
+    return out
+
+
+class TestPollingServerProperties:
+    @RELAXED
+    @given(requests=request_streams(),
+           budget=st.floats(min_value=0.5, max_value=3.0))
+    def test_conservation_and_fifo(self, requests, budget):
+        server = PollingServer(budget=budget, period=10.0, name="srv")
+        ts = TaskSet([Task(2, 8, name="rt"), server.task])
+        duration = 400.0
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=server.demand_model(requests, base=0.8),
+                          duration=duration, record_trace=True)
+        # RT guarantee untouched by aperiodic load.
+        assert result.met_all_deadlines
+        # Conservation: the server never executes more than arrived work.
+        server_cycles = sum(j.executed for j in result.jobs
+                            if j.task.name == "srv")
+        arrived = sum(r.cycles for r in requests)
+        assert server_cycles <= arrived + 1e-6
+        # Per-invocation cap: never above the budget.
+        for job in result.jobs:
+            if job.task.name == "srv":
+                assert job.demand <= budget + 1e-9
+        # FIFO responses: completions are non-decreasing in arrival order.
+        stats = server.response_stats(result, requests)
+        ordered = sorted(requests, key=lambda r: r.arrival)
+        completions = [a + r for a, r in
+                       zip((q.arrival for q in ordered
+                            if q not in stats.unfinished),
+                           stats.response_times)]
+        assert completions == sorted(completions)
+
+    @RELAXED
+    @given(requests=request_streams())
+    def test_bigger_budget_never_slower(self, requests):
+        """Growing the server can only improve (or tie) total service."""
+        def served(budget):
+            server = PollingServer(budget=budget, period=10.0, name="srv")
+            ts = TaskSet([Task(2, 8, name="rt"), server.task])
+            result = simulate(ts, machine0(), make_policy("EDF"),
+                              demand=server.demand_model(requests,
+                                                         base=0.8),
+                              duration=300.0, record_trace=True)
+            return sum(j.executed for j in result.jobs
+                       if j.task.name == "srv")
+
+        assert served(2.0) >= served(1.0) - 1e-6
+
+
+class TestBackgroundProperties:
+    @RELAXED
+    @given(requests=request_streams())
+    def test_background_only_uses_idle_capacity(self, requests):
+        ts = TaskSet([Task(3, 10, name="rt")])
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=0.8, duration=300.0, record_trace=True)
+        scheduler = BackgroundScheduler(result)
+        outcome = scheduler.schedule(requests)
+        assert outcome.served_cycles <= scheduler.idle_cycles + 1e-6
+        arrived = sum(r.cycles for r in requests)
+        assert outcome.served_cycles <= arrived + 1e-6
+        # Completions never precede arrivals.
+        ordered = [r for r in sorted(requests, key=lambda x: x.arrival)
+                   if r not in outcome.stats.unfinished]
+        for request, response in zip(ordered,
+                                     outcome.stats.response_times):
+            assert response >= -1e-9

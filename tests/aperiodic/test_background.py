@@ -1,0 +1,88 @@
+"""Tests for background (idle-time) aperiodic scheduling."""
+
+import pytest
+
+from repro.aperiodic import AperiodicRequest, BackgroundScheduler
+from repro.core import make_policy
+from repro.core.fixed import FixedSpeed
+from repro.errors import TaskModelError
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+
+def traced_run(policy=None, duration=40.0):
+    ts = TaskSet([Task(4, 10, name="T1")])
+    return simulate(ts, machine0(), policy or FixedSpeed(1.0),
+                    duration=duration, record_trace=True)
+
+
+class TestScheduling:
+    def test_requires_trace(self):
+        ts = TaskSet([Task(4, 10)])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0)
+        with pytest.raises(TaskModelError):
+            BackgroundScheduler(result)
+
+    def test_idle_cycles_accounting(self):
+        # T1 runs [k*10, k*10+4] at 1.0; idle 6 per period * 4 periods.
+        result = traced_run()
+        scheduler = BackgroundScheduler(result)
+        assert scheduler.idle_cycles == pytest.approx(24.0)
+
+    def test_request_served_in_first_idle_gap(self):
+        result = traced_run()
+        scheduler = BackgroundScheduler(result)
+        outcome = scheduler.schedule([AperiodicRequest(0.0, 3.0)])
+        # Idle starts at t=4; 3 cycles at f=1.0 complete at t=7.
+        assert outcome.stats.response_times[0] == pytest.approx(7.0)
+        assert outcome.all_served
+
+    def test_arrival_mid_idle(self):
+        result = traced_run()
+        outcome = BackgroundScheduler(result).schedule(
+            [AperiodicRequest(5.0, 2.0)])
+        assert outcome.stats.response_times[0] == pytest.approx(2.0)
+
+    def test_request_spans_busy_interval(self):
+        result = traced_run()
+        # 8 cycles starting at t=4: 6 in [4,10], 2 in [14,16].
+        outcome = BackgroundScheduler(result).schedule(
+            [AperiodicRequest(4.0, 8.0)])
+        assert outcome.stats.response_times[0] == pytest.approx(12.0)
+
+    def test_fifo_no_overtaking(self):
+        result = traced_run()
+        outcome = BackgroundScheduler(result).schedule([
+            AperiodicRequest(4.0, 6.0, "big"),
+            AperiodicRequest(4.5, 1.0, "small"),
+        ])
+        big, small = outcome.stats.response_times
+        # big finishes at 10, small at 15 (next idle window).
+        assert 4.0 + big <= 4.5 + small
+
+    def test_unserved_overflow(self):
+        result = traced_run()
+        outcome = BackgroundScheduler(result).schedule(
+            [AperiodicRequest(0.0, 100.0)])
+        assert not outcome.all_served
+        assert outcome.served_cycles < 100.0
+
+    def test_energy_accounting_uses_idle_frequency(self):
+        # Run under ccEDF with light demand: idle sits at (0.5, 3 V), so
+        # background cycles are cheap (9 per cycle).
+        ts = TaskSet([Task(4, 10, name="T1")])
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=0.5, duration=40.0, record_trace=True)
+        outcome = BackgroundScheduler(result).schedule(
+            [AperiodicRequest(0.0, 2.0)])
+        assert outcome.extra_energy == pytest.approx(2.0 * 9.0)
+
+    def test_rt_schedule_untouched(self):
+        """Background packing is post hoc: the original result object is
+        not modified."""
+        result = traced_run()
+        energy_before = result.total_energy
+        BackgroundScheduler(result).schedule(
+            [AperiodicRequest(0.0, 5.0)])
+        assert result.total_energy == energy_before

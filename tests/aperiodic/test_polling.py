@@ -1,0 +1,133 @@
+"""Tests for the polling server."""
+
+import pytest
+
+from repro.aperiodic import AperiodicRequest, PollingServer
+from repro.core import make_policy
+from repro.errors import TaskModelError
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def server():
+    return PollingServer(budget=2.0, period=10.0, name="srv")
+
+
+def run_with(server, requests, policy="EDF", duration=100.0,
+             periodic=(), base=None):
+    tasks = list(periodic) + [server.task]
+    ts = TaskSet(tasks)
+    demand = server.demand_model(requests, base=base)
+    return simulate(ts, machine0(), make_policy(policy), demand=demand,
+                    duration=duration, record_trace=True)
+
+
+class TestServerBasics:
+    def test_is_a_periodic_task(self, server):
+        assert server.task.wcet == 2.0
+        assert server.task.period == 10.0
+        assert server.utilization == pytest.approx(0.2)
+
+    def test_budget_above_period_rejected(self):
+        with pytest.raises(TaskModelError):
+            PollingServer(budget=11.0, period=10.0)
+
+
+class TestServiceSemantics:
+    def test_request_served_at_next_release(self, server):
+        # Arrival at t=3: the t=0 release found an empty queue, so service
+        # starts at the t=10 release (classic polling behaviour).
+        requests = [AperiodicRequest(3.0, 1.0, "r")]
+        result = run_with(server, requests)
+        stats = server.response_stats(result, requests)
+        assert stats.response_times[0] == pytest.approx(11.0 - 3.0)
+
+    def test_request_at_release_instant_served_immediately(self, server):
+        requests = [AperiodicRequest(10.0, 1.0)]
+        result = run_with(server, requests)
+        stats = server.response_stats(result, requests)
+        assert stats.response_times[0] == pytest.approx(1.0)
+
+    def test_budget_caps_per_period_service(self, server):
+        # 5 cycles of work arrive at once; budget 2/period 10 serves them
+        # across ceil(5/2) = 3 invocations.
+        requests = [AperiodicRequest(0.0, 5.0)]
+        result = run_with(server, requests)
+        stats = server.response_stats(result, requests)
+        # Served 2 @ t in [0,2], 2 @ [10,12], 1 @ [20,21].
+        assert stats.response_times[0] == pytest.approx(21.0)
+
+    def test_fifo_order(self, server):
+        requests = [AperiodicRequest(0.0, 2.0, "first"),
+                    AperiodicRequest(0.5, 1.0, "second")]
+        result = run_with(server, requests)
+        stats = server.response_stats(result, requests)
+        first, second = stats.response_times
+        assert first <= second + 0.5  # first finishes before second starts
+
+    def test_empty_queue_consumes_nothing(self, server):
+        result = run_with(server, [])
+        server_jobs = [j for j in result.jobs if j.task.name == "srv"]
+        assert all(j.demand == 0.0 for j in server_jobs)
+        assert result.executed_cycles == 0.0
+
+    def test_unfinished_requests_reported(self, server):
+        # More work than the run can serve.
+        requests = [AperiodicRequest(0.0, 100.0)]
+        result = run_with(server, requests, duration=50.0)
+        stats = server.response_stats(result, requests)
+        assert len(stats.unfinished) == 1
+
+
+class TestWithPeriodicLoadAndDVS:
+    @pytest.mark.parametrize("policy", ["EDF", "staticEDF", "ccEDF",
+                                        "laEDF"])
+    def test_no_periodic_misses(self, server, policy):
+        periodic = [Task(3, 8, name="T1"), Task(2, 20, name="T2")]
+        requests = [AperiodicRequest(float(k * 7), 1.0)
+                    for k in range(10)]
+        result = run_with(server, requests, policy=policy,
+                          duration=200.0, periodic=periodic, base=0.8)
+        assert result.met_all_deadlines
+
+    def test_dvs_reclaims_unused_server_budget(self, server):
+        """A quiet server makes ccEDF slower than staticEDF (which must
+        reserve the full budget forever)."""
+        periodic = [Task(3, 8, name="T1")]
+        cc = run_with(server, [], policy="ccEDF", duration=400.0,
+                      periodic=periodic, base="worst")
+        static = run_with(server, [], policy="staticEDF", duration=400.0,
+                          periodic=periodic, base="worst")
+        assert cc.total_energy < static.total_energy
+
+    def test_response_stats_requires_trace(self, server):
+        ts = TaskSet([server.task])
+        requests = [AperiodicRequest(0.0, 1.0)]
+        result = simulate(ts, machine0(), make_policy("EDF"),
+                          demand=server.demand_model(requests),
+                          duration=20.0)
+        with pytest.raises(TaskModelError):
+            server.response_stats(result, requests)
+
+
+class TestDemandModelInterface:
+    def test_direct_demand_query_rejected_for_server(self, server):
+        model = server.demand_model([AperiodicRequest(0.0, 1.0)])
+        with pytest.raises(TaskModelError):
+            model.demand(server.task, 0)
+
+    def test_base_model_used_for_other_tasks(self, server):
+        model = server.demand_model([], base=0.5)
+        other = Task(4, 16, name="x")
+        assert model.demand(other, 0) == pytest.approx(2.0)
+        assert model.demand_at(other, 0, 12.0) == pytest.approx(2.0)
+
+    def test_reset_clears_grant_state(self, server):
+        model = server.demand_model([AperiodicRequest(0.0, 1.0)])
+        assert model.demand_at(server.task, 0, 0.0) == 1.0
+        assert model.granted_cycles == 1.0
+        model.reset()
+        assert model.granted_cycles == 0.0
+        assert model.demand_at(server.task, 0, 0.0) == 1.0

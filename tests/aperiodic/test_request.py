@@ -1,0 +1,53 @@
+"""Unit tests for aperiodic requests and response statistics."""
+
+import pytest
+
+from repro.aperiodic.request import (AperiodicRequest, ResponseStats,
+                                     sort_requests)
+from repro.errors import TaskModelError
+
+
+class TestRequest:
+    def test_valid(self):
+        request = AperiodicRequest(arrival=5.0, cycles=2.0, name="r")
+        assert request.arrival == 5.0
+
+    @pytest.mark.parametrize("arrival", [-1.0, float("nan")])
+    def test_bad_arrival(self, arrival):
+        with pytest.raises(TaskModelError):
+            AperiodicRequest(arrival=arrival, cycles=1.0)
+
+    @pytest.mark.parametrize("cycles", [0.0, -2.0, float("inf")])
+    def test_bad_cycles(self, cycles):
+        with pytest.raises(TaskModelError):
+            AperiodicRequest(arrival=0.0, cycles=cycles)
+
+    def test_sort_is_stable_fifo(self):
+        a = AperiodicRequest(5.0, 1.0, "a")
+        b = AperiodicRequest(1.0, 1.0, "b")
+        c = AperiodicRequest(5.0, 2.0, "c")
+        assert [r.name for r in sort_requests([a, b, c])] == \
+            ["b", "a", "c"]
+
+
+class TestResponseStats:
+    def test_from_completions(self):
+        requests = [AperiodicRequest(1.0, 1.0), AperiodicRequest(2.0, 1.0)]
+        stats = ResponseStats.from_completions(requests, [4.0, None])
+        assert stats.response_times == (3.0,)
+        assert len(stats.unfinished) == 1
+        assert stats.count == 2
+        assert stats.completed_count == 1
+
+    def test_mean_and_max(self):
+        requests = [AperiodicRequest(0.0, 1.0), AperiodicRequest(0.0, 1.0)]
+        stats = ResponseStats.from_completions(requests, [2.0, 6.0])
+        assert stats.mean_response == 4.0
+        assert stats.max_response == 6.0
+
+    def test_empty_statistics_raise(self):
+        stats = ResponseStats.from_completions([], [])
+        with pytest.raises(TaskModelError):
+            stats.mean_response
+        with pytest.raises(TaskModelError):
+            stats.max_response

@@ -1,0 +1,90 @@
+"""Unit tests for cycle-conserving RM (Fig. 6) against the worked example
+(Fig. 5) and its pacing guarantee."""
+
+import pytest
+
+from repro.core.cycle_conserving_rm import CycleConservingRM
+from repro.core.static_scaling import StaticRM
+from repro.errors import SchedulabilityError
+from repro.hw.machine import machine0
+from repro.model.demand import paper_example_trace
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+class TestWorkedExample:
+    """The frames of Fig. 5 and the 0.71 row of Table 4."""
+
+    @pytest.fixture
+    def result(self):
+        return simulate(example_taskset(), machine0(),
+                        CycleConservingRM(),
+                        demand=paper_example_trace(), duration=16.0,
+                        record_trace=True)
+
+    def test_energy_is_125(self, result):
+        # 125 / 175 = 0.714, the paper's 0.71.
+        assert result.total_energy == pytest.approx(125.0)
+
+    def test_frequency_steps(self, result):
+        profile = [(round(t, 6), f)
+                   for t, f in result.trace.frequency_profile()]
+        assert profile[0] == (0.0, 1.0)       # frame (b): round up to 1.0
+        assert (2.0, 0.75) in profile          # frame (c): T1 done at t=2
+        assert any(abs(t - 10 / 3) < 1e-6 and f == 0.5
+                   for t, f in profile)        # frame (d)
+
+    def test_completion_times(self, result):
+        completions = {(j.task.name, j.index): j.completion_time
+                       for j in result.jobs if j.is_complete}
+        assert completions[("T1", 0)] == pytest.approx(2.0)
+        assert completions[("T2", 0)] == pytest.approx(10 / 3)
+        assert completions[("T3", 0)] == pytest.approx(16 / 3)
+        assert completions[("T3", 1)] == pytest.approx(16.0)
+
+    def test_no_misses(self, result):
+        assert result.met_all_deadlines
+
+
+class TestPacing:
+    def test_static_frequency_derived_from_rm_test(self):
+        policy = CycleConservingRM()
+        simulate(example_taskset(), machine0(), policy,
+                 demand="worst", duration=16.0)
+        # Static RM cannot run the example below 1.0 (Fig. 2).
+        assert policy.static_frequency == 1.0
+
+    def test_harmonic_set_paces_below_full(self):
+        ts = TaskSet([Task(1, 4), Task(1, 8)])  # harmonic, U = 0.375
+        policy = CycleConservingRM()
+        simulate(ts, machine0(), policy, demand="worst", duration=16.0)
+        assert policy.static_frequency == 0.5
+
+    def test_no_misses_across_demands(self):
+        for demand in (0.2, 0.5, 0.8, 1.0, "uniform"):
+            result = simulate(example_taskset(), machine0(),
+                              CycleConservingRM(), demand=demand,
+                              duration=560.0)
+            assert result.met_all_deadlines, demand
+
+    def test_never_exceeds_static_rm_energy(self):
+        """ccRM keeps pace with the statically-scaled worst case, so with
+        early completions it can only spend less."""
+        ts = example_taskset()
+        for demand in (0.5, 0.9, 1.0):
+            cc = simulate(ts, machine0(), CycleConservingRM(),
+                          demand=demand, duration=560.0)
+            static = simulate(ts, machine0(), StaticRM(),
+                              demand=demand, duration=560.0)
+            assert cc.total_energy <= static.total_energy * 1.0001, demand
+
+    def test_rm_unschedulable_rejected(self):
+        ts = TaskSet([Task(1, 2), Task(1, 3), Task(1, 5)])  # U=1.03
+        with pytest.raises(SchedulabilityError):
+            simulate(ts, machine0(), CycleConservingRM(), duration=10.0)
+
+    def test_ll_test_variant(self):
+        policy = CycleConservingRM(exact_rm_test=False)
+        result = simulate(example_taskset(), machine0(), policy,
+                          demand=0.9, duration=560.0)
+        assert result.met_all_deadlines

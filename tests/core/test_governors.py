@@ -1,0 +1,100 @@
+"""Tests for the classic interval governors (PAST / FLAT / AGED)."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.core.governors import (AgedAveragesGovernor, FlatGovernor,
+                                  PastGovernor)
+from repro.errors import SimulationError
+from repro.hw.machine import machine0
+from repro.model.demand import TraceDemand
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+STEADY = TaskSet([Task(4, 10, name="steady")])
+SPIKY = TaskSet([Task(4, 5, name="spiky")])
+
+
+def spiky_demand():
+    """Quiet windows punctuated by worst-case bursts."""
+    return TraceDemand({"spiky": [0.5] * 15 + [4.0] * 3})
+
+
+class TestPrediction:
+    def test_past_tracks_last_window(self):
+        governor = PastGovernor()
+        governor._history = [0.2, 0.9]
+        assert governor.predict() == 0.9
+
+    def test_flat_averages_everything(self):
+        governor = FlatGovernor()
+        governor._history = [0.2, 0.4, 0.6]
+        assert governor.predict() == pytest.approx(0.4)
+
+    def test_aged_interpolates(self):
+        governor = AgedAveragesGovernor(aging=0.5)
+        governor._history = [0.0, 1.0]
+        # weights: newest 1, older 0.5 -> (1*1 + 0.5*0)/1.5
+        assert governor.predict() == pytest.approx(2.0 / 3.0)
+
+    def test_aged_validation(self):
+        with pytest.raises(SimulationError):
+            AgedAveragesGovernor(aging=0.0)
+        with pytest.raises(SimulationError):
+            AgedAveragesGovernor(aging=1.0)
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("name", ["gov-past", "gov-flat", "gov-aged"])
+    def test_settles_to_low_frequency_on_light_load(self, name):
+        result = simulate(STEADY, machine0(),
+                          make_policy(name, interval=10.0),
+                          demand=0.3, duration=300.0, on_miss="drop",
+                          record_trace=True)
+        tail = {s.point.frequency for s in result.trace
+                if s.start > 150.0}
+        assert tail == {0.5}
+
+    @pytest.mark.parametrize("name", ["gov-past", "gov-flat", "gov-aged"])
+    def test_not_deadline_safe(self, name):
+        """The paper's motivating flaw: interval schedulers miss
+        deadlines on bursty real-time load."""
+        result = simulate(SPIKY, machine0(),
+                          make_policy(name, interval=20.0,
+                                      target_utilization=0.9),
+                          demand=spiky_demand(), duration=600.0,
+                          on_miss="drop")
+        assert result.deadline_miss_count > 0
+
+    def test_flat_smoother_than_past(self):
+        """FLAT switches frequency less often than PAST on bursty load."""
+        def switches(name):
+            result = simulate(SPIKY, machine0(),
+                              make_policy(name, interval=10.0),
+                              demand=spiky_demand(), duration=600.0,
+                              on_miss="drop")
+            return result.switches
+
+        assert switches("gov-flat") <= switches("gov-past")
+
+    def test_all_governors_save_energy_vs_no_dvs(self):
+        reference = simulate(STEADY, machine0(), make_policy("EDF"),
+                             demand=0.3, duration=300.0)
+        for name in ("gov-past", "gov-flat", "gov-aged"):
+            result = simulate(STEADY, machine0(), make_policy(name),
+                              demand=0.3, duration=300.0, on_miss="drop")
+            assert result.total_energy < reference.total_energy, name
+
+    def test_rt_dvs_beats_governors_on_guarantees(self):
+        """Head-to-head on the bursty workload: laEDF misses nothing,
+        every governor misses something."""
+        la = simulate(SPIKY, machine0(), make_policy("laEDF"),
+                      demand=spiky_demand(), duration=600.0)
+        assert la.met_all_deadlines
+        for name in ("gov-past", "gov-flat", "gov-aged"):
+            governor = simulate(SPIKY, machine0(),
+                                make_policy(name, interval=20.0,
+                                            target_utilization=0.9),
+                                demand=spiky_demand(), duration=600.0,
+                                on_miss="drop")
+            assert governor.deadline_miss_count > 0, name

@@ -1,0 +1,102 @@
+"""Unit tests for look-ahead EDF (Fig. 8) against the worked example
+(Fig. 7) and its deferral math."""
+
+import pytest
+
+from repro.core.look_ahead import LookAheadEDF
+from repro.errors import SchedulabilityError
+from repro.hw.machine import machine0, machine2
+from repro.model.demand import paper_example_trace
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+class TestWorkedExample:
+    """The frames of Fig. 7 and the 0.44 row of Table 4."""
+
+    @pytest.fixture
+    def result(self):
+        return simulate(example_taskset(), machine0(), LookAheadEDF(),
+                        demand=paper_example_trace(), duration=16.0,
+                        record_trace=True)
+
+    def test_energy_is_77(self, result):
+        assert result.total_energy == pytest.approx(77.0)
+
+    def test_initial_frequency_075(self, result):
+        # defer() at t=0: s = 25/12 + 3 = 61/12; 61/12/8 = 0.6354 -> 0.75.
+        assert result.trace.segments[0].point.frequency == 0.75
+
+    def test_drops_to_half_after_t1(self, result):
+        profile = [(round(t, 6), f)
+                   for t, f in result.trace.frequency_profile()]
+        assert any(abs(t - 8 / 3) < 1e-6 and f == 0.5 for t, f in profile)
+        # ... and never rises again in this 16 ms window (frames c-f).
+        assert all(f == 0.5 for t, f in profile if t > 8 / 3 + 1e-9)
+
+    def test_completion_times(self, result):
+        completions = {(j.task.name, j.index): j.completion_time
+                       for j in result.jobs if j.is_complete}
+        assert completions[("T1", 0)] == pytest.approx(8 / 3)
+        assert completions[("T2", 0)] == pytest.approx(14 / 3)  # frame (d)
+        assert completions[("T3", 0)] == pytest.approx(20 / 3)
+        assert completions[("T1", 1)] == pytest.approx(10.0)    # frame (e)
+        assert completions[("T2", 1)] == pytest.approx(12.0)
+        assert completions[("T3", 1)] == pytest.approx(16.0)
+
+    def test_no_misses(self, result):
+        assert result.met_all_deadlines
+
+
+class TestDeferralProperties:
+    def test_work_conserving_despite_deferral(self):
+        """Fig. 7 frame (d): even when nothing *must* run before the next
+        deadline, EDF is work-conserving — the processor runs (at the
+        lowest frequency) instead of idling."""
+        result = simulate(example_taskset(), machine0(), LookAheadEDF(),
+                          demand=paper_example_trace(), duration=16.0,
+                          record_trace=True)
+        # T3 executes in [14/3, 20/3] at 0.5 even though its deadline is
+        # far away.
+        t3 = result.trace.segments_for("T3")[0]
+        assert t3.point.frequency == 0.5
+        assert t3.start == pytest.approx(14 / 3)
+
+    def test_no_misses_across_demands(self):
+        for demand in (0.2, 0.5, 0.8, 1.0, "uniform"):
+            result = simulate(example_taskset(), machine0(), LookAheadEDF(),
+                              demand=demand, duration=560.0)
+            assert result.met_all_deadlines, demand
+
+    def test_no_misses_at_full_utilization(self):
+        """The acid test: U = 1.0 with worst-case demands leaves zero
+        slack; deferral must still meet every deadline."""
+        ts = TaskSet([Task(2, 4), Task(2, 8), Task(2, 8)])  # U = 1.0
+        result = simulate(ts, machine0(), LookAheadEDF(),
+                          demand="worst", duration=160.0)
+        assert result.met_all_deadlines
+
+    def test_unschedulable_rejected(self):
+        ts = TaskSet([Task(9, 10), Task(5, 10)])
+        with pytest.raises(SchedulabilityError):
+            simulate(ts, machine0(), LookAheadEDF(), duration=10.0)
+
+    def test_beats_ccedf_with_early_completions_machine0(self):
+        """The paper's headline ordering on machine 0 (coarse steps)."""
+        from repro.core.cycle_conserving import CycleConservingEDF
+        ts = example_taskset()
+        la = simulate(ts, machine0(), LookAheadEDF(),
+                      demand=0.5, duration=560.0)
+        cc = simulate(ts, machine0(), CycleConservingEDF(),
+                      demand=0.5, duration=560.0)
+        assert la.total_energy < cc.total_energy
+
+    def test_can_lose_to_ccedf_on_fine_grained_machine(self):
+        """Fig. 11's machine-2 observation is *possible* here: laEDF's
+        deferral can backfire with many frequency steps.  We only assert
+        both meet deadlines; the energy ordering is checked statistically
+        in the fig11 experiment."""
+        ts = example_taskset()
+        la = simulate(ts, machine2(), LookAheadEDF(),
+                      demand=0.9, duration=560.0)
+        assert la.met_all_deadlines

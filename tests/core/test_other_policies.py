@@ -1,0 +1,128 @@
+"""Unit tests for AveragingDVS, FixedSpeed and the policy registry."""
+
+import pytest
+
+from repro.core import (
+    AveragingDVS,
+    CycleConservingEDF,
+    CycleConservingRM,
+    FixedSpeed,
+    LookAheadEDF,
+    NoDVS,
+    PAPER_POLICIES,
+    StaticEDF,
+    StaticRM,
+    available_policies,
+    make_policy,
+)
+from repro.errors import MachineError, SimulationError
+from repro.hw.machine import machine0
+from repro.model.demand import TraceDemand
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+class TestAveragingDVS:
+    def test_tracks_load_down(self):
+        """A light workload must end up at a low frequency."""
+        ts = TaskSet([Task(1, 10)])
+        result = simulate(ts, machine0(), AveragingDVS(interval=10.0),
+                          duration=200.0, on_miss="drop",
+                          record_trace=True)
+        tail = [s.point.frequency for s in result.trace
+                if s.start > 100.0]
+        assert set(tail) == {0.5}
+
+    def test_misses_deadlines_on_spike(self):
+        """The paper's camcorder scenario: quiet load then a worst-case
+        burst; the interval scheduler is too slow to react."""
+        ts = TaskSet([Task(3, 5, name="sensor")])
+        demand = TraceDemand({"sensor": [0.5] * 19 + [3.0]})
+        result = simulate(ts, machine0(),
+                          AveragingDVS(interval=20.0,
+                                       target_utilization=0.9),
+                          demand=demand, duration=500.0, on_miss="drop")
+        assert result.deadline_miss_count > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            AveragingDVS(interval=0.0)
+        with pytest.raises(SimulationError):
+            AveragingDVS(target_utilization=0.0)
+        with pytest.raises(SimulationError):
+            AveragingDVS(smoothing=0.0)
+        with pytest.raises(SimulationError):
+            AveragingDVS(scheduler="fifo")
+
+    def test_wakeup_advances(self):
+        policy = AveragingDVS(interval=5.0)
+        result = simulate(TaskSet([Task(1, 10)]), machine0(), policy,
+                          duration=50.0, on_miss="drop")
+        assert policy.wakeup_time() >= 50.0
+
+
+class TestFixedSpeed:
+    def test_pins_frequency(self):
+        result = simulate(example_taskset(), machine0(), FixedSpeed(0.75),
+                          demand=0.4, duration=56.0, record_trace=True,
+                          on_miss="drop")
+        assert {s.point.frequency for s in result.trace} == {0.75}
+
+    def test_nonexistent_point_rejected_at_setup(self):
+        with pytest.raises(MachineError):
+            simulate(example_taskset(), machine0(), FixedSpeed(0.6),
+                     duration=8.0)
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ValueError):
+            FixedSpeed(0.5, scheduler="fifo")
+
+
+class TestRegistry:
+    def test_paper_policy_names_resolve(self):
+        for name in PAPER_POLICIES:
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_classes(self):
+        assert isinstance(make_policy("EDF"), NoDVS)
+        assert isinstance(make_policy("staticEDF"), StaticEDF)
+        assert isinstance(make_policy("staticRM"), StaticRM)
+        assert isinstance(make_policy("ccEDF"), CycleConservingEDF)
+        assert isinstance(make_policy("ccRM"), CycleConservingRM)
+        assert isinstance(make_policy("laEDF"), LookAheadEDF)
+        assert isinstance(make_policy("avgDVS"), AveragingDVS)
+
+    def test_aliases(self):
+        assert isinstance(make_policy("none"), NoDVS)
+        assert isinstance(make_policy("cycle-conserving-edf"),
+                          CycleConservingEDF)
+        assert isinstance(make_policy("look-ahead-edf"), LookAheadEDF)
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("fixed", frequency=0.75, scheduler="rm")
+        assert isinstance(policy, FixedSpeed)
+        assert policy.scheduler == "rm"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("quantum-dvs")
+
+    def test_available_policies_sorted(self):
+        names = available_policies()
+        assert names == sorted(names)
+        assert "ccedf" in names
+
+
+class TestPolicyReuse:
+    """Policies must be reusable across runs (setup resets state)."""
+
+    @pytest.mark.parametrize("name", PAPER_POLICIES)
+    def test_same_policy_object_twice(self, name):
+        policy = make_policy(name)
+        first = simulate(example_taskset(), machine0(), policy,
+                         demand=0.7, duration=56.0)
+        second = simulate(example_taskset(), machine0(), policy,
+                          demand=0.7, duration=56.0)
+        assert first.total_energy == pytest.approx(second.total_energy)
+        assert second.met_all_deadlines

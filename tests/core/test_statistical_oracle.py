@@ -1,0 +1,141 @@
+"""Tests for the extension policies: StatisticalEDF and ClairvoyantEDF."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import make_policy
+from repro.core.oracle import ClairvoyantEDF
+from repro.core.statistical import StatisticalEDF, _DemandHistory
+from repro.errors import SimulationError
+from repro.hw.machine import machine0
+from repro.model.demand import TraceDemand, UniformFractionDemand
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+from tests.conftest import tasksets
+
+RELAXED = settings(max_examples=30, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def uniform_demand(ts, duration, seed=0):
+    return materialize_demand(UniformFractionDemand(seed=seed), ts,
+                              duration)
+
+
+class TestDemandHistory:
+    def test_percentile_nearest_rank(self):
+        history = _DemandHistory(capacity=10)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            history.observe(v)
+        assert history.percentile(1.0) == 4.0
+        assert history.percentile(0.5) == 2.0
+        assert history.percentile(0.25) == 1.0
+
+    def test_bounded_capacity(self):
+        history = _DemandHistory(capacity=3)
+        for v in range(10):
+            history.observe(float(v))
+        assert len(history) == 3
+        assert history.percentile(1.0) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            _DemandHistory(4).percentile(0.5)
+
+
+class TestClairvoyantEDF:
+    @RELAXED
+    @given(ts=tasksets)
+    def test_never_misses(self, ts):
+        duration = min(3.0 * max(t.period for t in ts), 400.0)
+        result = simulate(ts, machine0(), ClairvoyantEDF(),
+                          demand=uniform_demand(ts, duration),
+                          duration=duration, on_miss="raise")
+        assert result.met_all_deadlines
+
+    def test_at_most_ccedf_energy(self):
+        ts = example_taskset()
+        demand = uniform_demand(ts, 800.0, seed=2)
+        oracle = simulate(ts, machine0(), ClairvoyantEDF(),
+                          demand=demand, duration=800.0)
+        cc = simulate(ts, machine0(), make_policy("ccEDF"),
+                      demand=demand, duration=800.0)
+        assert oracle.total_energy <= cc.total_energy + 1e-9
+
+    def test_above_its_own_bound(self):
+        from repro.sim.bound import minimum_energy_for_cycles
+        ts = example_taskset()
+        demand = uniform_demand(ts, 800.0, seed=3)
+        oracle = simulate(ts, machine0(), ClairvoyantEDF(),
+                          demand=demand, duration=800.0)
+        bound = minimum_energy_for_cycles(machine0(),
+                                          oracle.executed_cycles, 800.0)
+        assert oracle.total_energy >= bound - 1e-9
+
+    def test_registry_name(self):
+        assert isinstance(make_policy("oracle"), ClairvoyantEDF)
+
+
+class TestStatisticalEDF:
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            StatisticalEDF(percentile=0.0)
+        with pytest.raises(SimulationError):
+            StatisticalEDF(percentile=1.2)
+        with pytest.raises(SimulationError):
+            StatisticalEDF(warmup=-1)
+        with pytest.raises(SimulationError):
+            StatisticalEDF(history=0)
+
+    def test_warmup_reserves_worst_case(self):
+        policy = StatisticalEDF(percentile=0.5, warmup=1000)
+        ts = example_taskset()
+        result = simulate(ts, machine0(), policy, demand=0.5,
+                          duration=400.0, on_miss="raise")
+        # With warmup never satisfied, behaviour is ccEDF: no misses,
+        # worst-case reservations throughout.
+        assert result.met_all_deadlines
+        assert policy.reservation_for(ts[0]) == ts[0].wcet
+
+    def test_saves_energy_on_stable_demand(self):
+        """Steady 50% demands: the estimator learns them and outperforms
+        ccEDF without missing (demand never exceeds the estimate)."""
+        ts = example_taskset()
+        stat = simulate(ts, machine0(),
+                        StatisticalEDF(percentile=0.95, warmup=2),
+                        demand=0.5, duration=2000.0, on_miss="drop")
+        cc = simulate(ts, machine0(), make_policy("ccEDF"),
+                      demand=0.5, duration=2000.0)
+        assert stat.met_all_deadlines
+        assert stat.total_energy <= cc.total_energy + 1e-9
+
+    def test_low_percentile_can_miss_on_volatile_demand(self):
+        """Volatile demand + aggressive percentile: statistical, not
+        absolute, guarantees — misses occur and are counted."""
+        ts = TaskSet([Task(4, 5, name="spiky")])
+        # Mostly tiny demands with periodic full-budget spikes.
+        demand = TraceDemand({"spiky": [0.4] * 9 + [4.0]})
+        result = simulate(ts, machine0(),
+                          StatisticalEDF(percentile=0.5, warmup=2),
+                          demand=demand, duration=500.0, on_miss="drop")
+        assert result.deadline_miss_count > 0
+
+    def test_energy_monotone_in_percentile(self):
+        ts = example_taskset()
+        demand = uniform_demand(ts, 1500.0, seed=9)
+        energies = []
+        for q in (0.5, 0.95, 1.0):
+            result = simulate(ts, machine0(),
+                              StatisticalEDF(percentile=q, warmup=2),
+                              demand=demand, duration=1500.0,
+                              on_miss="drop")
+            energies.append(result.total_energy)
+        assert energies[0] <= energies[1] + 1e-6
+        assert energies[1] <= energies[2] + 1e-6
+
+    def test_registry_kwargs(self):
+        policy = make_policy("statEDF", percentile=0.8, warmup=5)
+        assert isinstance(policy, StatisticalEDF)
+        assert policy.percentile == 0.8

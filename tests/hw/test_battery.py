@@ -1,0 +1,92 @@
+"""Unit tests for the battery-life model."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.errors import MachineError
+from repro.hw.battery import Battery
+from repro.hw.machine import machine0
+from repro.model.task import example_taskset
+from repro.sim.engine import simulate
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(MachineError):
+            Battery(capacity=0.0)
+
+    def test_bad_nominal_power(self):
+        with pytest.raises(MachineError):
+            Battery(capacity=1.0, nominal_power=0.0)
+
+    def test_bad_peukert(self):
+        with pytest.raises(MachineError):
+            Battery(capacity=1.0, peukert=0.9)
+
+    def test_bad_power_query(self):
+        with pytest.raises(MachineError):
+            Battery(capacity=10.0).lifetime(0.0)
+        with pytest.raises(MachineError):
+            Battery(capacity=10.0).lifetime(-1.0)
+
+
+class TestLinearBattery:
+    def test_lifetime_is_capacity_over_power(self):
+        battery = Battery(capacity=100.0)
+        assert battery.lifetime(10.0) == pytest.approx(10.0)
+        assert battery.lifetime(5.0) == pytest.approx(20.0)
+
+    def test_halving_power_doubles_life(self):
+        battery = Battery(capacity=50.0)
+        assert battery.lifetime(2.0) == pytest.approx(
+            2 * battery.lifetime(4.0))
+
+
+class TestPeukert:
+    def test_rate_penalty_above_nominal(self):
+        battery = Battery(capacity=100.0, nominal_power=10.0, peukert=1.2)
+        # Drawing at nominal: unchanged.
+        assert battery.lifetime(10.0) == pytest.approx(10.0)
+        # Drawing harder than nominal: worse than linear.
+        assert battery.lifetime(20.0) < 100.0 / 20.0
+
+    def test_dvs_savings_compound(self):
+        """With k > 1, halving power more than doubles the runtime."""
+        battery = Battery(capacity=100.0, nominal_power=10.0, peukert=1.3)
+        assert battery.lifetime(5.0) > 2 * battery.lifetime(10.0)
+
+
+class TestWithSimResults:
+    @pytest.fixture
+    def runs(self):
+        ts = example_taskset()
+        edf = simulate(ts, machine0(), make_policy("EDF"), demand=0.7,
+                       duration=560.0)
+        la = simulate(ts, machine0(), make_policy("laEDF"), demand=0.7,
+                      duration=560.0)
+        return edf, la
+
+    def test_lifetime_for(self, runs):
+        edf, la = runs
+        battery = Battery(capacity=1000.0)
+        assert battery.lifetime_for(la) > battery.lifetime_for(edf)
+
+    def test_extension_factor(self, runs):
+        edf, la = runs
+        battery = Battery(capacity=1000.0)
+        factor = battery.extension_factor(edf, la)
+        assert factor > 1.2  # laEDF stretches the battery substantially
+
+    def test_overhead_power_shrinks_the_gain(self, runs):
+        """Constant platform draw dilutes CPU savings — the Fig. 16
+        observation restated in battery terms."""
+        edf, la = runs
+        battery = Battery(capacity=1000.0)
+        pure = battery.extension_factor(edf, la)
+        diluted = battery.extension_factor(edf, la, overhead_power=10.0)
+        assert 1.0 < diluted < pure
+
+    def test_overhead_validation(self, runs):
+        edf, _ = runs
+        with pytest.raises(MachineError):
+            Battery(capacity=10.0).lifetime_for(edf, overhead_power=-1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the CMOS energy model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.hw.energy import EnergyModel
+from repro.hw.operating_point import OperatingPoint
+
+HALF = OperatingPoint(0.5, 3.0)
+FULL = OperatingPoint(1.0, 5.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("idle", [-0.1, 1.1])
+    def test_bad_idle_level(self, idle):
+        with pytest.raises(MachineError):
+            EnergyModel(idle_level=idle)
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, float("inf")])
+    def test_bad_scale(self, scale):
+        with pytest.raises(MachineError):
+            EnergyModel(cycle_energy_scale=scale)
+
+
+class TestExecutionEnergy:
+    def test_v_squared_per_cycle(self):
+        model = EnergyModel()
+        assert model.execution_energy(FULL, 7.0) == pytest.approx(175.0)
+        assert model.execution_energy(HALF, 7.0) == pytest.approx(63.0)
+
+    def test_scale_applies(self):
+        model = EnergyModel(cycle_energy_scale=2.0)
+        assert model.execution_energy(FULL, 1.0) == pytest.approx(50.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(MachineError):
+            EnergyModel().execution_energy(FULL, -1.0)
+
+    @given(cycles=st.floats(min_value=0, max_value=1e6))
+    def test_quadratic_voltage_ratio(self, cycles):
+        model = EnergyModel()
+        e_half = model.execution_energy(HALF, cycles)
+        e_full = model.execution_energy(FULL, cycles)
+        assert e_full == pytest.approx(e_half * (5.0 / 3.0) ** 2)
+
+
+class TestIdleEnergy:
+    def test_perfect_halt_is_free(self):
+        model = EnergyModel(idle_level=0.0)
+        assert model.idle_energy(FULL, 100.0) == 0.0
+
+    def test_idle_level_one_matches_execution(self):
+        model = EnergyModel(idle_level=1.0)
+        # Idling dt at point p elapses p.frequency * dt cycles.
+        assert model.idle_energy(FULL, 4.0) == \
+            pytest.approx(model.execution_energy(FULL, 4.0))
+        assert model.idle_energy(HALF, 4.0) == \
+            pytest.approx(model.execution_energy(HALF, 2.0))
+
+    def test_fractional_idle_level(self):
+        model = EnergyModel(idle_level=0.1)
+        assert model.idle_energy(FULL, 10.0) == pytest.approx(25.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(MachineError):
+            EnergyModel().idle_energy(FULL, -1.0)
+
+
+class TestPower:
+    def test_execution_power(self):
+        model = EnergyModel()
+        assert model.execution_power(FULL) == pytest.approx(25.0)
+        assert model.execution_power(HALF) == pytest.approx(4.5)
+
+    def test_idle_power(self):
+        model = EnergyModel(idle_level=0.5)
+        assert model.idle_power(FULL) == pytest.approx(12.5)
+
+    def test_power_times_time_equals_energy(self):
+        model = EnergyModel(idle_level=0.3, cycle_energy_scale=1.7)
+        dt = 3.5
+        assert model.execution_power(HALF) * dt == \
+            pytest.approx(model.execution_energy(HALF, HALF.cycles_in_time(dt)))
+        assert model.idle_power(HALF) * dt == \
+            pytest.approx(model.idle_energy(HALF, dt))

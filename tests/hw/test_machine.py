@@ -1,0 +1,178 @@
+"""Unit tests for the Machine table and its paper presets."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.hw.machine import (
+    MACHINE_PRESETS,
+    Machine,
+    k6_2_plus,
+    machine0,
+    machine1,
+    machine2,
+)
+from repro.hw.operating_point import OperatingPoint
+
+
+class TestConstruction:
+    def test_from_tuples(self):
+        machine = Machine([(0.5, 3.0), (1.0, 5.0)])
+        assert len(machine) == 2
+        assert machine.frequencies == (0.5, 1.0)
+
+    def test_sorts_points(self):
+        machine = Machine([(1.0, 5.0), (0.5, 3.0)])
+        assert machine.frequencies == (0.5, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([])
+
+    def test_missing_full_speed_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([(0.5, 3.0), (0.9, 5.0)])
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([(0.5, 3.0), (0.5, 4.0), (1.0, 5.0)])
+
+    def test_decreasing_voltage_rejected(self):
+        with pytest.raises(MachineError):
+            Machine([(0.5, 4.0), (1.0, 3.0)])
+
+    def test_flat_voltage_allowed(self):
+        machine = Machine([(0.5, 2.0), (1.0, 2.0)])
+        assert machine.slowest.voltage == machine.fastest.voltage
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(["nope"])
+
+
+class TestQueries:
+    def test_slowest_fastest(self):
+        m = machine0()
+        assert m.slowest.frequency == 0.5
+        assert m.fastest.frequency == 1.0
+
+    def test_point_for_exact(self):
+        m = machine0()
+        assert m.point_for(0.75).voltage == 4.0
+        with pytest.raises(MachineError):
+            m.point_for(0.6)
+
+    def test_lowest_at_least_basic(self):
+        m = machine0()
+        assert m.lowest_at_least(0.1).frequency == 0.5
+        assert m.lowest_at_least(0.5).frequency == 0.5
+        assert m.lowest_at_least(0.500001).frequency == 0.75
+        assert m.lowest_at_least(0.746).frequency == 0.75
+        assert m.lowest_at_least(0.76).frequency == 1.0
+        assert m.lowest_at_least(1.0).frequency == 1.0
+
+    def test_lowest_at_least_zero_and_negative(self):
+        m = machine0()
+        assert m.lowest_at_least(0.0) is m.slowest
+        assert m.lowest_at_least(-1.0) is m.slowest
+
+    def test_lowest_at_least_above_max_rejected(self):
+        with pytest.raises(MachineError):
+            machine0().lowest_at_least(1.01)
+
+    def test_lowest_at_least_boundary_tolerance(self):
+        # Utilization sums with float noise just above a frequency must
+        # still select that frequency (the paper's 0.746 <= 0.75 case).
+        m = machine0()
+        assert m.lowest_at_least(0.75 + 1e-12).frequency == 0.75
+
+    def test_next_faster_slower(self):
+        m = machine0()
+        mid = m.point_for(0.75)
+        assert m.next_faster(mid).frequency == 1.0
+        assert m.next_slower(mid).frequency == 0.5
+        assert m.next_faster(m.fastest) is None
+        assert m.next_slower(m.slowest) is None
+
+    def test_equality_and_hash(self):
+        assert machine0() == machine0()
+        assert hash(machine0()) == hash(machine0())
+        assert machine0() != machine1()
+
+
+class TestVoltageInterpolation:
+    def test_exact_points(self):
+        m = machine0()
+        assert m.voltage_at(0.75) == 4.0
+
+    def test_interpolated(self):
+        m = machine0()
+        assert m.voltage_at(0.625) == pytest.approx(3.5)
+
+    def test_below_slowest_clamps(self):
+        assert machine0().voltage_at(0.1) == 3.0
+
+    def test_above_max_rejected(self):
+        with pytest.raises(MachineError):
+            machine0().voltage_at(1.1)
+
+    def test_continuous_machine(self):
+        fine = machine0().continuous(steps=11)
+        assert len(fine) == 11
+        assert fine.slowest.frequency == 0.5
+        assert fine.fastest.frequency == 1.0
+        # Voltages non-decreasing by construction.
+        voltages = [p.voltage for p in fine]
+        assert voltages == sorted(voltages)
+
+    def test_continuous_needs_two_steps(self):
+        with pytest.raises(MachineError):
+            machine0().continuous(steps=1)
+
+
+class TestPaperPresets:
+    def test_machine0(self):
+        m = machine0()
+        assert [(p.frequency, p.voltage) for p in m] == \
+            [(0.5, 3.0), (0.75, 4.0), (1.0, 5.0)]
+
+    def test_machine1_adds_083(self):
+        m = machine1()
+        assert (0.83, 4.5) in [(p.frequency, p.voltage) for p in m]
+        assert len(m) == 4
+
+    def test_machine2_seven_points(self):
+        m = machine2()
+        assert len(m) == 7
+        assert m.slowest.voltage == 1.4
+        assert m.fastest.voltage == 2.0
+
+    def test_k6_pll_steps(self):
+        m = k6_2_plus()
+        mhz = [round(p.frequency * 550) for p in m]
+        # 200-550 in 50 MHz steps, skipping 250.
+        assert mhz == [200, 300, 350, 400, 450, 500, 550]
+
+    def test_k6_voltage_mapping(self):
+        # Stable at 1.4 V up to 450 MHz, 2.0 V above (Sec. 4.1).
+        for point in k6_2_plus():
+            mhz = point.frequency * 550
+            expected = 1.4 if mhz <= 450 else 2.0
+            assert point.voltage == expected
+
+    def test_k6_custom_max(self):
+        m = k6_2_plus(max_mhz=600)
+        assert round(m.fastest.frequency * 600) == 600
+
+    def test_k6_bad_max(self):
+        with pytest.raises(MachineError):
+            k6_2_plus(max_mhz=0)
+        with pytest.raises(MachineError):
+            k6_2_plus(max_mhz=100)
+
+    def test_presets_registry(self):
+        assert set(MACHINE_PRESETS) == \
+            {"machine0", "machine1", "machine2", "k6-2+"}
+        for factory in MACHINE_PRESETS.values():
+            machine = factory()
+            assert isinstance(machine, Machine)
+            assert machine.fastest.frequency == 1.0

@@ -1,0 +1,63 @@
+"""Unit tests for OperatingPoint."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.hw.operating_point import OperatingPoint
+
+
+class TestValidation:
+    @pytest.mark.parametrize("frequency", [0.0, -0.5, 1.5,
+                                           float("nan")])
+    def test_bad_frequency(self, frequency):
+        with pytest.raises(MachineError):
+            OperatingPoint(frequency, 3.0)
+
+    @pytest.mark.parametrize("voltage", [0.0, -1.0, float("inf")])
+    def test_bad_voltage(self, voltage):
+        with pytest.raises(MachineError):
+            OperatingPoint(0.5, voltage)
+
+    def test_full_speed_allowed(self):
+        assert OperatingPoint(1.0, 5.0).frequency == 1.0
+
+
+class TestEnergyModel:
+    def test_energy_per_cycle_is_v_squared(self):
+        assert OperatingPoint(0.5, 3.0).energy_per_cycle == 9.0
+        assert OperatingPoint(1.0, 5.0).energy_per_cycle == 25.0
+
+    def test_power_is_f_v_squared(self):
+        assert OperatingPoint(0.5, 3.0).power == pytest.approx(4.5)
+        assert OperatingPoint(1.0, 5.0).power == pytest.approx(25.0)
+
+
+class TestTimeCycleConversion:
+    def test_time_for_cycles(self):
+        point = OperatingPoint(0.5, 3.0)
+        assert point.time_for_cycles(2.0) == pytest.approx(4.0)
+        assert point.time_for_cycles(0.0) == 0.0
+
+    def test_cycles_in_time(self):
+        point = OperatingPoint(0.75, 4.0)
+        assert point.cycles_in_time(4.0) == pytest.approx(3.0)
+
+    def test_roundtrip(self):
+        point = OperatingPoint(0.73, 1.7)
+        assert point.cycles_in_time(point.time_for_cycles(5.5)) == \
+            pytest.approx(5.5)
+
+    def test_negative_rejected(self):
+        point = OperatingPoint(0.5, 3.0)
+        with pytest.raises(MachineError):
+            point.time_for_cycles(-1.0)
+        with pytest.raises(MachineError):
+            point.cycles_in_time(-1.0)
+
+
+class TestOrdering:
+    def test_sorted_by_frequency(self):
+        a = OperatingPoint(0.5, 3.0)
+        b = OperatingPoint(0.75, 4.0)
+        assert a < b
+        assert sorted([b, a]) == [a, b]

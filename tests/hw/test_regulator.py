@@ -1,0 +1,46 @@
+"""Unit tests for the switching-overhead model."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.hw.operating_point import OperatingPoint
+from repro.hw.regulator import SwitchingModel
+
+LOW = OperatingPoint(0.5, 1.4)
+MID = OperatingPoint(0.8, 1.4)   # same voltage as LOW
+HIGH = OperatingPoint(1.0, 2.0)
+
+
+class TestValidation:
+    def test_negative_times_rejected(self):
+        with pytest.raises(MachineError):
+            SwitchingModel(frequency_switch_time=-1.0)
+        with pytest.raises(MachineError):
+            SwitchingModel(voltage_switch_time=-1.0)
+
+
+class TestSwitchTime:
+    def test_free_model(self):
+        model = SwitchingModel.free()
+        assert model.is_free
+        assert model.switch_time(LOW, HIGH) == 0.0
+
+    def test_no_change_is_free(self):
+        model = SwitchingModel(0.041, 0.4)
+        assert model.switch_time(HIGH, HIGH) == 0.0
+
+    def test_frequency_only_change(self):
+        model = SwitchingModel(0.041, 0.4)
+        assert model.switch_time(LOW, MID) == pytest.approx(0.041)
+
+    def test_voltage_change_dominates(self):
+        model = SwitchingModel(0.041, 0.4)
+        assert model.switch_time(LOW, HIGH) == pytest.approx(0.4)
+        assert model.switch_time(HIGH, LOW) == pytest.approx(0.4)
+
+    def test_k6_preset_matches_measurements(self):
+        model = SwitchingModel.k6_2_plus()
+        # 41 us frequency-only, ~0.4 ms voltage change (Sec. 4.1).
+        assert model.frequency_switch_time == pytest.approx(0.041)
+        assert model.voltage_switch_time == pytest.approx(0.4)
+        assert not model.is_free

@@ -1,0 +1,110 @@
+"""Smoke and correctness tests for the experiment drivers.
+
+The sweep-based figures are exercised at micro scale here (the full quick
+runs take ~30 s each; the benchmarks run those).  table1/table4/traces are
+cheap and run at full fidelity.
+"""
+
+import pytest
+
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+from repro.experiments import run_experiment, table1, table4, traces
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments.runall import ALL_EXPERIMENTS
+from repro.hw.machine import machine2
+
+
+class TestCheapExperiments:
+    def test_table1_all_checks_pass(self):
+        result = table1.run()
+        assert result.all_checks_pass, [str(c) for c in result.checks]
+
+    def test_table4_all_checks_pass(self):
+        result = table4.run()
+        assert result.all_checks_pass, [str(c) for c in result.checks]
+
+    def test_traces_all_checks_pass(self):
+        result = traces.run()
+        assert result.all_checks_pass, [str(c) for c in result.checks]
+
+    def test_table4_render_contains_paper_numbers(self):
+        text = table4.run().render(charts=False)
+        for fragment in ("0.640", "0.520", "0.714", "0.440"):
+            assert fragment in text
+
+    @pytest.mark.parametrize("experiment_id",
+                             ["ext-future", "ext-governors", "ext-mp"])
+    def test_cheap_extension_experiments_pass(self, experiment_id):
+        result = run_experiment(experiment_id)
+        assert result.all_checks_pass, \
+            [str(c) for c in result.checks if not c.passed]
+
+    @pytest.mark.parametrize("experiment_id", ["fig16", "fig17"])
+    def test_platform_figures_pass_quick(self, experiment_id):
+        """The two platform figures are cheap enough for the unit suite
+        (the sweep figures run in benchmarks/ and run-all instead)."""
+        result = run_experiment(experiment_id)
+        assert result.all_checks_pass, \
+            [str(c) for c in result.checks if not c.passed]
+
+
+class TestExperimentResult:
+    def test_check_recording(self):
+        result = ExperimentResult("x", "t", "d")
+        result.check("ok", True)
+        result.check("bad", False)
+        assert not result.all_checks_pass
+        assert str(result.checks[0]).startswith("[PASS]")
+        assert str(result.checks[1]).startswith("[FAIL]")
+
+    def test_write_csvs(self, tmp_path):
+        result = table4.run()
+        paths = result.write_csvs(str(tmp_path))
+        assert paths
+        for path in paths:
+            assert "table4" in path
+
+    def test_render_scale_marker(self):
+        assert "(quick scale)" in table1.run(quick=True).render()
+        assert "(full scale)" in table1.run(quick=False).render()
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table4", "traces", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig16", "fig17", "ext-future",
+            "ext-battery", "ext-server", "ext-governors", "ext-mp"}
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestMicroSweepShapes:
+    """Scaled-down versions of the figures' central claims."""
+
+    @pytest.fixture(scope="class")
+    def micro(self):
+        return utilization_sweep(SweepConfig(
+            n_tasks=5, n_sets=4, utilizations=(0.3, 0.5, 0.7),
+            duration=600.0, seed=31, demand=0.7))
+
+    def test_laedf_saves_energy_midrange(self, micro):
+        assert micro.normalized.get("laEDF").y_at(0.5) < 0.85
+
+    def test_ordering_laedf_ccedf_static(self, micro):
+        for u in (0.3, 0.5, 0.7):
+            la = micro.normalized.get("laEDF").y_at(u)
+            cc = micro.normalized.get("ccEDF").y_at(u)
+            st = micro.normalized.get("staticEDF").y_at(u)
+            assert la <= cc + 0.02
+            assert cc <= st + 0.02
+
+    def test_machine2_ccedf_tracks_bound(self):
+        sweep = utilization_sweep(SweepConfig(
+            n_tasks=5, n_sets=4, utilizations=(0.4, 0.7),
+            duration=600.0, seed=32, machine=machine2()))
+        cc = sweep.normalized.get("ccEDF").ys
+        bound = sweep.normalized.get("bound").ys
+        assert all(c <= b + 0.08 for c, b in zip(cc, bound))

@@ -1,0 +1,83 @@
+"""Property tests for the extension policies' boundary behaviour."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import make_policy
+from repro.core.statistical import StatisticalEDF
+from repro.hw.machine import machine0
+from repro.model.demand import UniformFractionDemand
+from repro.sim.engine import simulate
+
+from tests.conftest import fractions, tasksets
+
+RELAXED = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def _duration(ts):
+    return min(3.0 * max(t.period for t in ts), 300.0)
+
+
+class TestStatisticalBoundaries:
+    @RELAXED
+    @given(ts=tasksets, seed=st.integers(min_value=0, max_value=999))
+    def test_infinite_warmup_equals_ccedf(self, ts, seed):
+        """With the warmup never satisfied, statEDF reserves the worst
+        case everywhere — it must behave *identically* to ccEDF."""
+        duration = _duration(ts)
+        demand = materialize_demand(UniformFractionDemand(seed=seed), ts,
+                                    duration)
+        stat = simulate(ts, machine0(),
+                        StatisticalEDF(percentile=0.5, warmup=10 ** 9),
+                        demand=demand, duration=duration)
+        cc = simulate(ts, machine0(), make_policy("ccEDF"),
+                      demand=demand, duration=duration)
+        assert stat.total_energy == pytest.approx(cc.total_energy,
+                                                  rel=1e-9)
+        assert stat.switches == cc.switches
+        assert stat.met_all_deadlines
+
+    @RELAXED
+    @given(ts=tasksets, fraction=fractions)
+    def test_constant_demand_never_misses(self, ts, fraction):
+        """Constant per-invocation demands can never exceed the learned
+        estimate, so even aggressive percentiles stay miss-free after
+        the worst-case warmup."""
+        result = simulate(ts, machine0(),
+                          StatisticalEDF(percentile=0.5, warmup=1),
+                          demand=fraction, duration=_duration(ts),
+                          on_miss="raise")
+        assert result.met_all_deadlines
+
+
+class TestGovernorProperties:
+    @RELAXED
+    @given(ts=tasksets, fraction=fractions,
+           name=st.sampled_from(["gov-past", "gov-flat", "gov-aged"]))
+    def test_governors_never_crash_and_track_light_load(self, ts,
+                                                        fraction, name):
+        duration = max(_duration(ts), 30.0)
+        result = simulate(ts, machine0(),
+                          make_policy(name, interval=5.0),
+                          demand=fraction, duration=duration,
+                          on_miss="drop", record_trace=True)
+        # Whatever happens, accounting stays consistent.
+        assert result.trace.segments[-1].end == pytest.approx(duration,
+                                                              abs=1e-6)
+        total = sum(s.energy for s in result.trace)
+        assert total == pytest.approx(result.total_energy)
+
+    @RELAXED
+    @given(fraction=st.floats(min_value=0.05, max_value=0.2))
+    def test_governors_descend_on_steady_light_load(self, fraction):
+        from repro.model.task import Task, TaskSet
+        ts = TaskSet([Task(2, 10)])
+        result = simulate(ts, machine0(),
+                          make_policy("gov-past", interval=10.0),
+                          demand=fraction, duration=300.0,
+                          on_miss="drop", record_trace=True)
+        tail = {s.point.frequency for s in result.trace
+                if s.start > 200.0}
+        assert tail == {0.5}

@@ -1,0 +1,167 @@
+"""Property-based verification of the paper's central claim:
+
+    "RT-DVS algorithms ... provide significant energy savings while
+     maintaining real-time deadline guarantees."
+
+Hypothesis generates random task sets and demand patterns; every RT-DVS
+policy must (a) never miss a deadline on a schedulable set, and (b) never
+beat the theoretical lower bound for the cycles it executed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import make_policy
+from repro.core.no_dvs import NoDVS
+from repro.errors import SchedulabilityError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import k6_2_plus, machine0, machine1, machine2
+from repro.model.demand import UniformFractionDemand
+from repro.model.schedulability import rm_exact_schedulable
+from repro.sim.bound import minimum_energy_for_cycles
+from repro.sim.engine import Admission, simulate
+from repro.model.task import Task
+
+from tests.conftest import fractions, tasksets
+
+MACHINES = [machine0(), machine1(), machine2(), k6_2_plus()]
+EDF_POLICIES = ("staticEDF", "ccEDF", "laEDF")
+RM_POLICIES = ("staticRM", "ccRM")
+
+RELAXED = settings(max_examples=40, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow,
+                                          HealthCheck.filter_too_much])
+
+
+def _duration(ts):
+    return min(3.0 * max(t.period for t in ts), 500.0)
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions,
+       machine_index=st.integers(min_value=0, max_value=3))
+@pytest.mark.parametrize("policy_name", EDF_POLICIES)
+def test_edf_policies_never_miss(policy_name, ts, fraction, machine_index):
+    machine = MACHINES[machine_index]
+    result = simulate(ts, machine, make_policy(policy_name),
+                      demand=fraction, duration=_duration(ts),
+                      on_miss="raise")
+    assert result.met_all_deadlines
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions,
+       machine_index=st.integers(min_value=0, max_value=3))
+@pytest.mark.parametrize("policy_name", RM_POLICIES)
+def test_rm_policies_never_miss(policy_name, ts, fraction, machine_index):
+    machine = MACHINES[machine_index]
+    if not rm_exact_schedulable(ts, 1.0):
+        return  # not RM-schedulable at any frequency: out of scope
+    result = simulate(ts, machine, make_policy(policy_name),
+                      demand=fraction, duration=_duration(ts),
+                      on_miss="raise")
+    assert result.met_all_deadlines
+
+
+@RELAXED
+@given(ts=tasksets, seed=st.integers(min_value=0, max_value=2 ** 20))
+@pytest.mark.parametrize("policy_name", EDF_POLICIES + ("EDF",))
+def test_random_demands_never_miss(policy_name, ts, seed):
+    demand = materialize_demand(UniformFractionDemand(seed=seed), ts,
+                                _duration(ts))
+    result = simulate(ts, machine0(), make_policy(policy_name),
+                      demand=demand, duration=_duration(ts),
+                      on_miss="raise")
+    assert result.met_all_deadlines
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions)
+def test_no_policy_beats_its_own_bound(ts, fraction):
+    """Each run's energy is at least the LP bound for the cycles it
+    actually executed within the duration."""
+    duration = _duration(ts)
+    for name in ("EDF", "staticEDF", "ccEDF", "laEDF"):
+        result = simulate(ts, machine0(), make_policy(name),
+                          demand=fraction, duration=duration)
+        bound = minimum_energy_for_cycles(machine0(),
+                                          result.executed_cycles, duration)
+        assert result.total_energy >= bound - 1e-6, name
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions)
+def test_dvs_never_costs_more_than_no_dvs(ts, fraction):
+    """With a perfect halt, every EDF-based RT-DVS policy spends at most
+    plain EDF's energy (same cycles, never-higher voltage)."""
+    duration = _duration(ts)
+    reference = simulate(ts, machine0(), NoDVS(), demand=fraction,
+                         duration=duration)
+    for name in EDF_POLICIES:
+        result = simulate(ts, machine0(), make_policy(name),
+                          demand=fraction, duration=duration)
+        assert result.total_energy <= reference.total_energy * 1.0001, name
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions)
+def test_ccedf_never_above_static_edf(ts, fraction):
+    """ccEDF's utilization sum never exceeds the worst-case total, so its
+    frequency (and energy, at idle level 0) is bounded by staticEDF's."""
+    duration = _duration(ts)
+    static = simulate(ts, machine0(), make_policy("staticEDF"),
+                      demand=fraction, duration=duration)
+    cc = simulate(ts, machine0(), make_policy("ccEDF"),
+                  demand=fraction, duration=duration)
+    assert cc.total_energy <= static.total_energy * 1.0001
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions,
+       admit_at=st.floats(min_value=1.0, max_value=50.0))
+def test_deferred_admission_never_misses(ts, fraction, admit_at):
+    """Sec. 4.3's recipe, under hypothesis: insert the task immediately,
+    defer its first release until in-flight invocations finish; no
+    transient misses may occur."""
+    duration = _duration(ts)
+    if admit_at >= duration - 1.0:
+        return
+    headroom = 1.0 - ts.utilization
+    if headroom < 0.05:
+        return  # no capacity to admit anything
+    new_task = Task(wcet=headroom * 10.0 * 0.9, period=10.0, name="newbie")
+    result = simulate(ts, machine0(), make_policy("laEDF"),
+                      demand=fraction, duration=duration,
+                      admissions=[Admission(admit_at, new_task,
+                                            defer=True)],
+                      on_miss="raise")
+    assert result.met_all_deadlines
+
+
+@RELAXED
+@given(ts=tasksets)
+def test_worst_case_demand_ccedf_matches_static(ts):
+    """Sec. 3.2: with worst-case demands and free idle, ccEDF and
+    staticEDF are indistinguishable in energy."""
+    duration = _duration(ts)
+    static = simulate(ts, machine0(), make_policy("staticEDF"),
+                      demand="worst", duration=duration)
+    cc = simulate(ts, machine0(), make_policy("ccEDF"),
+                  demand="worst", duration=duration)
+    assert cc.total_energy == pytest.approx(static.total_energy, rel=1e-9)
+
+
+@RELAXED
+@given(ts=tasksets, fraction=fractions,
+       idle_level=st.floats(min_value=0.0, max_value=1.0))
+def test_idle_energy_monotone(ts, fraction, idle_level):
+    """More expensive idle can only increase total energy."""
+    duration = _duration(ts)
+    cheap = simulate(ts, machine0(), make_policy("laEDF"),
+                     demand=fraction, duration=duration,
+                     energy_model=EnergyModel(idle_level=0.0))
+    costly = simulate(ts, machine0(), make_policy("laEDF"),
+                      demand=fraction, duration=duration,
+                      energy_model=EnergyModel(idle_level=idle_level))
+    assert costly.total_energy >= cheap.total_energy - 1e-9

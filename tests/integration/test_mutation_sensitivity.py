@@ -1,0 +1,101 @@
+"""Mutation sensitivity: the verification harness must catch broken
+policies.
+
+A test suite that never fails on a wrong implementation is vacuous.  Here
+we implement *deliberately subtly wrong* variants of the RT-DVS
+algorithms — each a plausible implementation slip — and assert that the
+machinery (deadline detection, schedule validation) flags them on
+concrete workloads.
+"""
+
+import pytest
+
+from repro.core.base import DVSPolicy
+from repro.core.cycle_conserving import CycleConservingEDF
+from repro.core.look_ahead import LookAheadEDF
+from repro.errors import DeadlineMissError
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+class ForgetfulCcEDF(CycleConservingEDF):
+    """BUG: forgets to restore the worst case on release (skips the
+    paper's 'set U_i to C_i/P_i' step)."""
+
+    name = "forgetful-ccEDF"
+
+    def on_release(self, view, task):
+        return self._select(view)  # missing utilization restore
+
+
+class UnderreservingLaEDF(LookAheadEDF):
+    """BUG: defers against the *actual* remaining work instead of the
+    worst case — exactly the mistake the paper's c_left bookkeeping
+    prevents."""
+
+    name = "cheating-laEDF"
+
+    def _defer(self, view):
+        # Temporarily masquerade actual remaining as c_left by scaling
+        # down the speed the honest computation produced.
+        point = super()._defer(view)
+        slower = view.machine.next_slower(point)
+        return slower if slower is not None else point
+
+
+class HalfSpeedAlways(DVSPolicy):
+    """BUG: ignores schedulability entirely and pins the lowest point."""
+
+    name = "naive-lowest"
+    scheduler = "edf"
+
+    def setup(self, view):
+        return view.machine.slowest
+
+
+@pytest.fixture
+def tight_taskset():
+    # U = 0.95: essentially no slack for an under-reserving policy.
+    return TaskSet([Task(4, 8, name="a"), Task(3.5, 10, name="b"),
+                    Task(1.4, 14, name="c")])
+
+
+class TestHarnessCatchesBrokenPolicies:
+    def test_forgetful_ccedf_detected(self, tight_taskset):
+        """Never restoring the worst case leaves the frequency at the
+        previous invocation's actual usage — a later heavy invocation
+        must blow a deadline."""
+        from repro.model.demand import TraceDemand
+        demand = TraceDemand({"a": [1.0, 4.0], "b": [1.0, 3.5],
+                              "c": [0.5, 1.4]})
+        with pytest.raises(DeadlineMissError):
+            simulate(tight_taskset, machine0(), ForgetfulCcEDF(),
+                     demand=demand, duration=400.0, on_miss="raise")
+
+    def test_underreserving_laedf_detected(self, tight_taskset):
+        with pytest.raises(DeadlineMissError):
+            simulate(tight_taskset, machine0(), UnderreservingLaEDF(),
+                     demand="worst", duration=400.0, on_miss="raise")
+
+    def test_naive_lowest_detected(self, tight_taskset):
+        with pytest.raises(DeadlineMissError):
+            simulate(tight_taskset, machine0(), HalfSpeedAlways(),
+                     demand="worst", duration=400.0, on_miss="raise")
+
+    def test_correct_policies_pass_same_workloads(self, tight_taskset):
+        """Sanity: the honest implementations survive exactly the
+        workloads that kill the mutants."""
+        from repro.core import make_policy
+        from repro.model.demand import TraceDemand
+        demand = TraceDemand({"a": [1.0, 4.0], "b": [1.0, 3.5],
+                              "c": [0.5, 1.4]})
+        for name in ("ccEDF", "laEDF"):
+            result = simulate(tight_taskset, machine0(),
+                              make_policy(name), demand=demand,
+                              duration=400.0, on_miss="raise")
+            assert result.met_all_deadlines
+        result = simulate(tight_taskset, machine0(),
+                          make_policy("laEDF"), demand="worst",
+                          duration=400.0, on_miss="raise")
+        assert result.met_all_deadlines

@@ -1,0 +1,52 @@
+"""Tests for the run-all orchestration and its file outputs."""
+
+import os
+
+import pytest
+
+import repro.experiments.runall as runall_module
+from repro.experiments import table1, table4
+from repro.experiments.runall import run_all, summary_table
+
+
+@pytest.fixture
+def tiny_registry(monkeypatch):
+    """Restrict run-all to the two cheapest experiments."""
+    monkeypatch.setattr(runall_module, "ALL_EXPERIMENTS",
+                        {"table1": table1.run, "table4": table4.run})
+
+
+class TestRunAll:
+    def test_runs_everything_in_registry(self, tiny_registry):
+        results = run_all(quick=True)
+        assert [r.experiment_id for r in results] == ["table1", "table4"]
+        assert all(r.all_checks_pass for r in results)
+
+    def test_writes_reports_and_csvs(self, tiny_registry, tmp_path):
+        run_all(quick=True, output_dir=str(tmp_path))
+        files = os.listdir(tmp_path)
+        assert "table1.md" in files
+        assert "table4.md" in files
+        assert "report.md" in files
+        assert any(name.endswith(".csv") for name in files)
+        combined = (tmp_path / "report.md").read_text()
+        assert "| table1 |" in combined and "| table4 |" in combined
+
+    def test_summary_table(self, tiny_registry):
+        results = run_all(quick=True)
+        text = summary_table(results)
+        assert "| table1 |" in text
+        assert "pass |" in text
+
+    def test_workers_forwarded_only_where_supported(self, monkeypatch):
+        """Drivers without a workers parameter must not receive one."""
+        seen = {}
+
+        def fake_run(quick=True):
+            seen["quick"] = quick
+            return table1.run(quick=quick)
+
+        monkeypatch.setattr(runall_module, "ALL_EXPERIMENTS",
+                            {"fake": fake_run})
+        run_all(quick=False, workers=4)
+        assert seen["quick"] is False

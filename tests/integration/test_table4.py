@@ -1,0 +1,75 @@
+"""Integration anchor: exact reproduction of the paper's Table 4.
+
+These numbers pin down every algorithm's semantics end to end: the
+scheduler, the engine's cycle accounting, the V² energy model, and all
+five RT-DVS policies.
+"""
+
+import pytest
+
+from repro import (
+    PAPER_POLICIES,
+    example_taskset,
+    machine0,
+    make_policy,
+    paper_example_trace,
+    simulate,
+    theoretical_bound,
+)
+
+#: (policy, exact raw energy over 16 ms, paper's normalized value)
+TABLE4 = [
+    ("EDF", 175.0, 1.00),
+    ("staticRM", 175.0, 1.00),
+    ("staticEDF", 112.0, 0.64),
+    ("ccEDF", 91.0, 0.52),
+    ("ccRM", 125.0, 0.71),
+    ("laEDF", 77.0, 0.44),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name, _, _ in TABLE4:
+        out[name] = simulate(example_taskset(), machine0(),
+                             make_policy(name),
+                             demand=paper_example_trace(), duration=16.0)
+    return out
+
+
+@pytest.mark.parametrize("name,raw,normalized", TABLE4)
+def test_exact_energy(results, name, raw, normalized):
+    assert results[name].total_energy == pytest.approx(raw)
+
+
+@pytest.mark.parametrize("name,raw,normalized", TABLE4)
+def test_normalized_rounds_to_paper_value(results, name, raw, normalized):
+    ratio = results[name].total_energy / results["EDF"].total_energy
+    assert round(ratio, 2) == pytest.approx(normalized)
+
+
+@pytest.mark.parametrize("name,raw,normalized", TABLE4)
+def test_no_deadline_misses(results, name, raw, normalized):
+    assert results[name].met_all_deadlines
+
+
+def test_paper_policy_ordering(results):
+    """laEDF < ccEDF < staticEDF < ccRM < staticRM = EDF on the example."""
+    energies = [results[name].total_energy for name in
+                ("laEDF", "ccEDF", "staticEDF", "ccRM", "staticRM")]
+    assert energies == sorted(energies)
+
+
+def test_bound_is_36_percent(results):
+    bound = theoretical_bound(results["EDF"], machine0())
+    assert bound == pytest.approx(63.0)
+    assert bound <= min(r.total_energy for r in results.values())
+
+
+def test_at_most_two_switches_per_invocation(results):
+    """Sec. 2.5: "At most, they require 2 frequency/voltage switches per
+    task per invocation"."""
+    for name, result in results.items():
+        invocations = len(result.jobs)
+        assert result.switches <= 2 * invocations, name

@@ -1,0 +1,61 @@
+"""Unit tests for the admission controller (Sec. 4.3)."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.kernel.admission import AdmissionController
+from repro.model.task import Task, TaskSet, example_taskset
+
+
+class TestEDFAdmission:
+    def test_accepts_within_capacity(self):
+        controller = AdmissionController("edf")
+        decision = controller.check(example_taskset(), Task(1, 10))
+        assert decision
+        assert "<= 1" in decision.reason
+
+    def test_rejects_overload(self):
+        controller = AdmissionController("edf")
+        decision = controller.check(example_taskset(), Task(9, 10))
+        assert not decision
+        assert "exceeds 1" in decision.reason
+
+    def test_admit_builds_record(self):
+        controller = AdmissionController("edf")
+        record = controller.admit(example_taskset(), Task(1, 10, "new"),
+                                  time=25.0, defer=True)
+        assert record.time == 25.0
+        assert record.defer is True
+        assert record.task.name == "new"
+
+    def test_admit_raises_when_unschedulable(self):
+        controller = AdmissionController("edf")
+        with pytest.raises(AdmissionError):
+            controller.admit(example_taskset(), Task(9, 10), time=0.0)
+
+
+class TestRMAdmission:
+    def test_uses_exact_test(self):
+        controller = AdmissionController("rm")
+        # Harmonic addition passes at U = 1.0 under the exact RM test.
+        current = TaskSet([Task(1, 2), Task(1, 4)])
+        assert controller.check(current, Task(1, 4))
+
+    def test_rejects_rm_unschedulable(self):
+        controller = AdmissionController("rm")
+        current = TaskSet([Task(1, 2), Task(1, 3)])
+        assert not controller.check(current, Task(1, 5))  # U = 1.03
+
+
+class TestValidation:
+    def test_bad_scheduler(self):
+        with pytest.raises(AdmissionError):
+            AdmissionController("fifo")
+
+    def test_invalid_candidate_reported(self):
+        controller = AdmissionController("edf")
+        # Duplicate name makes the combined set invalid.
+        decision = controller.check(example_taskset(),
+                                    Task(1, 10, name="T1"))
+        assert not decision
+        assert "invalid task" in decision.reason

@@ -1,0 +1,62 @@
+"""Unit tests for the cold-start overrun demand wrapper (Sec. 4.3)."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.errors import KernelError
+from repro.hw.machine import machine0
+from repro.kernel.coldstart import ColdStartDemand
+from repro.model.demand import ConstantFractionDemand
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+TASK = Task(wcet=4.0, period=10.0, name="T1")
+
+
+class TestWrapper:
+    def test_first_invocation_inflated(self):
+        model = ColdStartDemand(ConstantFractionDemand(0.5), penalty=2.0)
+        assert model.demand(TASK, 0) == pytest.approx(4.0)  # 2.0 * 2.0
+        assert model.demand(TASK, 1) == pytest.approx(2.0)
+
+    def test_default_base_is_worst_case(self):
+        model = ColdStartDemand(penalty=1.5)
+        assert model.demand(TASK, 0) == pytest.approx(6.0)
+        assert model.demand(TASK, 3) == pytest.approx(4.0)
+
+    def test_penalty_below_one_rejected(self):
+        with pytest.raises(KernelError):
+            ColdStartDemand(penalty=0.9)
+
+    def test_reset_propagates(self):
+        from repro.model.demand import UniformFractionDemand
+        base = UniformFractionDemand(seed=1)
+        model = ColdStartDemand(base, penalty=1.2)
+        first = model.demand(TASK, 0)
+        model.reset()
+        assert model.demand(TASK, 0) == first
+
+
+class TestEndToEnd:
+    def test_cold_start_can_cause_first_invocation_miss(self):
+        """The paper's observation: the very first invocation may overrun
+        its bound on a cold system and miss; later ones are fine."""
+        ts = TaskSet([Task(wcet=8.0, period=10.0, name="hot")])
+        model = ColdStartDemand(penalty=1.5)  # 12 cycles > 10 ms period
+        result = simulate(ts, machine0(), make_policy("EDF"),
+                          demand=model, duration=100.0,
+                          enforce_wcet=False, on_miss="drop")
+        assert result.deadline_miss_count == 1
+        assert result.misses[0].release_time == 0.0
+        # "On subsequent invocations, the state is warm" — no more misses.
+        later = [j for j in result.jobs if j.index > 0]
+        assert all(j.is_complete for j in later if
+                   j.absolute_deadline <= 100.0)
+
+    def test_budget_enforcement_hides_the_overrun(self):
+        ts = TaskSet([Task(wcet=8.0, period=10.0, name="hot")])
+        model = ColdStartDemand(penalty=1.5)
+        result = simulate(ts, machine0(), make_policy("EDF"),
+                          demand=model, duration=100.0,
+                          enforce_wcet=True)
+        assert result.met_all_deadlines

@@ -1,0 +1,201 @@
+"""Integration tests for the RTKernel module layer (Fig. 14)."""
+
+import pytest
+
+from repro.errors import AdmissionError, KernelError
+from repro.kernel import ColdStartDemand, PeriodicRTTask, RTKernel
+from repro.model.task import Task
+from repro.sim.engine import Admission
+
+
+def light_kernel(**kwargs) -> RTKernel:
+    kernel = RTKernel(charge_switch_overhead=False, **kwargs)
+    kernel.register_task(PeriodicRTTask("a", period=20, wcet=4,
+                                        workload=0.8))
+    kernel.register_task(PeriodicRTTask("b", period=50, wcet=10,
+                                        workload=0.8))
+    return kernel
+
+
+class TestTaskRegistry:
+    def test_register_and_unregister(self):
+        kernel = light_kernel()
+        assert [t.name for t in kernel.tasks] == ["a", "b"]
+        kernel.unregister_task("a")
+        assert [t.name for t in kernel.tasks] == ["b"]
+        with pytest.raises(KernelError):
+            kernel.unregister_task("a")
+
+    def test_duplicate_rejected(self):
+        kernel = light_kernel()
+        with pytest.raises(KernelError):
+            kernel.register_task(PeriodicRTTask("a", period=5, wcet=1))
+
+    def test_admission_check_on_register(self):
+        kernel = light_kernel()
+        with pytest.raises(AdmissionError):
+            kernel.register_task(PeriodicRTTask("fat", period=10, wcet=9))
+
+    def test_taskset_requires_tasks(self):
+        kernel = RTKernel()
+        with pytest.raises(KernelError):
+            kernel.taskset()
+
+    def test_task_lookup(self):
+        kernel = light_kernel()
+        assert kernel.task("a").period == 20
+        with pytest.raises(KernelError):
+            kernel.task("ghost")
+
+
+class TestPolicyModules:
+    def test_phase_requires_policy(self):
+        kernel = light_kernel()
+        with pytest.raises(KernelError):
+            kernel.run_phase(100.0)
+
+    def test_load_by_name_and_swap(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        assert kernel.loaded_policy.name == "ccEDF"
+        kernel.load_policy("laEDF")
+        assert kernel.loaded_policy.name == "laEDF"
+
+    def test_unload(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        kernel.unload_policy()
+        assert kernel.loaded_policy is None
+        with pytest.raises(KernelError):
+            kernel.run_phase(10.0)
+
+
+class TestPhases:
+    def test_phases_accumulate(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        kernel.run_phase(100.0)
+        kernel.load_policy("laEDF")
+        kernel.run_phase(100.0)
+        assert kernel.uptime == 200.0
+        assert len(kernel.results) == 2
+        assert kernel.total_energy > 0
+        assert kernel.total_misses == 0
+
+    def test_stats_track_invocations(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        kernel.run_phase(100.0)
+        stats = kernel.task("a").stats
+        assert stats.invocations == 5
+        assert stats.completions == 5
+        assert stats.cycles == pytest.approx(5 * 4 * 0.8)
+
+    def test_workload_continues_across_phases(self):
+        """Invocation-indexed workloads must not restart at phase swaps."""
+        seen = []
+
+        def workload(k):
+            seen.append(k)
+            return 1.0
+
+        kernel = RTKernel(charge_switch_overhead=False)
+        kernel.register_task(PeriodicRTTask("w", period=10, wcet=2,
+                                            workload=workload))
+        kernel.load_policy("ccEDF")
+        kernel.run_phase(50.0)
+        kernel.run_phase(50.0)
+        assert max(seen) == 9  # 10 invocations with global numbering
+        assert sorted(set(seen)) == list(range(10))
+
+
+class TestSwitchOverheadPadding:
+    def test_padded_wcets(self):
+        kernel = RTKernel(charge_switch_overhead=True)
+        kernel.register_task(PeriodicRTTask("a", period=20, wcet=4))
+        padded = kernel.padded_taskset()
+        pad = 2 * kernel.powernow.switching_model().voltage_switch_time
+        assert padded[0].wcet == pytest.approx(4 + pad)
+
+    def test_pad_overflow_rejected(self):
+        kernel = RTKernel(charge_switch_overhead=True)
+        kernel.register_task(PeriodicRTTask("tight", period=1.0, wcet=0.9))
+        with pytest.raises(KernelError):
+            kernel.padded_taskset()
+
+    def test_phase_with_overheads_meets_deadlines(self):
+        kernel = RTKernel(charge_switch_overhead=True)
+        kernel.register_task(PeriodicRTTask("a", period=20, wcet=8,
+                                            workload=0.7))
+        kernel.register_task(PeriodicRTTask("b", period=50, wcet=15,
+                                            workload=0.7))
+        kernel.load_policy("laEDF")
+        result = kernel.run_phase(500.0, on_miss="raise")
+        assert result.met_all_deadlines
+        assert result.switches > 0
+
+
+class TestDynamicAdmission:
+    def test_deferred_admission_no_misses(self):
+        kernel = light_kernel()
+        kernel.load_policy("laEDF")
+        admission = Admission(time=30.0, task=Task(3, 25, name="c"),
+                              defer=True)
+        result = kernel.run_phase(300.0, admissions=[admission],
+                                  on_miss="raise")
+        assert result.met_all_deadlines
+        assert "c" in [t.name for t in kernel.tasks]
+
+    def test_unschedulable_admission_refused(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        admission = Admission(time=30.0, task=Task(19, 20, name="fat"))
+        with pytest.raises(AdmissionError):
+            kernel.run_phase(300.0, admissions=[admission])
+
+
+class TestColdStart:
+    def test_overrun_detected_without_enforcement(self):
+        kernel = RTKernel(charge_switch_overhead=False, enforce_wcet=False)
+        kernel.register_task(PeriodicRTTask(
+            "cold", period=10, wcet=7,
+            workload=lambda k: 10.5 if k == 0 else 5.0))
+        kernel.load_policy("ccEDF")
+        result = kernel.run_phase(100.0, on_miss="drop")
+        # The first invocation overran its period -> one transient miss.
+        assert result.deadline_miss_count == 1
+        first = [j for j in result.jobs if j.index == 0][0]
+        assert first.demand == pytest.approx(10.5)
+
+    def test_enforcement_clamps_the_overrun(self):
+        kernel = RTKernel(charge_switch_overhead=False, enforce_wcet=True)
+        kernel.register_task(PeriodicRTTask(
+            "cold", period=10, wcet=7, workload=lambda k: 10.5))
+        kernel.load_policy("ccEDF")
+        result = kernel.run_phase(100.0, on_miss="raise")
+        assert result.met_all_deadlines
+        assert all(j.demand <= 7.0 + 1e-9 for j in result.jobs)
+
+
+class TestProcfsIntegration:
+    def test_full_surface(self):
+        kernel = light_kernel()
+        kernel.load_policy("ccEDF")
+        kernel.run_phase(100.0)
+        tasks_text = kernel.procfs.read("/rt/tasks")
+        assert "a 20 4" in tasks_text
+        policy_text = kernel.procfs.read("/rt/policy")
+        assert "ccEDF" in policy_text
+        stats_text = kernel.procfs.read("/rt/stats")
+        assert "uptime=100" in stats_text
+        assert "PowerNow!" in kernel.procfs.read("/powernow")
+
+    def test_register_via_write(self):
+        kernel = light_kernel()
+        kernel.procfs.write("/rt/tasks", "c 100 5 0.5")
+        assert kernel.task("c").wcet == 5.0
+
+    def test_policy_via_write(self):
+        kernel = light_kernel()
+        kernel.procfs.write("/rt/policy", "laEDF")
+        assert kernel.loaded_policy.name == "laEDF"

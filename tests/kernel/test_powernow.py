@@ -1,0 +1,107 @@
+"""Unit tests for the PowerNow! module emulation."""
+
+import pytest
+
+from repro.errors import PowerNowError
+from repro.hw.machine import machine0
+from repro.kernel.powernow import (
+    DEFAULT_VOLTAGE_HALT_UNITS,
+    STOP_INTERVAL_UNIT_MS,
+    PowerNowModule,
+)
+
+
+@pytest.fixture
+def module():
+    return PowerNowModule()
+
+
+class TestFrequencyControl:
+    def test_boots_at_max(self, module):
+        assert module.current_mhz == pytest.approx(550.0)
+        assert module.current_voltage == 2.0
+
+    def test_set_frequency(self, module):
+        halt = module.set_frequency(300)
+        assert module.current_mhz == pytest.approx(300.0)
+        assert module.current_voltage == 1.4  # board mapping
+        # 550 -> 300 changes voltage: 10 x 41 us.
+        assert halt == pytest.approx(
+            DEFAULT_VOLTAGE_HALT_UNITS * STOP_INTERVAL_UNIT_MS)
+
+    def test_frequency_only_transition(self, module):
+        module.set_frequency(300)
+        halt = module.set_frequency(400)  # both at 1.4 V
+        assert halt == pytest.approx(STOP_INTERVAL_UNIT_MS)
+
+    def test_same_frequency_is_free(self, module):
+        module.set_frequency(300)
+        assert module.set_frequency(300) == 0.0
+        assert module.transition_count == 1
+
+    def test_invalid_pll_step(self, module):
+        with pytest.raises(PowerNowError):
+            module.set_frequency(250)  # the skipped step
+        with pytest.raises(PowerNowError):
+            module.set_frequency(625)
+
+    def test_transition_accounting(self, module):
+        module.set_frequency(200)
+        module.set_frequency(550)
+        assert module.transition_count == 2
+        assert module.total_halt_time == pytest.approx(2 * 0.41)
+
+    def test_set_point_validates_membership(self, module):
+        from repro.hw.operating_point import OperatingPoint
+        with pytest.raises(PowerNowError):
+            module.set_point(OperatingPoint(0.42, 1.6))
+
+    def test_custom_machine(self):
+        module = PowerNowModule(machine=machine0(), max_mhz=1000.0)
+        module.set_frequency(750)
+        assert module.current_point.voltage == 4.0
+
+    def test_bad_halt_units(self):
+        with pytest.raises(PowerNowError):
+            PowerNowModule(voltage_halt_units=0)
+
+
+class TestTimestampCounter:
+    def test_paper_measurements_reproduced(self, module):
+        """Sec. 4.1: ~8200 TSC cycles to 200 MHz, ~22500 to 550 MHz."""
+        assert module.tsc_cycles_for_transition(200) == \
+            pytest.approx(8200.0)
+        assert module.tsc_cycles_for_transition(550) == \
+            pytest.approx(22550.0)  # the paper reports "around 22500"
+
+    def test_scales_with_halt_units(self, module):
+        assert module.tsc_cycles_for_transition(200, halt_units=10) == \
+            pytest.approx(82000.0)
+
+    def test_validates_pll_step(self, module):
+        with pytest.raises(PowerNowError):
+            module.tsc_cycles_for_transition(250)
+
+
+class TestSwitchingModelIntegration:
+    def test_matches_measured_overheads(self, module):
+        model = module.switching_model()
+        assert model.frequency_switch_time == pytest.approx(0.041)
+        assert model.voltage_switch_time == pytest.approx(0.41)
+
+
+class TestProcfsText:
+    def test_status_text(self, module):
+        module.set_frequency(450)
+        text = module.status_text()
+        assert "450 MHz @ 1.4 V" in text
+        assert "transitions: 1" in text
+        assert "*" in text
+
+    def test_handle_write(self, module):
+        module.handle_write(" 350 ")
+        assert module.current_mhz == pytest.approx(350.0)
+
+    def test_handle_write_garbage(self, module):
+        with pytest.raises(PowerNowError):
+            module.handle_write("fast please")

@@ -1,0 +1,78 @@
+"""Unit tests for the in-memory procfs emulation."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.procfs import ProcFS
+
+
+@pytest.fixture
+def fs():
+    return ProcFS()
+
+
+class TestRegistration:
+    def test_read_write_roundtrip(self, fs):
+        store = {"value": "initial"}
+        fs.register("/rt/test", read=lambda: store["value"],
+                    write=lambda text: store.update(value=text))
+        assert fs.read("/rt/test") == "initial"
+        fs.write("/rt/test", "updated")
+        assert fs.read("/rt/test") == "updated"
+
+    def test_needs_at_least_one_handler(self, fs):
+        with pytest.raises(KernelError):
+            fs.register("/rt/none")
+
+    def test_duplicate_rejected(self, fs):
+        fs.register("/a", read=lambda: "x")
+        with pytest.raises(KernelError):
+            fs.register("/a", read=lambda: "y")
+
+    def test_unregister(self, fs):
+        fs.register("/a", read=lambda: "x")
+        fs.unregister("/a")
+        assert not fs.exists("/a")
+        with pytest.raises(KernelError):
+            fs.unregister("/a")
+
+    def test_read_only_file_rejects_write(self, fs):
+        fs.register("/ro", read=lambda: "x")
+        with pytest.raises(KernelError):
+            fs.write("/ro", "y")
+
+    def test_write_only_file_rejects_read(self, fs):
+        fs.register("/wo", write=lambda text: None)
+        with pytest.raises(KernelError):
+            fs.read("/wo")
+
+    def test_missing_path(self, fs):
+        with pytest.raises(KernelError):
+            fs.read("/missing")
+
+
+class TestPathNormalization:
+    def test_proc_prefix_stripped(self, fs):
+        fs.register("/rt/tasks", read=lambda: "ok")
+        assert fs.read("/proc/rt/tasks") == "ok"
+
+    def test_relative_and_doubled_slashes(self, fs):
+        fs.register("rt//tasks", read=lambda: "ok")
+        assert fs.read("/rt/tasks") == "ok"
+
+    def test_trailing_slash(self, fs):
+        fs.register("/rt/tasks/", read=lambda: "ok")
+        assert fs.read("/rt/tasks") == "ok"
+
+
+class TestListdir:
+    def test_lists_all(self, fs):
+        fs.register("/rt/a", read=lambda: "")
+        fs.register("/rt/b", read=lambda: "")
+        fs.register("/powernow", read=lambda: "")
+        assert fs.listdir() == ["/powernow", "/rt/a", "/rt/b"]
+
+    def test_prefix_filter(self, fs):
+        fs.register("/rt/a", read=lambda: "")
+        fs.register("/powernow", read=lambda: "")
+        assert fs.listdir("/rt") == ["/rt/a"]

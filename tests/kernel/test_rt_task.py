@@ -1,0 +1,75 @@
+"""Unit tests for PeriodicRTTask and the kernel demand adapter."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.rt_task import KernelDemand, PeriodicRTTask
+from repro.model.demand import ConstantFractionDemand
+from repro.model.task import Task
+
+
+class TestWorkloads:
+    def test_default_is_worst_case(self):
+        task = PeriodicRTTask("a", period=10, wcet=4)
+        assert task.demand_for(0) == 4.0
+        assert task.demand_for(17) == 4.0
+
+    def test_fraction_workload(self):
+        task = PeriodicRTTask("a", period=10, wcet=4, workload=0.5)
+        assert task.demand_for(3) == 2.0
+
+    def test_bad_fraction(self):
+        task = PeriodicRTTask("a", period=10, wcet=4, workload=1.5)
+        with pytest.raises(KernelError):
+            task.demand_for(0)
+
+    def test_callable_workload(self):
+        task = PeriodicRTTask("a", period=10, wcet=4,
+                              workload=lambda k: 1.0 + k % 2)
+        assert task.demand_for(0) == 1.0
+        assert task.demand_for(1) == 2.0
+
+    def test_callable_negative_rejected(self):
+        task = PeriodicRTTask("a", period=10, wcet=4,
+                              workload=lambda k: -1.0)
+        with pytest.raises(KernelError):
+            task.demand_for(0)
+
+    def test_demand_model_workload(self):
+        task = PeriodicRTTask("a", period=10, wcet=4,
+                              workload=ConstantFractionDemand(0.25))
+        assert task.demand_for(0) == 1.0
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        task = PeriodicRTTask.parse("video 40 10")
+        assert task.name == "video"
+        assert task.period == 40.0
+        assert task.wcet == 10.0
+        assert task.demand_for(0) == 10.0
+
+    def test_parse_with_fraction(self):
+        task = PeriodicRTTask.parse("video 40 10 0.9")
+        assert task.demand_for(0) == pytest.approx(9.0)
+
+    @pytest.mark.parametrize("text", ["video", "video 40", "v 40 x",
+                                      "v 40 10 0.9 extra"])
+    def test_parse_errors(self, text):
+        with pytest.raises(KernelError):
+            PeriodicRTTask.parse(text)
+
+
+class TestPhaseOffsets:
+    def test_offset_shifts_invocations(self):
+        task = PeriodicRTTask("a", period=10, wcet=4,
+                              workload=lambda k: float(k))
+        demand = KernelDemand({"a": task})
+        assert demand.demand(task.task, 2) == 2.0
+        task.advance_phase(5)
+        assert demand.demand(task.task, 2) == 7.0
+
+    def test_unknown_task_rejected(self):
+        demand = KernelDemand({})
+        with pytest.raises(KernelError):
+            demand.demand(Task(1, 10, name="ghost"), 0)

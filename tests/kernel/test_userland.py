@@ -1,0 +1,104 @@
+"""Tests for the generator-based user-task API."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import RTKernel, UserTask, constant_body, phased_body
+
+
+class TestBodies:
+    def test_constant_body(self):
+        task = UserTask("t", period=10.0, wcet=4.0,
+                        body=constant_body(2.5))
+        assert task.rt_task.demand_for(0) == 2.5
+        assert task.rt_task.demand_for(7) == 2.5
+
+    def test_phased_body_sums_phases(self):
+        task = UserTask("t", period=10.0, wcet=4.0,
+                        body=phased_body(1.0, 0.5, 1.5))
+        assert task.rt_task.demand_for(0) == pytest.approx(3.0)
+
+    def test_invocation_dependent_body(self):
+        def body(invocation):
+            yield 1.0
+            if invocation % 2 == 1:
+                yield 2.0
+
+        task = UserTask("t", period=10.0, wcet=4.0, body=body)
+        assert task.rt_task.demand_for(0) == 1.0
+        assert task.rt_task.demand_for(1) == 3.0
+
+    def test_empty_body_is_zero_demand(self):
+        def body(invocation):
+            return
+            yield  # pragma: no cover - makes it a generator
+
+        task = UserTask("t", period=10.0, wcet=4.0, body=body)
+        assert task.rt_task.demand_for(0) == 0.0
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(KernelError):
+            UserTask("t", period=10.0, wcet=4.0, body=3.0)
+
+    def test_bad_phase_values(self):
+        task_neg = UserTask("t", period=10.0, wcet=4.0,
+                            body=phased_body(-1.0))
+        with pytest.raises(KernelError):
+            task_neg.rt_task.demand_for(0)
+
+        def nan_body(invocation):
+            yield "lots"
+
+        task_str = UserTask("t2", period=10.0, wcet=4.0, body=nan_body)
+        with pytest.raises(KernelError):
+            task_str.rt_task.demand_for(0)
+
+
+class TestBudgetEnforcement:
+    def test_overrun_clamped_and_counted(self):
+        task = UserTask("greedy", period=10.0, wcet=3.0,
+                        body=phased_body(2.0, 2.0))
+        assert task.rt_task.demand_for(0) == 3.0  # clamped to wcet
+        assert task.overruns == 1
+        task.rt_task.demand_for(1)
+        assert task.overruns == 2
+
+
+def test_module_doctests():
+    import doctest
+
+    from repro.kernel import userland
+
+    results = doctest.testmod(userland)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+class TestKernelIntegration:
+    def test_register_and_run(self):
+        kernel = RTKernel(charge_switch_overhead=False)
+        sensor = UserTask("sensor", period=10.0, wcet=3.0,
+                          body=phased_body(0.5, 0.5))
+        encoder = UserTask("encoder", period=40.0, wcet=12.0,
+                           body=constant_body(9.0))
+        sensor.register_with(kernel)
+        encoder.register_with(kernel)
+        kernel.load_policy("laEDF")
+        result = kernel.run_phase(200.0)
+        assert result.met_all_deadlines
+        assert kernel.task("sensor").stats.cycles == \
+            pytest.approx(20 * 1.0)
+
+    def test_cold_start_style_overrun_observed(self):
+        """A body that blows its budget on invocation 0 (cold caches) is
+        clamped by the kernel but the overrun is visible to the user."""
+        def cold_body(invocation):
+            yield 5.0 if invocation == 0 else 2.0
+
+        kernel = RTKernel(charge_switch_overhead=False)
+        task = UserTask("cold", period=10.0, wcet=3.0, body=cold_body)
+        task.register_with(kernel)
+        kernel.load_policy("ccEDF")
+        result = kernel.run_phase(100.0)
+        assert result.met_all_deadlines  # clamped => guarantees hold
+        assert task.overruns == 1

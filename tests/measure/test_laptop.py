@@ -1,0 +1,61 @@
+"""Unit tests for the laptop power model (Table 1 calibration)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.hw.machine import k6_2_plus
+from repro.measure.laptop import LaptopPowerModel, PowerState, table1_rows
+
+
+class TestTable1:
+    def test_exact_paper_values(self):
+        rows = table1_rows()
+        watts = [w for _, _, _, w in rows]
+        assert watts == pytest.approx([13.5, 13.0, 7.1, 27.3])
+
+    def test_row_labels(self):
+        rows = table1_rows()
+        assert rows[0][:3] == ("On", "Spinning", "Idle")
+        assert rows[3][:3] == ("Off", "Standby", "Max. Load")
+
+
+class TestModel:
+    def test_cpu_fraction_near_60_percent(self):
+        model = LaptopPowerModel()
+        # "the processor subsystem dominates, accounting for nearly 60%".
+        assert model.max_load_cpu_fraction == pytest.approx(0.74, abs=0.01)
+
+    def test_power_state_validation(self):
+        with pytest.raises(MachineError):
+            PowerState(screen_on=True, disk_spinning=False, cpu_load=1.5)
+
+    def test_component_validation(self):
+        with pytest.raises(MachineError):
+            LaptopPowerModel(board_base=-1.0)
+
+    def test_partial_cpu_load(self):
+        model = LaptopPowerModel()
+        state = PowerState(screen_on=False, disk_spinning=False,
+                           cpu_load=0.5)
+        assert model.power(state) == pytest.approx(7.1 + 10.1)
+
+    def test_system_power(self):
+        model = LaptopPowerModel()
+        assert model.system_power(10.0) == pytest.approx(17.1)
+        assert model.system_power(0.0, screen_on=True) == \
+            pytest.approx(13.0)
+        assert model.system_power(0.0, screen_on=True,
+                                  disk_spinning=True) == \
+            pytest.approx(13.5)
+
+    def test_system_power_negative_rejected(self):
+        with pytest.raises(MachineError):
+            LaptopPowerModel().system_power(-1.0)
+
+
+class TestCalibration:
+    def test_scale_makes_full_speed_match_cpu_delta(self):
+        model = LaptopPowerModel()
+        machine = k6_2_plus()
+        scale = model.cycle_energy_scale_for(machine)
+        assert scale * machine.fastest.power == pytest.approx(20.2)

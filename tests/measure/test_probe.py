@@ -1,0 +1,94 @@
+"""Unit tests for the current-probe/oscilloscope emulation."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.core.fixed import FixedSpeed
+from repro.errors import SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.measure.laptop import LaptopPowerModel
+from repro.measure.probe import DigitalOscilloscope, PowerTrace
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def traced_run():
+    return simulate(example_taskset(), machine0(), make_policy("laEDF"),
+                    demand=0.6, duration=56.0, record_trace=True)
+
+
+class TestPowerTrace:
+    def test_requires_trace(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0)
+        with pytest.raises(SimulationError):
+            PowerTrace(result)
+
+    def test_instantaneous_power_matches_point(self):
+        ts = TaskSet([Task(4, 10)])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0,
+                          record_trace=True)
+        trace = PowerTrace(result)
+        # Executing at (1.0, 5 V): power = 25; idle (level 0): power = 0.
+        assert trace.cpu_power_at(2.0) == pytest.approx(25.0)
+        assert trace.cpu_power_at(8.0) == pytest.approx(0.0)
+
+    def test_mean_power_equals_energy_over_time(self, traced_run):
+        trace = PowerTrace(traced_run)
+        assert trace.mean_power() == \
+            pytest.approx(traced_run.total_energy / traced_run.duration)
+
+    def test_mean_power_subwindow(self):
+        ts = TaskSet([Task(5, 10)])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0,
+                          record_trace=True)
+        trace = PowerTrace(result)
+        assert trace.mean_power(0.0, 5.0) == pytest.approx(25.0)
+        assert trace.mean_power(5.0, 10.0) == pytest.approx(0.0)
+        assert trace.mean_power(2.5, 7.5) == pytest.approx(12.5)
+
+    def test_platform_overhead_added(self, traced_run):
+        laptop = LaptopPowerModel()
+        bare = PowerTrace(traced_run)
+        system = PowerTrace(traced_run, laptop=laptop)
+        assert system.mean_power() == \
+            pytest.approx(bare.mean_power() + laptop.board_base)
+        lit = PowerTrace(traced_run, laptop=laptop, screen_on=True)
+        assert lit.mean_power() == \
+            pytest.approx(system.mean_power() + laptop.display_backlight)
+
+    def test_out_of_range_rejected(self, traced_run):
+        trace = PowerTrace(traced_run)
+        with pytest.raises(SimulationError):
+            trace.power_at(-1.0)
+        with pytest.raises(SimulationError):
+            trace.power_at(1000.0)
+        with pytest.raises(SimulationError):
+            trace.mean_power(10.0, 5.0)
+
+
+class TestOscilloscope:
+    def test_sample_count(self, traced_run):
+        scope = DigitalOscilloscope(sample_interval=1.0)
+        acquisition = scope.acquire(PowerTrace(traced_run), 0.0, 10.0)
+        assert len(acquisition) == 11
+
+    def test_statistics_bound_samples(self, traced_run):
+        scope = DigitalOscilloscope(sample_interval=0.5)
+        acquisition = scope.acquire(PowerTrace(traced_run))
+        assert acquisition.trough <= acquisition.mean <= acquisition.peak
+
+    def test_bad_interval(self):
+        with pytest.raises(SimulationError):
+            DigitalOscilloscope(sample_interval=0.0)
+
+    def test_mean_is_exact_not_sample_based(self):
+        # A very coarse sampling interval must not corrupt the mean.
+        ts = TaskSet([Task(5, 10)])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0,
+                          record_trace=True)
+        scope = DigitalOscilloscope(sample_interval=7.0)
+        acquisition = scope.acquire(PowerTrace(result))
+        assert acquisition.mean == pytest.approx(12.5)

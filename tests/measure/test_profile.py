@@ -1,0 +1,94 @@
+"""Tests for the per-task energy profiler."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.core.fixed import FixedSpeed
+from repro.errors import SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.measure.profile import (IDLE_LABEL, EnergyProfiler,
+                                   TaskEnergyProfile)
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+class TestAttribution:
+    def test_requires_trace(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0)
+        with pytest.raises(SimulationError):
+            EnergyProfiler(result)
+
+    def test_totals_match_run(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("laEDF"), demand=0.6,
+                          duration=112.0, record_trace=True,
+                          energy_model=EnergyModel(idle_level=0.3))
+        profiler = EnergyProfiler(result)
+        assert profiler.total_energy == pytest.approx(result.total_energy)
+
+    def test_single_task_attribution(self):
+        ts = TaskSet([Task(4, 10, name="only")])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0,
+                          record_trace=True)
+        profiler = EnergyProfiler(result)
+        profile = profiler.profile("only")
+        assert profile.energy == pytest.approx(4 * 25.0)
+        assert profile.cycles == pytest.approx(4.0)
+        assert profiler.share("only") == pytest.approx(1.0)
+
+    def test_shares_sum_to_one(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("ccEDF"), demand=0.7,
+                          duration=112.0, record_trace=True)
+        profiler = EnergyProfiler(result)
+        total_share = sum(profiler.share(p.name)
+                          for p in profiler.profiles())
+        assert total_share == pytest.approx(1.0)
+
+    def test_idle_energy_attributed_to_system(self):
+        ts = TaskSet([Task(2, 10, name="t")])
+        result = simulate(ts, machine0(), FixedSpeed(1.0), duration=10.0,
+                          record_trace=True,
+                          energy_model=EnergyModel(idle_level=1.0))
+        profiler = EnergyProfiler(result)
+        idle = profiler.profile(IDLE_LABEL)
+        assert idle.energy == pytest.approx(8 * 25.0)
+        assert idle.cycles == 0.0
+
+    def test_mean_energy_per_cycle_reveals_voltage(self):
+        # T1 runs at 0.75/4V under staticEDF for the example: 16 per cycle.
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("staticEDF"), demand="worst",
+                          duration=56.0, record_trace=True)
+        profiler = EnergyProfiler(result)
+        assert profiler.profile("T1").mean_energy_per_cycle == \
+            pytest.approx(16.0)
+
+    def test_by_point_breakdown(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("ccEDF"), demand=0.5,
+                          duration=56.0, record_trace=True)
+        profiler = EnergyProfiler(result)
+        t1 = profiler.profile("T1")
+        # T1 executes at more than one operating point under ccEDF.
+        assert len(t1.by_point) >= 1
+        cycles = sum(c for c, _ in t1.by_point.values())
+        assert cycles == pytest.approx(t1.cycles)
+
+    def test_profiles_ordering_and_table(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("ccEDF"), demand=0.8,
+                          duration=112.0, record_trace=True)
+        profiler = EnergyProfiler(result)
+        ordered = profiler.profiles()
+        task_entries = [p for p in ordered if not p.name.startswith("(")]
+        energies = [p.energy for p in task_entries]
+        assert energies == sorted(energies, reverse=True)
+        text = profiler.table()
+        assert "| T1 |" in text and "share" in text
+
+    def test_empty_profile_helpers(self):
+        profile = TaskEnergyProfile("x")
+        assert profile.mean_energy_per_cycle == 0.0

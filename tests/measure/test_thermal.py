@@ -1,0 +1,98 @@
+"""Tests for the lumped thermal model."""
+
+import math
+
+import pytest
+
+from repro.core import make_policy
+from repro.core.fixed import FixedSpeed
+from repro.errors import MachineError, SimulationError
+from repro.hw.machine import machine0
+from repro.measure.thermal import (ThermalModel, ThermalTrajectory,
+                                   thermal_trajectory)
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+
+
+MODEL = ThermalModel(resistance=2.0, capacitance=10.0, ambient=25.0)
+
+
+class TestModelPhysics:
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            ThermalModel(resistance=0.0, capacitance=1.0)
+        with pytest.raises(MachineError):
+            ThermalModel(resistance=1.0, capacitance=-1.0)
+
+    def test_steady_state(self):
+        assert MODEL.steady_state(0.0) == 25.0
+        assert MODEL.steady_state(10.0) == 45.0
+
+    def test_step_converges_to_steady_state(self):
+        temperature = MODEL.step(25.0, 10.0, duration=1000.0)
+        assert temperature == pytest.approx(45.0, abs=1e-6)
+
+    def test_step_exact_exponential(self):
+        tau = MODEL.time_constant  # 20
+        after = MODEL.step(25.0, 10.0, duration=tau)
+        expected = 45.0 + (25.0 - 45.0) * math.exp(-1.0)
+        assert after == pytest.approx(expected)
+
+    def test_cooling(self):
+        hot = MODEL.step(80.0, 0.0, duration=MODEL.time_constant * 12)
+        assert hot == pytest.approx(25.0, abs=1e-3)
+
+
+class TestTrajectory:
+    def test_requires_trace(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0)
+        with pytest.raises(SimulationError):
+            thermal_trajectory(result, MODEL)
+
+    def test_constant_load_approaches_steady_state(self):
+        ts = TaskSet([Task(10, 10, name="hot")])  # 100% busy
+        result = simulate(ts, machine0(), FixedSpeed(1.0),
+                          duration=500.0, record_trace=True)
+        trajectory = thermal_trajectory(result, MODEL)
+        # Power = 25 constantly -> steady state 25 + 50 = 75.
+        assert trajectory.final == pytest.approx(75.0, abs=0.1)
+        assert trajectory.peak <= 75.0 + 1e-9
+
+    def test_starts_at_ambient_by_default(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0,
+                          record_trace=True)
+        trajectory = thermal_trajectory(result, MODEL)
+        assert trajectory.temperatures[0] == 25.0
+
+    def test_initial_temperature_override(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0,
+                          record_trace=True)
+        trajectory = thermal_trajectory(result, MODEL, initial=60.0)
+        assert trajectory.temperatures[0] == 60.0
+
+    def test_dvs_lowers_peak_temperature(self):
+        """The paper's closing claim: RT-DVS reduces heat."""
+        ts = example_taskset()
+        duration = 560.0
+        hot = simulate(ts, machine0(), make_policy("EDF"), demand=0.8,
+                       duration=duration, record_trace=True)
+        cool = simulate(ts, machine0(), make_policy("laEDF"), demand=0.8,
+                        duration=duration, record_trace=True)
+        t_hot = thermal_trajectory(hot, MODEL)
+        t_cool = thermal_trajectory(cool, MODEL)
+        assert t_cool.peak < t_hot.peak
+        assert t_cool.mean() < t_hot.mean()
+
+    def test_power_scale(self):
+        ts = TaskSet([Task(10, 10, name="hot")])
+        result = simulate(ts, machine0(), FixedSpeed(1.0),
+                          duration=500.0, record_trace=True)
+        trajectory = thermal_trajectory(result, MODEL, power_scale=0.5)
+        assert trajectory.final == pytest.approx(50.0, abs=0.1)
+
+    def test_mean_of_single_point(self):
+        trajectory = ThermalTrajectory(times=(0.0,), temperatures=(30.0,))
+        assert trajectory.mean() == 30.0

@@ -1,0 +1,157 @@
+"""Unit tests for the per-invocation demand models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TaskModelError
+from repro.model.demand import (
+    ConstantFractionDemand,
+    TraceDemand,
+    UniformFractionDemand,
+    WorstCaseDemand,
+    demand_from_spec,
+    paper_example_trace,
+)
+from repro.model.task import Task
+
+TASK = Task(wcet=4.0, period=10.0, name="T1")
+OTHER = Task(wcet=2.0, period=5.0, name="T2")
+
+
+class TestWorstCase:
+    def test_always_wcet(self):
+        model = WorstCaseDemand()
+        assert model.demand(TASK, 0) == 4.0
+        assert model.demand(TASK, 99) == 4.0
+        assert model.mean_fraction == 1.0
+
+
+class TestConstantFraction:
+    def test_fraction_applied(self):
+        model = ConstantFractionDemand(0.5)
+        assert model.demand(TASK, 3) == 2.0
+        assert model.mean_fraction == 0.5
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(TaskModelError):
+            ConstantFractionDemand(fraction)
+
+    @given(fraction=st.floats(min_value=0.01, max_value=1.0))
+    def test_never_exceeds_wcet(self, fraction):
+        model = ConstantFractionDemand(fraction)
+        assert model.demand(TASK, 0) <= TASK.wcet + 1e-12
+
+
+class TestUniformFraction:
+    def test_within_bounds(self):
+        model = UniformFractionDemand(low=0.2, high=0.8, seed=1)
+        for k in range(50):
+            demand = model.demand(TASK, k)
+            assert 0.2 * TASK.wcet <= demand <= 0.8 * TASK.wcet
+
+    def test_memoized_per_invocation(self):
+        model = UniformFractionDemand(seed=7)
+        first = model.demand(TASK, 0)
+        assert model.demand(TASK, 0) == first  # repeated query stable
+
+    def test_different_tasks_independent(self):
+        model = UniformFractionDemand(seed=7)
+        a = model.demand(TASK, 0) / TASK.wcet
+        b = model.demand(OTHER, 0) / OTHER.wcet
+        assert a != b  # same invocation, different draw
+
+    def test_reset_restores_sequence(self):
+        model = UniformFractionDemand(seed=3)
+        sequence = [model.demand(TASK, k) for k in range(10)]
+        model.reset()
+        assert [model.demand(TASK, k) for k in range(10)] == sequence
+
+    def test_mean_fraction(self):
+        assert UniformFractionDemand(0.0, 1.0).mean_fraction == 0.5
+        assert UniformFractionDemand(0.4, 0.6).mean_fraction == \
+            pytest.approx(0.5)
+
+    @pytest.mark.parametrize("low,high", [(-0.1, 0.5), (0.6, 0.5),
+                                          (0.5, 1.2)])
+    def test_bad_bounds_rejected(self, low, high):
+        with pytest.raises(TaskModelError):
+            UniformFractionDemand(low=low, high=high)
+
+    def test_empirical_mean_close_to_half(self):
+        model = UniformFractionDemand(seed=11)
+        draws = [model.demand(TASK, k) / TASK.wcet for k in range(2000)]
+        assert sum(draws) / len(draws) == pytest.approx(0.5, abs=0.03)
+
+
+class TestTraceDemand:
+    def test_replay(self):
+        model = TraceDemand({"T1": [1.0, 2.0]}, repeat=False)
+        assert model.demand(TASK, 0) == 1.0
+        assert model.demand(TASK, 1) == 2.0
+
+    def test_repeat_wraps(self):
+        model = TraceDemand({"T1": [1.0, 2.0]}, repeat=True)
+        assert model.demand(TASK, 2) == 1.0
+        assert model.demand(TASK, 5) == 2.0
+
+    def test_fallback_for_unknown_task(self):
+        model = TraceDemand({"T1": [1.0]}, fallback_fraction=0.5)
+        assert model.demand(OTHER, 0) == 1.0  # 0.5 * wcet 2.0
+
+    def test_fallback_past_end_when_not_repeating(self):
+        model = TraceDemand({"T1": [1.0]}, repeat=False,
+                            fallback_fraction=0.25)
+        assert model.demand(TASK, 5) == 1.0  # 0.25 * 4.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TaskModelError):
+            TraceDemand({"T1": []})
+
+    def test_negative_trace_value_rejected(self):
+        with pytest.raises(TaskModelError):
+            TraceDemand({"T1": [-1.0]})
+
+    def test_bad_fallback_rejected(self):
+        with pytest.raises(TaskModelError):
+            TraceDemand({"T1": [1.0]}, fallback_fraction=0.0)
+
+
+class TestDemandFromSpec:
+    def test_passthrough(self):
+        model = WorstCaseDemand()
+        assert demand_from_spec(model) is model
+
+    @pytest.mark.parametrize("spec", ["worst", "wcet", "Worst-Case"])
+    def test_worst_strings(self, spec):
+        assert isinstance(demand_from_spec(spec), WorstCaseDemand)
+
+    def test_uniform_string(self):
+        model = demand_from_spec("uniform", seed=5)
+        assert isinstance(model, UniformFractionDemand)
+        assert model.seed == 5
+
+    def test_float_becomes_constant(self):
+        model = demand_from_spec(0.7)
+        assert isinstance(model, ConstantFractionDemand)
+        assert model.fraction == 0.7
+
+    def test_one_becomes_worst_case(self):
+        assert isinstance(demand_from_spec(1.0), WorstCaseDemand)
+
+    @pytest.mark.parametrize("spec", ["nonsense", object()])
+    def test_unknown_rejected(self, spec):
+        with pytest.raises(TaskModelError):
+            demand_from_spec(spec)
+
+
+def test_paper_example_trace_matches_table3():
+    model = paper_example_trace()
+    t1 = Task(3, 8, name="T1")
+    t2 = Task(3, 10, name="T2")
+    t3 = Task(1, 14, name="T3")
+    assert [model.demand(t1, k) for k in (0, 1)] == [2.0, 1.0]
+    assert [model.demand(t2, k) for k in (0, 1)] == [1.0, 1.0]
+    assert [model.demand(t3, k) for k in (0, 1)] == [1.0, 1.0]
+    # Later invocations repeat the two-invocation pattern.
+    assert model.demand(t1, 2) == 2.0

@@ -1,0 +1,104 @@
+"""Unit tests for the random task-set generator (paper Sec. 3.1)."""
+
+import pytest
+
+from repro.errors import TaskModelError
+from repro.model.generator import DEFAULT_BANDS, PeriodBand, TaskSetGenerator
+
+
+class TestPeriodBand:
+    def test_default_bands_match_paper(self):
+        assert [(b.low, b.high) for b in DEFAULT_BANDS] == \
+            [(1.0, 10.0), (10.0, 100.0), (100.0, 1000.0)]
+
+    @pytest.mark.parametrize("low,high", [(0.0, 1.0), (-1.0, 2.0),
+                                          (5.0, 2.0)])
+    def test_bad_band_rejected(self, low, high):
+        with pytest.raises(TaskModelError):
+            PeriodBand(low, high)
+
+
+class TestGeneratorValidation:
+    def test_bad_n_tasks(self):
+        with pytest.raises(TaskModelError):
+            TaskSetGenerator(n_tasks=0, utilization=0.5)
+
+    @pytest.mark.parametrize("u", [0.0, -0.5, 1.5])
+    def test_bad_utilization(self, u):
+        with pytest.raises(TaskModelError):
+            TaskSetGenerator(n_tasks=5, utilization=u)
+
+    def test_empty_bands_rejected(self):
+        with pytest.raises(TaskModelError):
+            TaskSetGenerator(n_tasks=5, utilization=0.5, bands=[])
+
+
+class TestGeneratedSets:
+    def test_target_utilization_hit(self):
+        gen = TaskSetGenerator(n_tasks=8, utilization=0.6, seed=1)
+        for _ in range(20):
+            ts = gen.generate()
+            assert ts.utilization == pytest.approx(0.6)
+
+    def test_task_count(self):
+        gen = TaskSetGenerator(n_tasks=12, utilization=0.4, seed=2)
+        assert len(gen.generate()) == 12
+
+    def test_all_tasks_feasible(self):
+        gen = TaskSetGenerator(n_tasks=8, utilization=0.95, seed=3)
+        for _ in range(20):
+            for task in gen.generate():
+                assert task.wcet <= task.period
+
+    def test_periods_within_bands(self):
+        gen = TaskSetGenerator(n_tasks=10, utilization=0.5, seed=4)
+        lo = min(b.low for b in DEFAULT_BANDS)
+        hi = max(b.high for b in DEFAULT_BANDS)
+        for task in gen.generate():
+            assert lo <= task.period <= hi
+
+    def test_band_mix_present(self):
+        """With enough draws, all three bands should appear."""
+        gen = TaskSetGenerator(n_tasks=30, utilization=0.5, seed=5)
+        periods = [t.period for ts in gen.generate_many(5) for t in ts]
+        assert any(p < 10 for p in periods)
+        assert any(10 <= p < 100 for p in periods)
+        assert any(p >= 100 for p in periods)
+
+    def test_determinism(self):
+        a = TaskSetGenerator(n_tasks=6, utilization=0.7, seed=42)
+        b = TaskSetGenerator(n_tasks=6, utilization=0.7, seed=42)
+        assert a.generate_many(5) == b.generate_many(5)
+
+    def test_different_seeds_differ(self):
+        a = TaskSetGenerator(n_tasks=6, utilization=0.7, seed=1).generate()
+        b = TaskSetGenerator(n_tasks=6, utilization=0.7, seed=2).generate()
+        assert a != b
+
+    def test_generate_many_count(self):
+        gen = TaskSetGenerator(n_tasks=3, utilization=0.3, seed=6)
+        assert len(gen.generate_many(7)) == 7
+        assert gen.generate_many(0) == []
+        with pytest.raises(TaskModelError):
+            gen.generate_many(-1)
+
+    def test_single_task_full_utilization(self):
+        gen = TaskSetGenerator(n_tasks=1, utilization=1.0, seed=7)
+        ts = gen.generate()
+        assert ts.utilization == pytest.approx(1.0)
+        assert ts[0].wcet <= ts[0].period
+
+    def test_rejection_guard(self, monkeypatch):
+        """generate() raises once every draw is rejected as infeasible."""
+        gen = TaskSetGenerator(n_tasks=2, utilization=1.0, seed=8)
+        monkeypatch.setattr(gen, "_draw_once", lambda: None)
+        with pytest.raises(TaskModelError):
+            gen.generate(max_attempts=5)
+
+    def test_infeasible_draws_are_rejected_not_returned(self):
+        """High utilization with wide bands occasionally rejects; whatever
+        comes back must always be feasible."""
+        gen = TaskSetGenerator(n_tasks=2, utilization=1.0, seed=9)
+        for ts in gen.generate_many(30):
+            for task in ts:
+                assert task.wcet <= task.period + 1e-12

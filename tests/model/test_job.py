@@ -1,0 +1,83 @@
+"""Unit tests for Job semantics."""
+
+import pytest
+
+from repro.errors import TaskModelError
+from repro.model.job import Job, JobOutcome
+from repro.model.task import Task
+
+
+@pytest.fixture
+def task():
+    return Task(wcet=3.0, period=8.0, name="T1")
+
+
+class TestJobBasics:
+    def test_absolute_deadline(self, task):
+        job = Job(task=task, release_time=16.0, demand=2.0, index=2)
+        assert job.absolute_deadline == 24.0
+
+    def test_negative_demand_rejected(self, task):
+        with pytest.raises(TaskModelError):
+            Job(task=task, release_time=0.0, demand=-1.0, index=0)
+
+    def test_overrun_demand_allowed_for_coldstart_emulation(self, task):
+        # enforce_wcet=False runs may create these (Sec. 4.3 cold start).
+        job = Job(task=task, release_time=0.0, demand=4.5, index=0)
+        assert job.demand == 4.5
+
+    def test_remaining_tracks_execution(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        assert job.remaining == 2.0
+        job.executed = 1.5
+        assert job.remaining == pytest.approx(0.5)
+        job.executed = 5.0
+        assert job.remaining == 0.0  # clamped
+
+    def test_is_complete(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        assert not job.is_complete
+        job.completion_time = 3.0
+        assert job.is_complete
+
+
+class TestWorstCaseRemaining:
+    def test_full_budget_at_release(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        assert job.worst_case_remaining == 3.0  # the WCET, not the demand
+
+    def test_decreases_with_execution(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        job.executed = 1.0
+        assert job.worst_case_remaining == pytest.approx(2.0)
+
+    def test_zero_after_completion(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        job.executed = 2.0
+        job.completion_time = 4.0
+        assert job.worst_case_remaining == 0.0
+
+    def test_never_negative(self, task):
+        job = Job(task=task, release_time=0.0, demand=3.0, index=0)
+        job.executed = 3.5  # overrun emulation
+        assert job.worst_case_remaining == 0.0
+
+
+class TestOutcome:
+    def test_completed_in_time(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        job.completion_time = 5.0
+        assert job.outcome(now=100.0) is JobOutcome.COMPLETED
+
+    def test_completed_late_is_missed(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        job.completion_time = 9.0  # deadline was 8
+        assert job.outcome(now=100.0) is JobOutcome.MISSED
+
+    def test_unfinished_before_deadline(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        assert job.outcome(now=4.0) is JobOutcome.UNFINISHED
+
+    def test_unfinished_past_deadline_is_missed(self, task):
+        job = Job(task=task, release_time=0.0, demand=2.0, index=0)
+        assert job.outcome(now=8.0) is JobOutcome.MISSED

@@ -1,0 +1,158 @@
+"""Unit and property tests for the schedulability tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TaskModelError
+from repro.model.schedulability import (
+    edf_schedulable,
+    min_edf_frequency,
+    min_rm_frequency,
+    response_time_analysis,
+    rm_exact_schedulable,
+    rm_liu_layland_bound,
+    rm_liu_layland_schedulable,
+    rm_scheduling_points,
+)
+from repro.model.task import Task, TaskSet, example_taskset
+
+from tests.conftest import tasksets
+
+
+class TestEDF:
+    def test_at_full_speed(self):
+        assert edf_schedulable(example_taskset(), 1.0)
+
+    def test_paper_example_passes_at_075(self):
+        # U = 0.746 <= 0.75: staticEDF runs the example at 0.75 (Fig. 2).
+        assert edf_schedulable(example_taskset(), 0.75)
+
+    def test_fails_below_utilization(self):
+        assert not edf_schedulable(example_taskset(), 0.5)
+
+    def test_boundary_exact(self):
+        ts = TaskSet([Task(1, 2), Task(1, 4)])  # U = 0.75 exactly
+        assert edf_schedulable(ts, 0.75)
+        assert not edf_schedulable(ts, 0.7499)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(TaskModelError):
+            edf_schedulable(example_taskset(), 0.0)
+        with pytest.raises(TaskModelError):
+            edf_schedulable(example_taskset(), 1.5)
+
+
+class TestLiuLayland:
+    def test_bound_values(self):
+        assert rm_liu_layland_bound(1) == pytest.approx(1.0)
+        assert rm_liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+        assert rm_liu_layland_bound(3) == pytest.approx(0.7798, abs=1e-4)
+
+    def test_bound_decreases_to_ln2(self):
+        values = [rm_liu_layland_bound(n) for n in range(1, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(math.log(2), abs=0.005)
+
+    def test_paper_example(self):
+        ts = example_taskset()
+        # U=0.746 <= bound(3)=0.7798 at full speed, but not at 0.75.
+        assert rm_liu_layland_schedulable(ts, 1.0)
+        assert not rm_liu_layland_schedulable(ts, 0.75)
+
+    def test_bad_n(self):
+        with pytest.raises(TaskModelError):
+            rm_liu_layland_bound(0)
+
+
+class TestExactRM:
+    def test_paper_example_fails_at_075(self):
+        # "Static RM fails at 0.75" — T3 misses its deadline (Fig. 2).
+        assert not rm_exact_schedulable(example_taskset(), 0.75)
+
+    def test_paper_example_passes_at_full(self):
+        assert rm_exact_schedulable(example_taskset(), 1.0)
+
+    def test_accepts_beyond_ll_bound(self):
+        # Harmonic periods are schedulable up to U=1, beyond Liu-Layland.
+        ts = TaskSet([Task(1, 2), Task(2, 4)])  # U = 1.0, harmonic
+        assert rm_exact_schedulable(ts, 1.0)
+        assert not rm_liu_layland_schedulable(ts, 1.0)
+
+    def test_single_task(self):
+        assert rm_exact_schedulable([Task(5, 10)], 0.5)
+        assert not rm_exact_schedulable([Task(5, 10)], 0.49)
+
+    def test_scheduling_points(self):
+        ordered = sorted(example_taskset(), key=lambda t: t.period)
+        points = rm_scheduling_points(ordered, 2)  # T3, period 14
+        assert points == [8.0, 10.0, 14.0]
+
+    def test_scheduling_points_bad_index(self):
+        with pytest.raises(TaskModelError):
+            rm_scheduling_points(list(example_taskset()), 5)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(TaskModelError):
+            rm_exact_schedulable([], 1.0)
+
+
+class TestResponseTimeAnalysis:
+    def test_paper_example_responses(self):
+        # At full speed: R1 = 3; R2 = 3+3 = 6; R3 = 3+3+1 = 7... with
+        # interference: R3 iterates 7 (one release each of T1, T2).
+        responses = response_time_analysis(example_taskset(), 1.0)
+        assert responses[0] == pytest.approx(3.0)
+        assert responses[1] == pytest.approx(6.0)
+        assert responses[2] == pytest.approx(7.0)
+
+    def test_unschedulable_returns_none(self):
+        assert response_time_analysis(example_taskset(), 0.75) is None
+
+    def test_agrees_with_exact_test_on_example(self):
+        for alpha in (0.5, 0.75, 0.8, 0.9, 1.0):
+            exact = rm_exact_schedulable(example_taskset(), alpha)
+            rta = response_time_analysis(example_taskset(), alpha)
+            assert exact == (rta is not None)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ts=tasksets)
+    def test_agrees_with_exact_test_property(self, ts):
+        """The scheduling-point test and RTA are both exact: they must
+        agree on every task set and frequency."""
+        for alpha in (0.6, 0.8, 1.0):
+            exact = rm_exact_schedulable(ts, alpha)
+            rta = response_time_analysis(ts, alpha)
+            assert exact == (rta is not None), (ts, alpha)
+
+
+class TestMinFrequencies:
+    def test_min_edf_is_utilization(self):
+        assert min_edf_frequency(example_taskset()) == \
+            pytest.approx(example_taskset().utilization)
+
+    def test_min_rm_above_utilization(self):
+        f = min_rm_frequency(example_taskset())
+        assert f >= example_taskset().utilization - 1e-9
+        assert rm_exact_schedulable(example_taskset(), f + 1e-6)
+        assert not rm_exact_schedulable(example_taskset(), f - 1e-3)
+
+    def test_min_rm_ll_closed_form(self):
+        ts = example_taskset()
+        f = min_rm_frequency(ts, exact=False)
+        assert f == pytest.approx(ts.utilization / rm_liu_layland_bound(3))
+
+    def test_min_rm_unschedulable_raises(self):
+        ts = TaskSet([Task(1, 2), Task(1, 3), Task(1, 5)])  # U = 1.03
+        with pytest.raises(TaskModelError):
+            min_rm_frequency(ts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ts=tasksets)
+    def test_monotone_in_alpha(self, ts):
+        """If a set passes at alpha, it passes at every higher alpha."""
+        alphas = (0.4, 0.6, 0.8, 1.0)
+        results = [rm_exact_schedulable(ts, a) for a in alphas]
+        for earlier, later in zip(results, results[1:]):
+            assert (not earlier) or later

@@ -1,0 +1,103 @@
+"""Tests for the multiprocessor partitioner."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model.schedulability import edf_schedulable, rm_exact_schedulable
+from repro.model.task import Task, TaskSet
+from repro.mp.partition import Partition, PartitionError, partition_tasks
+
+from tests.conftest import tasksets
+
+#: Three 0.6-utilization tasks: no pair fits one processor, so packing
+#: needs three CPUs (a classic bin-packing fact the tests lean on).
+HEAVY = TaskSet([Task(6, 10, name="a"), Task(6, 10, name="b"),
+                 Task(6, 10, name="c")])
+
+
+class TestBasicPacking:
+    def test_single_processor_passthrough(self):
+        ts = TaskSet([Task(2, 10), Task(3, 10)])
+        partition = partition_tasks(ts, 1)
+        assert partition.n_processors == 1
+        assert partition.assignments[0].utilization == pytest.approx(0.5)
+
+    def test_spreads_heavy_tasks(self):
+        partition = partition_tasks(HEAVY, 3)
+        assert partition.n_processors == 3
+        for ts in partition.assignments:
+            assert ts.utilization <= 1.0 + 1e-9
+
+    def test_infeasible_raises(self):
+        with pytest.raises(PartitionError):
+            partition_tasks(HEAVY, 2)  # no pair of 0.6s shares a CPU
+
+    def test_all_tasks_assigned_exactly_once(self):
+        ts = TaskSet([Task(1, 4, name=f"t{i}") for i in range(6)])
+        partition = partition_tasks(ts, 3)
+        names = [t.name for bin_ts in partition.assignments
+                 for t in bin_ts]
+        assert sorted(names) == sorted(t.name for t in ts)
+
+    def test_empty_processors_dropped(self):
+        ts = TaskSet([Task(1, 10)])
+        partition = partition_tasks(ts, 4)
+        assert partition.n_processors == 1
+
+    def test_validation(self):
+        ts = TaskSet([Task(1, 10)])
+        with pytest.raises(PartitionError):
+            partition_tasks(ts, 0)
+        with pytest.raises(PartitionError):
+            partition_tasks(ts, 2, scheduler="fifo")
+        with pytest.raises(PartitionError):
+            partition_tasks(ts, 2, heuristic="random-fit")
+
+
+class TestHeuristics:
+    @pytest.fixture
+    def ts(self):
+        return TaskSet([Task(4, 10, name="h1"), Task(4, 10, name="h2"),
+                        Task(2, 10, name="m1"), Task(2, 10, name="m2"),
+                        Task(1, 10, name="s1"), Task(1, 10, name="s2")])
+
+    def test_worst_fit_balances(self, ts):
+        partition = partition_tasks(ts, 2, heuristic="worst-fit")
+        assert partition.imbalance == pytest.approx(0.0)
+
+    def test_best_fit_packs_tight(self, ts):
+        best = partition_tasks(ts, 3, heuristic="best-fit")
+        worst = partition_tasks(ts, 3, heuristic="worst-fit")
+        # Best-fit concentrates load; worst-fit spreads it.
+        assert max(best.utilizations) >= max(worst.utilizations) - 1e-9
+
+    def test_rm_capacity_check(self):
+        # Three tasks, pairwise RM-infeasible beyond exact bound.
+        ts = TaskSet([Task(1, 2, name="x"), Task(1, 3, name="y"),
+                      Task(1, 5, name="z")])  # U = 1.03
+        partition = partition_tasks(ts, 2, scheduler="rm")
+        for bin_ts in partition.assignments:
+            assert rm_exact_schedulable(bin_ts, 1.0)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets, n=st.integers(min_value=1, max_value=4))
+    def test_partitions_always_schedulable(self, ts, n):
+        try:
+            partition = partition_tasks(ts, n)
+        except PartitionError:
+            return  # packing can fail; that is a legal outcome
+        for bin_ts in partition.assignments:
+            assert edf_schedulable(bin_ts, 1.0)
+        assigned = sorted(t.name for b in partition.assignments
+                          for t in b)
+        assert assigned == sorted(t.name for t in ts)
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets)
+    def test_single_processor_never_fails_for_schedulable_sets(self, ts):
+        partition = partition_tasks(ts, 1)
+        assert partition.n_processors == 1

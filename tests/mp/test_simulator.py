@@ -1,0 +1,73 @@
+"""Tests for the partitioned multiprocessor simulation."""
+
+import pytest
+
+from repro.hw.machine import machine0
+from repro.model.demand import UniformFractionDemand
+from repro.model.task import Task, TaskSet
+from repro.mp import partition_tasks, simulate_partitioned
+
+
+@pytest.fixture
+def two_cpu_partition():
+    ts = TaskSet([Task(6, 10, name="a"), Task(6, 10, name="b"),
+                  Task(2, 20, name="c"), Task(2, 20, name="d")])
+    return partition_tasks(ts, 2, heuristic="worst-fit")
+
+
+class TestAggregation:
+    def test_energy_is_sum_of_processors(self, two_cpu_partition):
+        result = simulate_partitioned(two_cpu_partition, machine0(),
+                                      "ccEDF", demand=0.8,
+                                      duration=200.0)
+        assert result.total_energy == pytest.approx(
+            sum(r.total_energy for r in result.per_processor))
+        assert result.met_all_deadlines
+        assert result.deadline_miss_count == 0
+
+    def test_peak_processor_power(self, two_cpu_partition):
+        result = simulate_partitioned(two_cpu_partition, machine0(),
+                                      "EDF", demand="worst",
+                                      duration=200.0)
+        powers = [r.average_power for r in result.per_processor]
+        assert result.peak_processor_power == pytest.approx(max(powers))
+
+    def test_summary_mentions_processors(self, two_cpu_partition):
+        result = simulate_partitioned(two_cpu_partition, machine0(),
+                                      "laEDF", demand=0.7,
+                                      duration=200.0)
+        assert "2 processors" in result.summary()
+
+    def test_demand_factory_per_processor(self, two_cpu_partition):
+        factory = lambda index: UniformFractionDemand(seed=index)
+        result = simulate_partitioned(two_cpu_partition, machine0(),
+                                      "ccEDF", demand_factory=factory,
+                                      duration=200.0)
+        assert result.met_all_deadlines
+
+
+class TestScalingBehaviour:
+    def test_more_processors_less_energy_at_fixed_load(self):
+        """The supercomputer argument: the same total work on more, slower
+        processors costs less energy (convex V² curve), while one
+        processor must run fast."""
+        ts = TaskSet([Task(3, 10, name=f"t{i}") for i in range(5)])
+        # U = 1.5 total: needs >= 2 processors.
+        energies = {}
+        for n in (2, 4):
+            partition = partition_tasks(ts, n, heuristic="worst-fit")
+            result = simulate_partitioned(partition, machine0(),
+                                          "staticEDF", demand="worst",
+                                          duration=200.0)
+            assert result.met_all_deadlines
+            energies[n] = result.total_energy
+        assert energies[4] < energies[2]
+
+    def test_guarantees_hold_per_processor(self):
+        ts = TaskSet([Task(4, 10, name=f"t{i}") for i in range(6)])
+        partition = partition_tasks(ts, 3)
+        result = simulate_partitioned(partition, machine0(), "laEDF",
+                                      demand=0.6, duration=400.0)
+        assert result.met_all_deadlines
+        assert result.executed_cycles == pytest.approx(
+            sum(r.executed_cycles for r in result.per_processor))

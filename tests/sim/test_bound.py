@@ -1,0 +1,120 @@
+"""Unit and property tests for the theoretical lower bound."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.no_dvs import NoDVS
+from repro.errors import SimulationError
+from repro.hw.machine import Machine, k6_2_plus, machine0, machine2
+from repro.sim.bound import minimum_energy_for_cycles, theoretical_bound
+from repro.sim.engine import simulate
+from repro.model.task import Task, TaskSet
+
+
+class TestBasicCases:
+    def test_zero_cycles(self):
+        assert minimum_energy_for_cycles(machine0(), 0.0, 10.0) == 0.0
+
+    def test_below_slowest_runs_at_cheapest(self):
+        # 2 cycles over 10 time units: required speed 0.2 < 0.5 -> all at
+        # the 3 V point, idle free.
+        energy = minimum_energy_for_cycles(machine0(), 2.0, 10.0)
+        assert energy == pytest.approx(2.0 * 9.0)
+
+    def test_exact_point_speed(self):
+        # Required speed exactly 0.75: run everything at 4 V.
+        energy = minimum_energy_for_cycles(machine0(), 7.5, 10.0)
+        assert energy == pytest.approx(7.5 * 16.0)
+
+    def test_full_speed(self):
+        energy = minimum_energy_for_cycles(machine0(), 10.0, 10.0)
+        assert energy == pytest.approx(10.0 * 25.0)
+
+    def test_mix_between_adjacent_points(self):
+        # Required speed 0.875, halfway between 0.75 and 1.0:
+        # t_hi = (8.75 - 7.5) / 0.25 = 5; t_lo = 5.
+        # energy = 5*0.75*16 + 5*1.0*25 = 60 + 125 = 185.
+        energy = minimum_energy_for_cycles(machine0(), 8.75, 10.0)
+        assert energy == pytest.approx(185.0)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(SimulationError):
+            minimum_energy_for_cycles(machine0(), 11.0, 10.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            minimum_energy_for_cycles(machine0(), -1.0, 10.0)
+        with pytest.raises(SimulationError):
+            minimum_energy_for_cycles(machine0(), 1.0, 0.0)
+
+
+class TestHullBehaviour:
+    def test_dominated_points_skipped(self):
+        # The 500 MHz point of the K6 shares 2.0 V with 550 MHz: it is
+        # dominated (slower, same energy/cycle) and must never hurt.
+        k6 = k6_2_plus()
+        # Just above 450/550 required speed: optimal mixes 450-MHz point
+        # with the 550-MHz point, skipping 500 MHz.
+        w = 0.9 * 10.0
+        energy = minimum_energy_for_cycles(k6, w, 10.0)
+        lo = k6.point_for(450 / 550)
+        hi = k6.fastest
+        t_hi = (w - lo.frequency * 10.0) / (hi.frequency - lo.frequency)
+        expected = (10.0 - t_hi) * lo.power + t_hi * hi.power
+        assert energy == pytest.approx(expected)
+
+    def test_mix_beats_single_point(self):
+        # Mixing must never cost more than rounding up to one point.
+        m = machine0()
+        w = 6.0  # required speed 0.6, between 0.5 and 0.75
+        energy = minimum_energy_for_cycles(m, w, 10.0)
+        assert energy <= w * m.point_for(0.75).energy_per_cycle + 1e-9
+
+    @settings(max_examples=100, deadline=None)
+    @given(speed=st.floats(min_value=0.01, max_value=1.0))
+    def test_never_beats_physics_never_exceeds_rounding(self, speed):
+        """The bound lies between the continuous-voltage ideal and the
+        'round up to one discrete point' cost."""
+        m = machine2()
+        duration = 100.0
+        w = speed * duration
+        energy = minimum_energy_for_cycles(m, w, duration)
+        single = w * m.lowest_at_least(speed).energy_per_cycle
+        assert energy <= single + 1e-6
+        cheapest = w * m.slowest.energy_per_cycle
+        assert energy >= cheapest - 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(w1=st.floats(min_value=0.0, max_value=50.0),
+           w2=st.floats(min_value=0.0, max_value=50.0))
+    def test_monotone_in_cycles(self, w1, w2):
+        lo, hi = sorted((w1, w2))
+        m = machine0()
+        assert minimum_energy_for_cycles(m, lo, 100.0) <= \
+            minimum_energy_for_cycles(m, hi, 100.0) + 1e-9
+
+
+class TestTheoreticalBound:
+    def test_bound_below_any_run(self):
+        ts = TaskSet([Task(2, 8), Task(3, 12)])
+        m = machine0()
+        result = simulate(ts, m, NoDVS(), duration=48.0)
+        bound = theoretical_bound(result, m)
+        assert bound <= result.total_energy + 1e-9
+
+    def test_bound_scales_with_energy_scale(self):
+        ts = TaskSet([Task(2, 8)])
+        m = machine0()
+        result = simulate(ts, m, NoDVS(), duration=16.0)
+        assert theoretical_bound(result, m, cycle_energy_scale=2.0) == \
+            pytest.approx(2.0 * theoretical_bound(result, m))
+
+    def test_paper_example_bound(self):
+        # Table 4 workload: 7 cycles over 16 ms -> speed 0.4375 < 0.5,
+        # all at 3 V: 63 energy units = 0.36 normalized.
+        from repro.model.task import example_taskset
+        from repro.model.demand import paper_example_trace
+        m = machine0()
+        result = simulate(example_taskset(), m, NoDVS(),
+                          demand=paper_example_trace(), duration=16.0)
+        assert theoretical_bound(result, m) == pytest.approx(63.0)

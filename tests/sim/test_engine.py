@@ -1,0 +1,279 @@
+"""Unit and behavioural tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.core.fixed import FixedSpeed
+from repro.core.no_dvs import NoDVS
+from repro.errors import DeadlineMissError, SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.hw.regulator import SwitchingModel
+from repro.model.demand import TraceDemand
+from repro.model.job import JobOutcome
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import Admission, Simulator, simulate
+
+
+@pytest.fixture
+def m0():
+    return machine0()
+
+
+def one_task(wcet=2.0, period=10.0):
+    return TaskSet([Task(wcet=wcet, period=period, name="A")])
+
+
+class TestBasicExecution:
+    def test_single_task_runs_and_idles(self, m0):
+        result = simulate(one_task(), m0, NoDVS(), duration=20.0,
+                          record_trace=True)
+        assert result.met_all_deadlines
+        assert len(result.jobs) == 2
+        assert result.executed_cycles == pytest.approx(4.0)
+        assert result.trace.busy_time() == pytest.approx(4.0)
+        assert result.trace.idle_time() == pytest.approx(16.0)
+
+    def test_energy_at_full_speed(self, m0):
+        result = simulate(one_task(), m0, NoDVS(), duration=20.0)
+        # 4 cycles at 5 V, idle free.
+        assert result.total_energy == pytest.approx(100.0)
+
+    def test_energy_at_half_speed(self, m0):
+        result = simulate(one_task(), m0, FixedSpeed(0.5), duration=20.0)
+        assert result.total_energy == pytest.approx(4 * 9.0)
+
+    def test_average_power(self, m0):
+        result = simulate(one_task(), m0, NoDVS(), duration=20.0)
+        assert result.average_power == pytest.approx(5.0)
+
+    def test_duration_defaults_to_two_max_periods(self, m0):
+        sim = Simulator(example_taskset(), m0, NoDVS())
+        assert sim.duration == pytest.approx(28.0)
+
+    def test_simulator_single_use(self, m0):
+        sim = Simulator(one_task(), m0, NoDVS(), duration=10.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_duration(self, m0):
+        with pytest.raises(SimulationError):
+            Simulator(one_task(), m0, NoDVS(), duration=0.0)
+
+    def test_bad_on_miss(self, m0):
+        with pytest.raises(SimulationError):
+            Simulator(one_task(), m0, NoDVS(), on_miss="panic")
+
+
+class TestPreemption:
+    def test_edf_preempts_for_earlier_deadline(self, m0):
+        # Long task starts, short-period task released later preempts it.
+        ts = TaskSet([Task(6, 20, name="long"), Task(1, 4, name="short")])
+        # Delay "short"'s work: both release at 0; EDF runs short first
+        # (deadline 4 < 20), then long; at t=4 short preempts again.
+        result = simulate(ts, m0, NoDVS(), duration=20.0, record_trace=True)
+        assert result.met_all_deadlines
+        order = [(s.task, round(s.start, 3)) for s in
+                 result.trace.run_segments()]
+        assert order[0][0] == "short"
+        # long's execution is interrupted at t=4 by short's second job.
+        long_segments = result.trace.segments_for("long")
+        assert len(long_segments) >= 2
+
+    def test_rm_priority_static(self, m0):
+        ts = TaskSet([Task(3, 12, name="low"), Task(1, 4, name="high")])
+        result = simulate(ts, m0, NoDVS(scheduler="rm"), duration=12.0,
+                          record_trace=True)
+        assert result.met_all_deadlines
+        first = result.trace.run_segments()[0]
+        assert first.task == "high"
+
+
+class TestDeadlineHandling:
+    @pytest.fixture
+    def overloaded(self):
+        # U = 1.5: cannot meet deadlines at any frequency.
+        return TaskSet([Task(3, 4, name="A"), Task(3, 4, name="B")])
+
+    def test_raise_mode(self, overloaded, m0):
+        with pytest.raises(DeadlineMissError):
+            simulate(overloaded, m0, NoDVS(), duration=20.0)
+
+    def test_drop_mode_counts_misses(self, overloaded, m0):
+        result = simulate(overloaded, m0, NoDVS(), duration=20.0,
+                          on_miss="drop")
+        assert result.deadline_miss_count > 0
+        assert not result.met_all_deadlines
+
+    def test_continue_mode_keeps_late_jobs_running(self, overloaded, m0):
+        result = simulate(overloaded, m0, NoDVS(), duration=20.0,
+                          on_miss="continue")
+        assert result.deadline_miss_count > 0
+        # In continue mode, late jobs eventually finish (all CPU is busy).
+        outcomes = result.job_outcomes()
+        assert outcomes[JobOutcome.MISSED] >= result.deadline_miss_count
+
+    def test_unfinished_at_end_with_due_deadline_is_miss(self, m0):
+        # One job, deadline exactly at the horizon, can't finish at 1.0.
+        ts = TaskSet([Task(wcet=9.99, period=10.0, name="A")])
+        result = simulate(ts, m0, FixedSpeed(0.5), duration=10.0,
+                          on_miss="drop")
+        assert result.deadline_miss_count == 1
+
+    def test_job_not_due_at_end_is_unfinished_not_missed(self, m0):
+        ts = TaskSet([Task(wcet=8.0, period=100.0, name="A")])
+        result = simulate(ts, m0, FixedSpeed(0.5), duration=10.0)
+        assert result.met_all_deadlines
+        assert result.job_outcomes()[JobOutcome.UNFINISHED] == 1
+
+
+class TestDemandHandling:
+    def test_trace_demand_drives_execution(self, m0):
+        ts = one_task(wcet=4.0, period=10.0)
+        demand = TraceDemand({"A": [1.0, 3.0]}, repeat=False)
+        result = simulate(ts, m0, NoDVS(), duration=20.0, demand=demand)
+        executed = sorted(j.executed for j in result.jobs)
+        assert executed == pytest.approx([1.0, 3.0])
+
+    def test_zero_demand_jobs_complete_instantly(self, m0):
+        ts = one_task(wcet=4.0, period=10.0)
+        demand = TraceDemand({"A": [0.0, 2.0]}, repeat=False)
+        result = simulate(ts, m0, NoDVS(), duration=20.0, demand=demand)
+        first = [j for j in result.jobs if j.index == 0][0]
+        assert first.is_complete
+        assert first.completion_time == 0.0
+        assert result.executed_cycles == pytest.approx(2.0)
+
+    def test_demand_clamped_to_wcet_by_default(self, m0):
+        ts = one_task(wcet=2.0, period=10.0)
+        demand = TraceDemand({"A": [5.0]})  # overrun attempt
+        result = simulate(ts, m0, NoDVS(), duration=10.0, demand=demand)
+        assert result.jobs[0].demand == pytest.approx(2.0)
+
+    def test_enforce_wcet_false_allows_overrun(self, m0):
+        ts = one_task(wcet=2.0, period=10.0)
+        demand = TraceDemand({"A": [5.0]})
+        result = simulate(ts, m0, NoDVS(), duration=10.0, demand=demand,
+                          enforce_wcet=False)
+        assert result.jobs[0].demand == pytest.approx(5.0)
+        assert result.executed_cycles == pytest.approx(5.0)
+
+
+class TestSwitchingOverheads:
+    def test_free_switching_no_halt(self, m0):
+        ts = example_taskset()
+        result = simulate(ts, m0, FixedSpeed(0.75), duration=28.0)
+        assert result.energy.switch == 0.0
+
+    def test_initial_point_is_free(self, m0):
+        # The boot-time configuration is not a switch: FixedSpeed(0.5)
+        # starts at 0.5 without paying a halt.
+        ts = one_task(wcet=2.0, period=10.0)
+        switching = SwitchingModel(frequency_switch_time=0.1,
+                                   voltage_switch_time=1.0)
+        result = simulate(ts, m0, FixedSpeed(0.5), duration=10.0,
+                          switching=switching, record_trace=True)
+        assert result.switches == 0
+        assert result.energy.switch == 0.0
+
+    def test_switch_halt_consumes_time(self, m0):
+        # ccEDF with early completions switches mid-run; each voltage
+        # transition halts the processor and charges idle-level energy.
+        from repro.core import make_policy
+        switching = SwitchingModel(frequency_switch_time=0.1,
+                                   voltage_switch_time=1.0)
+        result = simulate(example_taskset(), m0, make_policy("ccEDF"),
+                          demand=0.5, duration=28.0, switching=switching,
+                          record_trace=True, on_miss="drop",
+                          energy_model=EnergyModel(idle_level=0.5))
+        switch_segments = [s for s in result.trace if s.kind == "switch"]
+        assert switch_segments, "expected at least one switch halt"
+        for segment in switch_segments:
+            assert segment.duration in (pytest.approx(0.1),
+                                        pytest.approx(1.0))
+        assert result.energy.switch > 0.0
+        # Time is conserved: busy + idle + switch == duration.
+        busy = sum(s.duration for s in result.trace if s.kind == "run")
+        idle = sum(s.duration for s in result.trace if s.kind == "idle")
+        halt = sum(s.duration for s in switch_segments)
+        assert busy + idle + halt == pytest.approx(result.duration,
+                                                   abs=1e-6)
+
+    def test_switch_count(self, m0):
+        ts = example_taskset()
+        from repro.core import make_policy
+        result = simulate(ts, m0, make_policy("ccEDF"),
+                          demand=0.5, duration=28.0)
+        assert result.switches > 0
+
+
+class TestAdmissions:
+    def test_immediate_admission_releases_at_time(self, m0):
+        ts = one_task(wcet=1.0, period=10.0)
+        new = Task(wcet=1.0, period=10.0, name="B")
+        result = simulate(ts, m0, NoDVS(), duration=40.0,
+                          admissions=[Admission(10.0, new, defer=False)])
+        b_jobs = [j for j in result.jobs if j.task.name == "B"]
+        assert b_jobs[0].release_time == pytest.approx(10.0)
+        assert len(b_jobs) == 3  # releases at 10, 20, 30
+
+    def test_deferred_admission_waits_for_in_flight_jobs(self, m0):
+        # Task A busy 0..8 at 0.5 speed (4 cycles); admission at t=1 defers
+        # B's first release until A's current invocation completes.
+        ts = one_task(wcet=4.0, period=16.0)
+        new = Task(wcet=1.0, period=16.0, name="B")
+        result = simulate(ts, m0, FixedSpeed(0.5), duration=32.0,
+                          admissions=[Admission(1.0, new, defer=True)])
+        a_first = [j for j in result.jobs
+                   if j.task.name == "A" and j.index == 0][0]
+        b_first = [j for j in result.jobs if j.task.name == "B"][0]
+        assert b_first.release_time == pytest.approx(a_first.completion_time)
+
+    def test_deferred_admission_during_idle_releases_immediately(self, m0):
+        ts = one_task(wcet=1.0, period=10.0)  # idle from t=1
+        new = Task(wcet=1.0, period=10.0, name="B")
+        result = simulate(ts, m0, NoDVS(), duration=30.0,
+                          admissions=[Admission(5.0, new, defer=True)])
+        b_first = [j for j in result.jobs if j.task.name == "B"][0]
+        assert b_first.release_time == pytest.approx(5.0)
+
+    def test_admitted_task_in_final_taskset(self, m0):
+        ts = one_task()
+        new = Task(wcet=1.0, period=10.0, name="B")
+        result = simulate(ts, m0, NoDVS(), duration=30.0,
+                          admissions=[Admission(5.0, new, defer=False)])
+        assert "B" in [t.name for t in result.taskset]
+
+
+class TestAccountingInvariants:
+    def test_trace_energy_sums_to_total(self, m0):
+        from repro.core import make_policy
+        result = simulate(example_taskset(), m0, make_policy("laEDF"),
+                          demand=0.7, duration=56.0, record_trace=True,
+                          energy_model=EnergyModel(idle_level=0.2))
+        trace_total = sum(s.energy for s in result.trace)
+        assert trace_total == pytest.approx(result.total_energy)
+
+    def test_busy_plus_idle_covers_duration(self, m0):
+        from repro.core import make_policy
+        sim = Simulator(example_taskset(), m0, make_policy("ccEDF"),
+                        demand=0.6, duration=56.0)
+        result = sim.run()
+        assert sim.busy_time + sim.idle_time == pytest.approx(56.0)
+
+    def test_jobs_never_execute_more_than_demand(self, m0):
+        from repro.core import make_policy
+        result = simulate(example_taskset(), m0, make_policy("laEDF"),
+                          demand="uniform", duration=112.0)
+        for job in result.jobs:
+            assert job.executed <= job.demand + 1e-9
+
+    def test_completion_after_release(self, m0):
+        from repro.core import make_policy
+        result = simulate(example_taskset(), m0, make_policy("ccRM"),
+                          demand=0.8, duration=112.0)
+        for job in result.jobs:
+            if job.is_complete:
+                assert job.completion_time >= job.release_time - 1e-9

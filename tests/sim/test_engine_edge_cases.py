@@ -1,0 +1,152 @@
+"""Adversarial and corner-case engine tests (failure injection included)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import make_policy
+from repro.core.base import DVSPolicy
+from repro.core.fixed import FixedSpeed
+from repro.core.no_dvs import NoDVS
+from repro.errors import SimulationError
+from repro.hw.machine import machine0
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import Simulator, simulate
+
+from tests.conftest import tasksets
+
+
+class TestCoincidentEvents:
+    def test_harmonic_simultaneous_releases(self):
+        """Every period divides the longest: bursts of simultaneous
+        releases at every hyperperiod boundary."""
+        ts = TaskSet([Task(1, 4), Task(1, 8), Task(2, 16)])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=64.0)
+        assert result.met_all_deadlines
+        assert len(result.jobs) == 16 + 8 + 4
+
+    def test_identical_tasks_tie_break_deterministically(self):
+        ts = TaskSet([Task(1, 6, name="a"), Task(1, 6, name="b"),
+                      Task(1, 6, name="c")])
+        result = simulate(ts, machine0(), NoDVS(), duration=6.0,
+                          record_trace=True)
+        order = [s.task for s in result.trace.run_segments()]
+        assert order == ["a", "b", "c"]  # construction order breaks ties
+
+    def test_completion_coincides_with_release(self):
+        # Task A (2 cycles at f=1) completes exactly when B releases.
+        ts = TaskSet([Task(2, 8, name="A"), Task(1, 2, name="B")])
+        result = simulate(ts, machine0(), NoDVS(), duration=8.0)
+        assert result.met_all_deadlines
+
+    def test_all_tasks_complete_exactly_at_duration(self):
+        ts = TaskSet([Task(5, 10, name="A")])
+        result = simulate(ts, machine0(), FixedSpeed(0.5), duration=10.0)
+        job = result.jobs[0]
+        assert job.is_complete
+        assert job.completion_time == pytest.approx(10.0)
+
+
+class TestExtremeScales:
+    def test_duration_shorter_than_any_period(self):
+        result = simulate(example_taskset(), machine0(), NoDVS(),
+                          duration=2.0)
+        assert len(result.jobs) == 3  # one release each, none due yet
+        assert result.met_all_deadlines
+
+    def test_wildly_mixed_periods(self):
+        ts = TaskSet([Task(0.2, 1.0), Task(30.0, 500.0)])
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=0.6, duration=1000.0)
+        assert result.met_all_deadlines
+        assert len(result.jobs) == 1000 + 2
+
+    def test_task_with_full_utilization(self):
+        ts = TaskSet([Task(10, 10)])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=50.0)
+        assert result.met_all_deadlines
+
+    def test_tiny_demand_fractions(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("laEDF"), demand=0.01,
+                          duration=280.0)
+        assert result.met_all_deadlines
+
+
+class TestMisbehavingPolicies:
+    def test_foreign_operating_point_rejected(self):
+        class RoguePolicy(DVSPolicy):
+            name = "rogue"
+
+            def on_release(self, view, task):
+                return OperatingPoint(0.42, 2.2)  # not in machine0
+
+        with pytest.raises(SimulationError):
+            simulate(example_taskset(), machine0(), RoguePolicy(),
+                     duration=16.0)
+
+    def test_policy_crash_propagates(self):
+        class CrashingPolicy(DVSPolicy):
+            name = "crash"
+
+            def on_completion(self, view, task):
+                raise RuntimeError("policy bug")
+
+        with pytest.raises(RuntimeError, match="policy bug"):
+            simulate(example_taskset(), machine0(), CrashingPolicy(),
+                     duration=16.0)
+
+    def test_stuck_wakeup_detected(self):
+        class StuckPolicy(DVSPolicy):
+            name = "stuck"
+
+            def wakeup_time(self):
+                return 1.0  # never advances
+
+            def on_wakeup(self, view):
+                return None
+
+        with pytest.raises(SimulationError, match="wakeup"):
+            simulate(example_taskset(), machine0(), StuckPolicy(),
+                     duration=16.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        def run():
+            return simulate(example_taskset(), machine0(),
+                            make_policy("laEDF"), demand="uniform",
+                            duration=112.0)
+
+        a, b = run(), run()
+        assert a.total_energy == b.total_energy
+        assert a.switches == b.switches
+        assert [j.demand for j in a.jobs] == [j.demand for j in b.jobs]
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets)
+    def test_trace_is_contiguous_and_covers_duration(self, ts):
+        duration = min(2.0 * max(t.period for t in ts), 300.0)
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=0.7, duration=duration,
+                          record_trace=True)
+        segments = result.trace.segments
+        assert segments[0].start == pytest.approx(0.0)
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur.start == pytest.approx(prev.end, abs=1e-9)
+        assert segments[-1].end == pytest.approx(duration, abs=1e-6)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets, seed=st.integers(min_value=0, max_value=999))
+    def test_job_count_matches_release_arithmetic(self, ts, seed):
+        duration = min(2.0 * max(t.period for t in ts), 300.0)
+        result = simulate(ts, machine0(), make_policy("EDF"),
+                          demand="uniform", duration=duration)
+        import math
+        expected = sum(math.ceil((duration - 1e-9) / t.period)
+                       for t in ts)
+        assert len(result.jobs) == expected

@@ -1,0 +1,116 @@
+"""Floating-point robustness: pathological periods, long horizons,
+boundary utilizations — the engine must neither miss events nor let
+accumulated error flip deadline outcomes."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.hw.machine import Machine, machine0
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import simulate
+
+
+class TestPathologicalPeriods:
+    def test_non_representable_decimals(self):
+        """0.1 and 0.3 are not exact binary fractions; thousands of
+        releases must still line up."""
+        ts = TaskSet([Task(0.03, 0.1, name="a"), Task(0.1, 0.3, name="b")])
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand=0.9, duration=300.0)
+        assert result.met_all_deadlines
+        assert len(result.jobs) == 3000 + 1000
+
+    def test_nearly_equal_periods(self):
+        ts = TaskSet([Task(1, 5.0, name="a"),
+                      Task(1, 5.0000001, name="b")])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=500.0)
+        assert result.met_all_deadlines
+
+    def test_extreme_period_ratio(self):
+        ts = TaskSet([Task(0.05, 0.5, name="fast"),
+                      Task(400.0, 5000.0, name="slow")])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand=0.8, duration=10_000.0)
+        assert result.met_all_deadlines
+
+    def test_tiny_wcet(self):
+        ts = TaskSet([Task(1e-6, 1.0, name="tiny"), Task(3, 10)])
+        result = simulate(ts, machine0(), make_policy("ccEDF"),
+                          demand="worst", duration=100.0)
+        assert result.met_all_deadlines
+
+
+class TestLongHorizons:
+    def test_energy_accumulation_is_linear(self):
+        """Doubling the horizon doubles the energy (steady workload) —
+        drift would break the proportionality."""
+        ts = TaskSet([Task(2, 8), Task(3, 10)])
+        short = simulate(ts, machine0(), make_policy("staticEDF"),
+                         demand="worst", duration=4000.0)
+        long = simulate(ts, machine0(), make_policy("staticEDF"),
+                        demand="worst", duration=8000.0)
+        assert long.total_energy == pytest.approx(
+            2.0 * short.total_energy, rel=1e-3)
+
+    def test_many_releases_exact_count(self):
+        ts = TaskSet([Task(0.1, 1.0, name="hz")])
+        result = simulate(ts, machine0(), make_policy("EDF"),
+                          duration=20_000.0)
+        assert len(result.jobs) == 20_000
+
+    def test_no_misses_over_long_run_at_high_utilization(self):
+        ts = TaskSet([Task(4, 8, name="a"), Task(4.9, 10, name="b")])
+        # U = 0.99: razor-thin slack for thousands of jobs.
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=20_000.0)
+        assert result.met_all_deadlines
+
+
+class TestBoundaryUtilizations:
+    def test_exactly_one(self):
+        ts = TaskSet([Task(5, 10), Task(5, 10)])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=1000.0)
+        assert result.met_all_deadlines
+
+    def test_exactly_at_frequency_step(self):
+        # ΣU = 0.75 exactly: must select 0.75, not round up to 1.0.
+        ts = TaskSet([Task(3, 8, name="a"), Task(3, 8, name="b")])
+        result = simulate(ts, machine0(), make_policy("staticEDF"),
+                          demand="worst", duration=800.0,
+                          record_trace=True)
+        assert result.met_all_deadlines
+        assert {s.point.frequency for s in result.trace
+                if s.kind == "run"} == {0.75}
+
+    def test_sum_of_thirds(self):
+        # 1/3 + 1/3 + 1/3 = 1 with rounding noise: still schedulable.
+        ts = TaskSet([Task(10.0 / 3.0, 10.0, name=f"t{i}")
+                      for i in range(3)])
+        result = simulate(ts, machine0(), make_policy("laEDF"),
+                          demand="worst", duration=1000.0)
+        assert result.met_all_deadlines
+
+
+class TestDenseMachines:
+    def test_continuous_machine_many_points(self):
+        fine = machine0().continuous(steps=201)
+        ts = TaskSet([Task(2, 8), Task(3, 10)])
+        result = simulate(ts, fine, make_policy("laEDF"), demand=0.7,
+                          duration=1000.0)
+        assert result.met_all_deadlines
+
+    def test_two_point_machine(self):
+        coarse = Machine([(0.5, 1.0), (1.0, 2.0)], name="two")
+        ts = TaskSet([Task(2, 8), Task(3, 10)])
+        result = simulate(ts, coarse, make_policy("ccEDF"), demand=0.5,
+                          duration=1000.0)
+        assert result.met_all_deadlines
+
+    def test_single_point_machine(self):
+        single = Machine([(1.0, 2.0)], name="one")
+        ts = TaskSet([Task(2, 8)])
+        result = simulate(ts, single, make_policy("laEDF"),
+                          demand="worst", duration=100.0)
+        assert result.met_all_deadlines

@@ -1,0 +1,61 @@
+"""Unit tests for SimResult and EnergyBreakdown."""
+
+import pytest
+
+from repro.core.no_dvs import NoDVS
+from repro.core import make_policy
+from repro.hw.machine import machine0
+from repro.hw.operating_point import OperatingPoint
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+from repro.sim.results import EnergyBreakdown
+
+
+class TestEnergyBreakdown:
+    def test_accumulates_per_point(self):
+        breakdown = EnergyBreakdown()
+        p = OperatingPoint(0.5, 3.0)
+        q = OperatingPoint(1.0, 5.0)
+        breakdown.add_execution(p, 10.0)
+        breakdown.add_execution(p, 5.0)
+        breakdown.add_execution(q, 1.0)
+        breakdown.idle = 2.0
+        breakdown.switch = 0.5
+        assert breakdown.execution[p] == 15.0
+        assert breakdown.execution_total == 16.0
+        assert breakdown.total == pytest.approx(18.5)
+
+
+class TestSimResult:
+    @pytest.fixture
+    def result(self):
+        return simulate(example_taskset(), machine0(),
+                        make_policy("ccEDF"), demand=0.7, duration=56.0)
+
+    def test_summary_mentions_policy_and_energy(self, result):
+        text = result.summary()
+        assert "ccEDF" in text
+        assert "jobs" in text
+
+    def test_normalized_to(self, result):
+        reference = simulate(example_taskset(), machine0(), NoDVS(),
+                             demand=0.7, duration=56.0)
+        ratio = result.normalized_to(reference)
+        assert 0.0 < ratio < 1.0
+
+    def test_normalized_to_zero_reference_raises(self, result):
+        # Build a reference with zero energy: no cycles executed.
+        zero = simulate(TaskSet([Task(1, 1000)]), machine0(), NoDVS(),
+                        demand=1.0, duration=0.5)
+        zero.jobs.clear()
+        zero.energy.execution.clear()
+        zero.energy.idle = 0.0
+        with pytest.raises(ZeroDivisionError):
+            result.normalized_to(zero)
+
+    def test_executed_cycles_matches_jobs(self, result):
+        assert result.executed_cycles == \
+            pytest.approx(sum(j.executed for j in result.jobs))
+
+    def test_breakdown_total_matches(self, result):
+        assert result.total_energy == pytest.approx(result.energy.total)

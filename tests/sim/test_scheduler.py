@@ -1,0 +1,70 @@
+"""Unit tests for the EDF/RM priority policies."""
+
+import pytest
+
+from repro.model.job import Job
+from repro.model.task import Task, TaskSet
+from repro.sim.scheduler import EDFPriority, RMPriority, make_priority
+
+
+@pytest.fixture
+def ts():
+    return TaskSet([Task(1, 10, name="slow"), Task(1, 2, name="fast"),
+                    Task(1, 5, name="mid")])
+
+
+def job(task, release=0.0, index=0):
+    return Job(task=task, release_time=release, demand=task.wcet,
+               index=index)
+
+
+class TestEDF:
+    def test_earliest_deadline_wins(self, ts):
+        policy = EDFPriority(ts)
+        early = job(ts.by_name("fast"), release=0.0)   # deadline 2
+        late = job(ts.by_name("slow"), release=0.0)    # deadline 10
+        assert policy.key(early) < policy.key(late)
+
+    def test_dynamic_priorities(self, ts):
+        policy = EDFPriority(ts)
+        old_slow = job(ts.by_name("slow"), release=0.0)   # deadline 10
+        new_fast = job(ts.by_name("fast"), release=9.0)   # deadline 11
+        assert policy.key(old_slow) < policy.key(new_fast)
+
+    def test_tie_broken_by_task_order(self, ts):
+        policy = EDFPriority(ts)
+        a = job(ts.by_name("slow"), release=0.0)          # deadline 10
+        b = job(ts.by_name("mid"), release=5.0)           # deadline 10
+        assert policy.key(a) < policy.key(b)  # "slow" is task index 0
+
+
+class TestRM:
+    def test_shortest_period_wins(self, ts):
+        policy = RMPriority(ts)
+        fast = job(ts.by_name("fast"))
+        slow = job(ts.by_name("slow"))
+        assert policy.key(fast) < policy.key(slow)
+
+    def test_static_across_releases(self, ts):
+        policy = RMPriority(ts)
+        late_fast = job(ts.by_name("fast"), release=100.0, index=50)
+        early_slow = job(ts.by_name("slow"), release=0.0, index=0)
+        assert policy.key(late_fast) < policy.key(early_slow)
+
+
+class TestFactory:
+    def test_make_priority(self, ts):
+        assert isinstance(make_priority("edf", ts), EDFPriority)
+        assert isinstance(make_priority("RM", ts), RMPriority)
+        with pytest.raises(ValueError):
+            make_priority("fifo", ts)
+
+    def test_register_task(self, ts):
+        policy = make_priority("edf", ts)
+        extra = Task(1, 3, name="extra")
+        policy.register_task(extra)
+        j = job(extra)
+        assert policy.task_index(j) == 3
+        # Re-registration is idempotent.
+        policy.register_task(extra)
+        assert policy.task_index(j) == 3

@@ -1,0 +1,111 @@
+"""Tests for steady-state (per-hyperperiod) energy analysis.
+
+The headline property: for every policy, the whole system — schedule and
+energy — is hyperperiod-periodic once transients decay.  That is a deep
+joint invariant of the engine and the policies.
+"""
+
+import math
+
+import pytest
+
+from repro.core import PAPER_POLICIES, make_policy
+from repro.errors import SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.steady import steady_state_energy
+
+
+class TestBasics:
+    def test_example_taskset_hyperperiod(self):
+        # lcm(8, 10, 14) = 280.
+        steady = steady_state_energy(example_taskset(), machine0(),
+                                     make_policy("staticEDF"),
+                                     demand="worst")
+        assert steady.hyperperiod == pytest.approx(280.0)
+        assert steady.is_periodic
+
+    def test_static_edf_closed_form(self):
+        """staticEDF at worst case: all cycles at the static point.
+
+        Cycles per hyperperiod: 3*35 + 3*28 + 1*20 = 209 at 16 V²/cycle.
+        """
+        steady = steady_state_energy(example_taskset(), machine0(),
+                                     make_policy("staticEDF"),
+                                     demand="worst")
+        assert steady.energy_per_hyperperiod == pytest.approx(209 * 16.0)
+
+    def test_no_dvs_closed_form(self):
+        steady = steady_state_energy(example_taskset(), machine0(),
+                                     make_policy("EDF"), demand="worst")
+        assert steady.energy_per_hyperperiod == pytest.approx(209 * 25.0)
+
+    def test_average_power(self):
+        steady = steady_state_energy(example_taskset(), machine0(),
+                                     make_policy("EDF"), demand="worst")
+        assert steady.average_power == pytest.approx(209 * 25.0 / 280.0)
+
+    def test_incommensurable_periods_rejected(self):
+        ts = TaskSet([Task(0.1, math.pi), Task(0.1, 1.0)])
+        with pytest.raises(SimulationError):
+            steady_state_energy(ts, machine0(), make_policy("EDF"),
+                                resolution=1.0)
+
+    def test_bad_warmup(self):
+        with pytest.raises(SimulationError):
+            steady_state_energy(example_taskset(), machine0(),
+                                make_policy("EDF"),
+                                warmup_hyperperiods=-1)
+
+
+class TestPeriodicityInvariant:
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    @pytest.mark.parametrize("fraction", [1.0, 0.6])
+    def test_every_policy_is_hyperperiod_periodic(self, policy_name,
+                                                  fraction):
+        steady = steady_state_energy(example_taskset(), machine0(),
+                                     make_policy(policy_name),
+                                     demand=fraction)
+        assert steady.is_periodic, (policy_name, fraction)
+
+    def test_with_idle_energy(self):
+        steady = steady_state_energy(
+            example_taskset(), machine0(), make_policy("ccEDF"),
+            demand=0.5, energy_model=EnergyModel(idle_level=0.4))
+        assert steady.is_periodic
+
+    def test_harmonic_set(self):
+        ts = TaskSet([Task(1, 4), Task(2, 8), Task(2, 16)])
+        steady = steady_state_energy(ts, machine0(),
+                                     make_policy("laEDF"), demand=0.7)
+        assert steady.hyperperiod == pytest.approx(16.0)
+        assert steady.is_periodic
+
+    def test_steady_state_removes_tail_effects(self):
+        """The tail-effect deviation disappears: per-hyperperiod energy
+        of every EDF-based policy sits at or above the bound for exactly
+        the hyperperiod's cycles."""
+        from repro.sim.bound import minimum_energy_for_cycles
+        ts = example_taskset()
+        cycles = sum(t.wcet * (280.0 / t.period) for t in ts)
+        bound = minimum_energy_for_cycles(machine0(), cycles, 280.0)
+        for policy_name in ("EDF", "staticEDF", "ccEDF", "laEDF"):
+            steady = steady_state_energy(ts, machine0(),
+                                         make_policy(policy_name),
+                                         demand="worst")
+            assert steady.energy_per_hyperperiod >= bound - 1e-6, \
+                policy_name
+
+    def test_policy_ordering_in_steady_state(self):
+        """laEDF <= ccEDF <= staticEDF <= EDF per hyperperiod, with
+        early completions."""
+        energies = {}
+        for policy_name in ("EDF", "staticEDF", "ccEDF", "laEDF"):
+            steady = steady_state_energy(example_taskset(), machine0(),
+                                         make_policy(policy_name),
+                                         demand=0.6)
+            energies[policy_name] = steady.energy_per_hyperperiod
+        assert energies["laEDF"] <= energies["ccEDF"] + 1e-9
+        assert energies["ccEDF"] <= energies["staticEDF"] + 1e-9
+        assert energies["staticEDF"] <= energies["EDF"] + 1e-9

@@ -1,0 +1,104 @@
+"""Cross-validation: the exact engine vs the independent tick simulator.
+
+Two implementations of the same model must agree — on energy within the
+quantization error, and on deadline outcomes exactly (for workloads where
+slack exceeds the tick, so quantized completions cannot flip an outcome).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import make_policy
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0, machine2
+from repro.model.demand import UniformFractionDemand
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+from repro.sim.ticksim import TickSimulator
+
+from tests.conftest import fractions
+
+POLICIES = ("EDF", "staticEDF", "ccEDF", "laEDF", "staticRM", "ccRM")
+
+
+def cross_validate(ts, policy_name, demand, duration, tick=0.005,
+                   machine=None, idle_level=0.0):
+    machine = machine or machine0()
+    model = EnergyModel(idle_level=idle_level)
+    exact = simulate(ts, machine, make_policy(policy_name), demand=demand,
+                     duration=duration, energy_model=model,
+                     on_miss="drop")
+    quantized = TickSimulator(ts, machine, make_policy(policy_name),
+                              demand=demand, duration=duration, tick=tick,
+                              energy_model=model).run()
+    return exact, quantized
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_paper_example_energy_agrees(policy_name):
+    exact, quantized = cross_validate(example_taskset(), policy_name,
+                                      demand=0.7, duration=56.0)
+    # Quantization error bound: a handful of event-delayed ticks, each at
+    # worst max_power * tick ~ 25 * 0.005.
+    assert quantized.energy == pytest.approx(exact.total_energy,
+                                             rel=0.02, abs=1.0)
+    assert exact.met_all_deadlines and quantized.met_all_deadlines
+
+
+@pytest.mark.parametrize("policy_name", ("EDF", "ccEDF", "laEDF"))
+def test_agreement_on_machine2(policy_name):
+    exact, quantized = cross_validate(example_taskset(), policy_name,
+                                      demand=0.5, duration=56.0,
+                                      machine=machine2())
+    assert quantized.energy == pytest.approx(exact.total_energy,
+                                             rel=0.02, abs=1.0)
+
+
+def test_agreement_with_idle_energy():
+    exact, quantized = cross_validate(example_taskset(), "ccEDF",
+                                      demand=0.5, duration=56.0,
+                                      idle_level=0.5)
+    assert quantized.energy == pytest.approx(exact.total_energy,
+                                             rel=0.02, abs=1.0)
+
+
+def test_agreement_with_random_demands():
+    ts = example_taskset()
+    demand = materialize_demand(UniformFractionDemand(seed=5), ts, 112.0)
+    for policy_name in ("ccEDF", "laEDF"):
+        exact, quantized = cross_validate(ts, policy_name, demand=demand,
+                                          duration=112.0)
+        assert quantized.energy == pytest.approx(exact.total_energy,
+                                                 rel=0.03, abs=1.0)
+
+
+def test_cycle_totals_agree():
+    exact, quantized = cross_validate(example_taskset(), "laEDF",
+                                      demand=0.8, duration=56.0)
+    assert quantized.executed_cycles == pytest.approx(
+        exact.executed_cycles, rel=1e-3)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fraction=fractions,
+       policy_index=st.integers(min_value=0, max_value=3))
+def test_property_agreement(fraction, policy_index):
+    """Random demand fractions: the two simulators stay in lockstep."""
+    policy_name = ("EDF", "staticEDF", "ccEDF", "laEDF")[policy_index]
+    ts = TaskSet([Task(2, 8), Task(3, 12), Task(1, 6)])  # U = 0.667
+    exact, quantized = cross_validate(ts, policy_name, demand=fraction,
+                                      duration=48.0, tick=0.004)
+    assert quantized.energy == pytest.approx(exact.total_energy,
+                                             rel=0.03, abs=1.0)
+    assert exact.met_all_deadlines
+    assert quantized.met_all_deadlines
+
+
+def test_overload_missed_in_both():
+    ts = TaskSet([Task(3, 4, name="A"), Task(3, 4, name="B")])  # U = 1.5
+    exact, quantized = cross_validate(ts, "EDF", demand="worst",
+                                      duration=20.0)
+    assert not exact.met_all_deadlines
+    assert not quantized.met_all_deadlines

@@ -1,0 +1,64 @@
+"""Unit tests for the tick simulator's own interface (the cross-validation
+behaviour lives in test_ticksim_crossvalidation.py)."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.errors import SimulationError
+from repro.hw.machine import machine0
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.ticksim import TickSimulator
+
+
+class TestValidation:
+    def test_bad_tick(self):
+        with pytest.raises(SimulationError):
+            TickSimulator(example_taskset(), machine0(),
+                          make_policy("EDF"), tick=0.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(SimulationError):
+            TickSimulator(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=0.0)
+
+    def test_bad_scheduler(self):
+        with pytest.raises(SimulationError):
+            TickSimulator(example_taskset(), machine0(),
+                          make_policy("EDF"), scheduler="fifo")
+
+    def test_busy_time_unsupported(self):
+        sim = TickSimulator(example_taskset(), machine0(),
+                            make_policy("EDF"), duration=16.0)
+        with pytest.raises(SimulationError):
+            sim.busy_time
+
+
+class TestBehaviour:
+    def test_zero_demand_jobs_complete(self):
+        from repro.model.demand import TraceDemand
+        ts = TaskSet([Task(2, 10, name="A")])
+        sim = TickSimulator(ts, machine0(), make_policy("EDF"),
+                            demand=TraceDemand({"A": [0.0, 1.0]},
+                                               repeat=False),
+                            duration=20.0, tick=0.01)
+        result = sim.run()
+        assert result.met_all_deadlines
+        first = [j for j in result.jobs if j.index == 0][0]
+        assert first.is_complete
+
+    def test_scheduler_view_protocol(self):
+        ts = example_taskset()
+        sim = TickSimulator(ts, machine0(), make_policy("EDF"),
+                            duration=16.0, tick=0.01)
+        sim.run()
+        task = ts[0]
+        assert sim.invocation_of(task) >= 0
+        assert sim.current_deadline(task) is not None
+        assert sim.earliest_deadline() is not None
+        assert sim.executed_in_invocation(task) >= 0.0
+
+    def test_rm_scheduler(self):
+        result = TickSimulator(example_taskset(), machine0(),
+                               make_policy("staticRM"), duration=56.0,
+                               tick=0.005).run()
+        assert result.met_all_deadlines

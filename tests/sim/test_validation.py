@@ -1,0 +1,149 @@
+"""Tests for the independent schedule validator — and, through it,
+another layer of engine verification."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import PAPER_POLICIES, make_policy
+from repro.errors import SimulationError
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.hw.operating_point import OperatingPoint
+from repro.model.schedulability import rm_exact_schedulable
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+from repro.sim.trace import Segment
+from repro.sim.validation import Violation, validate_schedule
+
+from tests.conftest import fractions, tasksets
+
+
+def run_traced(policy_name, ts=None, demand=0.7, duration=112.0,
+               idle_level=0.0):
+    ts = ts or example_taskset()
+    model = EnergyModel(idle_level=idle_level)
+    result = simulate(ts, machine0(), make_policy(policy_name),
+                      demand=demand, duration=duration,
+                      energy_model=model, record_trace=True,
+                      on_miss="drop")
+    return result, model
+
+
+class TestValidSchedules:
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    def test_engine_output_validates(self, policy_name):
+        result, model = run_traced(policy_name)
+        violations = validate_schedule(result, model)
+        assert violations == [], [str(v) for v in violations]
+
+    def test_with_idle_energy(self):
+        result, model = run_traced("ccEDF", idle_level=0.7)
+        assert validate_schedule(result, model) == []
+
+    def test_requires_trace(self):
+        result = simulate(example_taskset(), machine0(),
+                          make_policy("EDF"), duration=28.0)
+        with pytest.raises(SimulationError):
+            validate_schedule(result)
+
+
+class TestViolationDetection:
+    """Corrupt valid results and check the validator notices."""
+
+    @pytest.fixture
+    def valid(self):
+        return run_traced("ccEDF")
+
+    def _kinds(self, result, model):
+        return {v.kind for v in validate_schedule(result, model)}
+
+    def test_detects_energy_mismatch(self, valid):
+        result, model = valid
+        result.energy.idle += 100.0
+        assert "energy" in self._kinds(result, model)
+
+    def test_detects_tiling_gap(self, valid):
+        result, model = valid
+        segment = result.trace._segments[1]
+        result.trace._segments[1] = Segment(
+            start=segment.start + 0.5, end=segment.end + 0.5,
+            task=segment.task, point=segment.point,
+            cycles=segment.cycles, energy=segment.energy,
+            kind=segment.kind)
+        assert "tiling" in self._kinds(result, model)
+
+    def test_detects_wrong_cycle_rate(self, valid):
+        result, model = valid
+        for index, segment in enumerate(result.trace._segments):
+            if segment.kind == "run":
+                result.trace._segments[index] = Segment(
+                    start=segment.start, end=segment.end,
+                    task=segment.task, point=segment.point,
+                    cycles=segment.cycles * 2.0, energy=segment.energy,
+                    kind=segment.kind)
+                break
+        kinds = self._kinds(result, model)
+        assert "cycles" in kinds
+
+    def test_detects_priority_inversion(self, valid):
+        result, model = valid
+        # Swap the executing task of an early segment to the lowest-
+        # priority task (T3, longest deadline), faking an inversion.
+        for index, segment in enumerate(result.trace._segments):
+            if segment.kind == "run" and segment.task == "T1" \
+                    and segment.start < 1.0:
+                result.trace._segments[index] = Segment(
+                    start=segment.start, end=segment.end, task="T3",
+                    point=segment.point, cycles=segment.cycles,
+                    energy=segment.energy, kind=segment.kind)
+                break
+        kinds = self._kinds(result, model)
+        assert "priority" in kinds or "budget" in kinds
+
+    def test_detects_idle_with_ready_work(self, valid):
+        result, model = valid
+        for index, segment in enumerate(result.trace._segments):
+            if segment.kind == "run" and segment.start < 1.0:
+                result.trace._segments[index] = Segment(
+                    start=segment.start, end=segment.end, task=None,
+                    point=segment.point, cycles=0.0,
+                    energy=segment.energy, kind="idle")
+                break
+        kinds = self._kinds(result, model)
+        assert "work-conservation" in kinds or "energy" in kinds
+
+    def test_detects_phantom_execution(self, valid):
+        result, model = valid
+        last = result.trace._segments[-1]
+        result.trace._segments[-1] = Segment(
+            start=last.start, end=last.end, task="ghost",
+            point=last.point,
+            cycles=last.duration * last.point.frequency,
+            energy=last.energy, kind="run")
+        kinds = self._kinds(result, model)
+        assert "budget" in kinds
+
+    def test_violation_str(self):
+        v = Violation("priority", 3.5, "something wrong")
+        assert "priority" in str(v) and "3.5" in str(v)
+
+
+class TestPropertyValidation:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+    @given(ts=tasksets, fraction=fractions,
+           policy_index=st.integers(min_value=0, max_value=5))
+    def test_random_runs_always_validate(self, ts, fraction,
+                                         policy_index):
+        policy_name = PAPER_POLICIES[policy_index]
+        if policy_name in ("staticRM", "ccRM") \
+                and not rm_exact_schedulable(ts, 1.0):
+            return
+        duration = min(2.0 * max(t.period for t in ts), 250.0)
+        model = EnergyModel(idle_level=0.25)
+        result = simulate(ts, machine0(), make_policy(policy_name),
+                          demand=fraction, duration=duration,
+                          energy_model=model, record_trace=True)
+        violations = validate_schedule(result, model)
+        assert violations == [], [str(v) for v in violations]

@@ -1,0 +1,49 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    DeadlineMissError,
+    KernelError,
+    MachineError,
+    PowerNowError,
+    ReproError,
+    SchedulabilityError,
+    SimulationError,
+    TaskModelError,
+)
+
+
+@pytest.mark.parametrize("exc_class", [
+    TaskModelError, MachineError, SchedulabilityError, SimulationError,
+    KernelError, AdmissionError, PowerNowError,
+])
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_deadline_miss_is_simulation_error():
+    assert issubclass(DeadlineMissError, SimulationError)
+
+
+def test_admission_and_powernow_are_kernel_errors():
+    assert issubclass(AdmissionError, KernelError)
+    assert issubclass(PowerNowError, KernelError)
+
+
+def test_deadline_miss_carries_context():
+    error = DeadlineMissError("T1", release_time=8.0, deadline=16.0,
+                              time=16.0)
+    assert error.task_name == "T1"
+    assert error.deadline == 16.0
+    assert "T1" in str(error)
+    assert "16" in str(error)
+
+
+def test_single_except_catches_everything():
+    for exc_class in (TaskModelError, MachineError, KernelError):
+        try:
+            raise exc_class("boom")
+        except ReproError as caught:
+            assert "boom" in str(caught)

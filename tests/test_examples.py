@@ -1,0 +1,59 @@
+"""Every example script must run cleanly (they double as acceptance
+tests for the public API)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "camcorder_controller.py",
+    "cellphone_taskset.py",
+    "dynamic_tasks.py",
+    "laptop_power.py",
+    "aperiodic_server.py",
+    "energy_profile.py",
+    "multiprocessor_cluster.py",
+    "statistical_guarantees.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_reproduces_table4():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert "0.440" in completed.stdout
+    assert "0.520" in completed.stdout
+
+
+def test_camcorder_shows_avg_dvs_misses():
+    path = os.path.join(EXAMPLES_DIR, "camcorder_controller.py")
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert "MISSES DEADLINES" in completed.stdout
+
+
+def test_dynamic_tasks_shows_transient_and_deferral():
+    path = os.path.join(EXAMPLES_DIR, "dynamic_tasks.py")
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert "TRANSIENT MISS" in completed.stdout
+    assert "no misses" in completed.stdout

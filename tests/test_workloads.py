@@ -1,0 +1,66 @@
+"""Tests for the named workload library."""
+
+import pytest
+
+from repro.core import make_policy
+from repro.hw.machine import machine0
+from repro.model.schedulability import edf_schedulable, rm_exact_schedulable
+from repro.model.task import TaskSet
+from repro.sim.engine import simulate
+from repro.workloads import (WORKLOADS, avionics_harmonic, camcorder,
+                             cellphone, load, medical_monitor, videophone)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestAllWorkloads:
+    def test_loadable(self, name):
+        taskset, demand = load(name)
+        assert isinstance(taskset, TaskSet)
+        assert demand is not None
+
+    def test_edf_schedulable_at_full_speed(self, name):
+        taskset, _ = load(name)
+        assert edf_schedulable(taskset, 1.0)
+
+    def test_simulates_cleanly_under_laedf(self, name):
+        taskset, demand = load(name)
+        duration = 2.0 * max(t.period for t in taskset)
+        result = simulate(taskset, machine0(), make_policy("laEDF"),
+                          demand=demand, duration=duration)
+        assert result.met_all_deadlines
+
+    def test_rtdvs_saves_energy(self, name):
+        taskset, demand = load(name)
+        duration = 4.0 * max(t.period for t in taskset)
+        edf = simulate(taskset, machine0(), make_policy("EDF"),
+                       demand=demand, duration=duration)
+        la = simulate(taskset, machine0(), make_policy("laEDF"),
+                      demand=demand, duration=duration)
+        # Reset stateful demand models between policies.
+        assert la.total_energy < edf.total_energy
+
+
+class TestSpecificSets:
+    def test_camcorder_contains_paper_sensor_task(self):
+        ts = camcorder()
+        sensor = ts.by_name("sensor")
+        assert sensor.wcet == 3.0 and sensor.period == 5.0
+
+    def test_avionics_is_harmonic_and_rm_tight(self):
+        ts = avionics_harmonic()
+        periods = sorted(t.period for t in ts)
+        for small, large in zip(periods, periods[1:]):
+            assert large % small == 0
+        # Harmonic: exact RM accepts at its utilization; LL would not.
+        assert ts.utilization == pytest.approx(0.95)
+        assert rm_exact_schedulable(ts, 0.96)
+
+    def test_utilizations_in_documented_range(self):
+        assert cellphone().utilization == pytest.approx(0.57, abs=0.02)
+        assert medical_monitor().utilization == pytest.approx(0.57,
+                                                              abs=0.02)
+        assert videophone().utilization == pytest.approx(0.75, abs=0.02)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("toaster")
