@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments experiments-full clean
+.PHONY: install test bench bench-figures check experiments experiments-full clean
 
 install:
 	pip install -e .
@@ -6,8 +6,21 @@ install:
 test:
 	pytest tests/
 
+# Perf trajectory: canonical engine workloads -> BENCH_engine.json
+# (indexed engine vs recorded pre-refactor baseline), then the pytest
+# micro-benchmarks.
 bench:
+	PYTHONPATH=src python benchmarks/write_bench_json.py
 	pytest benchmarks/ --benchmark-only
+
+bench-figures:
+	pytest benchmarks/ --benchmark-only
+
+# What CI runs: tier-1 tests plus a smoke pass of the engine benchmarks,
+# so the perf harness itself cannot rot.
+check:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
 
 experiments:
 	python -m repro run-all --out results_quick

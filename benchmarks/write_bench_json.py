@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Engine performance trajectory: canonical workloads -> BENCH_engine.json.
+
+Runs a fixed battery of canonical workloads on both engines —
+:class:`~repro.sim.engine.Simulator` (indexed event queues) and
+:class:`~repro.sim.baseline.BaselineSimulator` (the pre-refactor linear
+hot paths) — and records events/second, wall time, and peak RSS in
+``BENCH_engine.json`` at the repository root.  Every run cross-checks that
+the two engines produce identical energy and miss counts, so the speedup
+numbers can never come from a semantic divergence.
+
+Workloads
+---------
+* ``tasks10`` / ``tasks50`` / ``tasks200`` — generated task sets at the
+  paper's period bands, utilization 0.7, with early completions (constant
+  80 % demand) so release *and* completion hooks fire.  ``tasks10``/
+  ``tasks50`` run under ccEDF; ``tasks200`` runs plain EDF so the number
+  isolates the engine rather than the O(n) policy recalculation.
+* ``fig9_sweep`` — a micro-scale Fig. 9-style utilization sweep (the
+  dominant workload shape in practice), timed end-to-end with the indexed
+  engine only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/write_bench_json.py [--out PATH]
+    make bench
+
+The file keeps both engines' numbers side by side, so future PRs have a
+recorded pre-refactor baseline to compare against; ``speedup_events_per_sec``
+is the headline ratio (indexed / baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.sweep import SweepConfig, utilization_sweep  # noqa: E402
+from repro.core import make_policy  # noqa: E402
+from repro.hw.machine import machine0  # noqa: E402
+from repro.model.generator import TaskSetGenerator  # noqa: E402
+from repro.sim.baseline import BaselineSimulator  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+#: (name, n_tasks, policy, duration) — durations are sized so the baseline
+#: engine finishes each workload in seconds while still processing enough
+#: events for stable rates.
+WORKLOADS = (
+    ("tasks10", 10, "ccEDF", 2000.0),
+    ("tasks50", 50, "ccEDF", 600.0),
+    ("tasks200", 200, "EDF", 200.0),
+)
+
+UTILIZATION = 0.7
+DEMAND = 0.8
+SEED = 2001  # the paper's year; fixed so the workloads never drift
+REPEATS = 3
+
+
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process in kilobytes (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _run_engine(engine_cls, taskset, policy_name, duration):
+    """Best-of-REPEATS wall time for one engine on one workload."""
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        sim = engine_cls(taskset, machine0(), make_policy(policy_name),
+                         demand=DEMAND, duration=duration, on_miss="drop")
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    completions = sum(1 for job in result.jobs if job.is_complete)
+    events = len(result.jobs) + completions + result.switches
+    return {
+        "wall_seconds": round(best, 6),
+        "events": events,
+        "events_per_sec": round(events / best, 1),
+        "jobs": len(result.jobs),
+        "switches": result.switches,
+        "energy": result.total_energy,
+        "misses": len(result.misses),
+    }
+
+
+def bench_workload(name, n_tasks, policy_name, duration):
+    taskset = TaskSetGenerator(n_tasks=n_tasks, utilization=UTILIZATION,
+                               seed=SEED).generate()
+    indexed = _run_engine(Simulator, taskset, policy_name, duration)
+    legacy = _run_engine(BaselineSimulator, taskset, policy_name, duration)
+    if indexed["energy"] != legacy["energy"] \
+            or indexed["misses"] != legacy["misses"]:
+        raise SystemExit(
+            f"{name}: engines diverged — indexed "
+            f"(E={indexed['energy']}, misses={indexed['misses']}) vs "
+            f"baseline (E={legacy['energy']}, misses={legacy['misses']})")
+    speedup = indexed["events_per_sec"] / legacy["events_per_sec"]
+    return {
+        "n_tasks": n_tasks,
+        "policy": policy_name,
+        "utilization": UTILIZATION,
+        "demand": DEMAND,
+        "duration": duration,
+        "indexed": indexed,
+        "baseline": legacy,
+        "speedup_events_per_sec": round(speedup, 2),
+    }
+
+
+def bench_fig9_sweep():
+    """Micro-scale Fig. 9-shaped sweep, wall-clock end to end."""
+    config = SweepConfig(n_sets=3, utilizations=(0.3, 0.5, 0.7, 0.9),
+                        duration=600.0, seed=SEED)
+    start = time.perf_counter()
+    result = utilization_sweep(config)
+    elapsed = time.perf_counter() - start
+    cells = len(config.utilizations) * config.n_sets
+    return {
+        "n_tasks": config.n_tasks,
+        "n_sets": config.n_sets,
+        "utilizations": list(config.utilizations),
+        "duration": config.duration,
+        "wall_seconds": round(elapsed, 6),
+        "cells_per_sec": round(cells / elapsed, 2),
+        "rm_fallbacks": result.rm_fallbacks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "seed": SEED,
+        "repeats": REPEATS,
+        "workloads": {},
+    }
+    for name, n_tasks, policy_name, duration in WORKLOADS:
+        print(f"[bench] {name}: {n_tasks} tasks, {policy_name}, "
+              f"duration {duration:g} ...", flush=True)
+        entry = bench_workload(name, n_tasks, policy_name, duration)
+        report["workloads"][name] = entry
+        print(f"[bench]   indexed {entry['indexed']['events_per_sec']:,.0f} "
+              f"ev/s vs baseline {entry['baseline']['events_per_sec']:,.0f} "
+              f"ev/s -> speedup {entry['speedup_events_per_sec']:.2f}x",
+              flush=True)
+    print("[bench] fig9_sweep ...", flush=True)
+    report["workloads"]["fig9_sweep"] = bench_fig9_sweep()
+    report["peak_rss_kb"] = _peak_rss_kb()
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {args.out}")
+
+    headline = report["workloads"]["tasks200"]["speedup_events_per_sec"]
+    print(f"[bench] headline (tasks200 speedup): {headline:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -124,12 +124,21 @@ def utilization_sweep(config: SweepConfig) -> SweepResult:
     per_label: Dict[str, List[List[float]]] = {
         label: [] for label in labels}
     rm_fallbacks = 0
-    for u_index, utilization in enumerate(config.utilizations):
-        cells = _build_cells(config, u_index, utilization)
-        outcomes = _run_cells(cells, config.workers)
-        for label in labels:
-            per_label[label].append([o[label] for o in outcomes])
-        rm_fallbacks += sum(o["_rm_fallbacks"] for o in outcomes)
+    # One worker pool serves every utilization point: spawning processes
+    # (and re-importing repro in each) per point dominated small sweeps.
+    pool: Optional[ProcessPoolExecutor] = None
+    if config.workers > 1:
+        pool = ProcessPoolExecutor(max_workers=config.workers)
+    try:
+        for u_index, utilization in enumerate(config.utilizations):
+            cells = _build_cells(config, u_index, utilization)
+            outcomes = _run_cells(cells, config.workers, pool)
+            for label in labels:
+                per_label[label].append([o[label] for o in outcomes])
+            rm_fallbacks += sum(o["_rm_fallbacks"] for o in outcomes)
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
     raw = SweepTable(title=_title(config, normalized=False),
                      x_label="worst-case utilization", y_label="energy")
@@ -205,11 +214,15 @@ def _build_cells(config: SweepConfig, u_index: int,
     return cells
 
 
-def _run_cells(cells: List[_Cell], workers: int) -> List[Dict[str, float]]:
-    if workers <= 1 or len(cells) <= 1:
+def _run_cells(cells: List[_Cell], workers: int,
+               pool: Optional[ProcessPoolExecutor] = None
+               ) -> List[Dict[str, float]]:
+    if pool is None or workers <= 1 or len(cells) <= 1:
         return [_run_cell(cell) for cell in cells]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, cells))
+    # Chunking amortizes pickling overhead; cap at 4 waves per worker so
+    # uneven cell runtimes still load-balance.
+    chunksize = max(1, len(cells) // (workers * 4))
+    return list(pool.map(_run_cell, cells, chunksize=chunksize))
 
 
 def _run_cell(cell: _Cell) -> Dict[str, float]:

@@ -46,16 +46,44 @@ from repro.model.task import Task
 
 
 class LookAheadEDF(DVSPolicy):
-    """Look-ahead RT-DVS for EDF schedulers (``laEDF``)."""
+    """Look-ahead RT-DVS for EDF schedulers (``laEDF``).
+
+    Parameters
+    ----------
+    strict:
+        The deferral calculation can demand more than the full-speed
+        capacity of the processor (``s / (D_n - now) > 1``) when work is
+        injected late — e.g. a non-deferred dynamic admission close to the
+        earliest deadline in the system (the transient the paper's Sec. 4.3
+        deferral recipe exists to avoid).  Running at ``f_max`` is then the
+        best the machine can do, but the deferred work *cannot* finish by
+        ``D_n`` and a deadline miss is already unavoidable.  With
+        ``strict=True`` such an instant raises
+        :class:`~repro.errors.SchedulabilityError` immediately; by default
+        the policy clamps to ``f_max`` and counts the instant in
+        :attr:`over_unity_events` so callers can detect the overload
+        instead of it being silently swallowed.
+
+    Attributes
+    ----------
+    over_unity_events:
+        Number of deferral instants during the last run whose required
+        speed exceeded 1 (reset by ``setup``).
+    """
 
     name = "laEDF"
     scheduler = "edf"
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.over_unity_events = 0
 
     def setup(self, view) -> Optional[OperatingPoint]:
         if view.taskset.utilization > 1.0 + 1e-9:
             raise SchedulabilityError(
                 f"task set utilization {view.taskset.utilization:.3f} > 1; "
                 "not EDF-schedulable at any frequency")
+        self.over_unity_events = 0
         # Nothing is released yet; start at the bottom — the t=0 releases
         # immediately re-run defer().
         return view.machine.slowest
@@ -97,6 +125,16 @@ class LookAheadEDF(DVSPolicy):
                 utilization += deferred / span
             must_run += c_left - deferred
         speed = must_run / (earliest - now)
+        if speed > 1.0 + 1e-9:
+            # Even f_max cannot finish the non-deferrable work by the
+            # earliest deadline: an unavoidable (transient) overload, not a
+            # quantity to clamp silently.
+            self.over_unity_events += 1
+            if self.strict:
+                raise SchedulabilityError(
+                    f"look-ahead deferral at t={now:g} needs speed "
+                    f"{speed:.3f} > 1: {must_run:g} cycles cannot finish "
+                    f"by the earliest deadline {earliest:g} even at f_max")
         return view.machine.lowest_at_least(min(1.0, speed))
 
     @staticmethod

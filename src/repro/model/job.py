@@ -24,9 +24,13 @@ class JobOutcome(enum.Enum):
     UNFINISHED = "unfinished"        #: simulation ended before its deadline
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One invocation of a periodic task.
+
+    The class is slotted: the simulator allocates one instance per release,
+    so on large sweeps the fixed slot layout measurably cuts memory traffic
+    and attribute-access time on the engine's hot path.
 
     Attributes
     ----------

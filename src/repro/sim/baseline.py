@@ -1,0 +1,128 @@
+"""Un-indexed reference engine: the pre-refactor linear hot paths.
+
+:class:`BaselineSimulator` re-implements the event-queue primitives of
+:class:`~repro.sim.engine.Simulator` exactly as they were before the engine
+moved to indexed data structures (release min-heap, lazy-deletion ready
+heap, admission index pointer, cached policy wakeup):
+
+* ``_next_event_time`` re-scans every task state with ``min()``;
+* the ready queue is a plain list — picking the highest-priority job is a
+  full ``min(..., key=priority.key)`` scan, removal is ``list.remove``;
+* admissions are consumed with ``pop(0)`` from the sorted list;
+* the policy's ``wakeup_time()`` is re-queried on every segment;
+* deferred admissions are re-checked by scanning *all* task states.
+
+Two jobs:
+
+1. **Semantic reference.**  The indexed engine must produce bit-for-bit
+   identical results (energy, misses, job outcomes, switch counts) — the
+   property tests in ``tests/sim/test_event_queue.py`` pin the equivalence
+   on randomized workloads.  Unlike :class:`~repro.sim.ticksim.TickSimulator`
+   (an independent quantized model, agreeing only within tick error), this
+   class shares the exact event semantics, so agreement is exact.
+2. **Perf baseline.**  ``benchmarks/write_bench_json.py`` times both
+   engines on canonical workloads and records the speedup in
+   ``BENCH_engine.json``, giving future PRs a trajectory to compare
+   against.
+
+Do not use this class for experiments; it is O(n) per event by design.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.model.job import Job
+from repro.sim.engine import _EPS, Simulator, _TaskState
+
+
+class BaselineSimulator(Simulator):
+    """Pre-refactor engine semantics with linear-scan event handling."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ready: List[Job] = []
+
+    # -- ready queue: plain list ---------------------------------------
+    def _ready_add(self, job: Job) -> None:
+        self._ready.append(job)
+
+    def _ready_discard(self, job: Job) -> None:
+        self._ready.remove(job)
+
+    def _pick_job(self) -> Optional[Job]:
+        if not self._ready:
+            return None
+        return min(self._ready, key=self.priority.key)
+
+    # -- release queue: rescan all states ------------------------------
+    def _schedule_release(self, state: _TaskState) -> None:
+        pass  # next_release lives only on the state; peeking rescans
+
+    def _peek_next_release(self) -> float:
+        return min((s.next_release for s in self._states.values()),
+                   default=math.inf)
+
+    # -- admissions: consume the head of the sorted list ----------------
+    def _process_due_admissions(self) -> bool:
+        progressed = False
+        while self._admissions and \
+                self._admissions[0].time <= self.time + _EPS:
+            admission = self._admissions.pop(0)
+            self._admit(admission)
+            progressed = True
+        self._check_deferred_releases()
+        return progressed
+
+    def _next_admission_time(self) -> float:
+        return self._admissions[0].time if self._admissions else math.inf
+
+    # -- deferred releases: scan every state ----------------------------
+    def _check_deferred_releases(self) -> None:
+        for state in self._states.values():
+            if not state.pending_defer:
+                continue
+            if all(job.is_complete for job in state.defer_blockers or ()):
+                state.pending_defer = False
+                state.defer_blockers = None
+                state.next_release = self.time
+
+    # -- releases: scan the whole task set ------------------------------
+    def _process_due_releases(self) -> bool:
+        released = []
+        for task in self.taskset:
+            state = self._states[task.name]
+            while state.next_release <= self.time + _EPS \
+                    and state.next_release < self.duration - _EPS:
+                self._create_job(state)
+                released.append(task)
+        zero_demand = []
+        for task in released:
+            job = self._states[task.name].job
+            assert job is not None
+            if job.demand <= _EPS and not job.is_complete:
+                job.completion_time = self.time
+                zero_demand.append(task)
+        for task in released:
+            self._policy_hook(self.policy.on_release, task)
+        for task in zero_demand:
+            self._policy_hook(self.policy.on_completion, task)
+        return bool(released)
+
+    # -- wakeup: re-query the policy every time --------------------------
+    def _policy_wakeup_time(self) -> Optional[float]:
+        getter = getattr(self.policy, "wakeup_time", None)
+        return getter() if getter is not None else None
+
+    # -- fixed-point loop: the historical flat bound ---------------------
+    def _process_due_events(self) -> None:
+        for _ in range(100_000):  # pre-refactor defensive bound
+            progressed = self._process_due_admissions()
+            progressed |= self._process_due_releases()
+            progressed |= self._process_due_wakeup()
+            if not progressed:
+                return
+        raise SimulationError(
+            "event processing did not reach a fixed point")

@@ -24,12 +24,48 @@ set (so DVS decisions immediately account for it), and its first release
 happens either immediately or — with ``defer=True`` — once the current
 invocations of all existing tasks have completed, the paper's recipe for
 avoiding transient misses.
+
+Event-queue architecture
+------------------------
+
+The hot path is indexed so per-event cost is logarithmic in the task count
+rather than linear (see ``DESIGN.md`` for the full complexity table):
+
+* **Release queue** — a min-heap of ``(next_release, ordinal, state)``
+  entries.  Entries are never updated in place; every change to a state's
+  ``next_release`` pushes a fresh entry, and stale entries (whose recorded
+  time no longer matches the state) are discarded lazily on peek/pop.
+* **Ready queue** — a min-heap of ``[priority_key, serial, job]`` entries
+  ordered by :meth:`~repro.sim.scheduler.PriorityPolicy.key`.  Removal
+  (completion, or a dropped late job) marks the entry invalid in O(1) via a
+  side table; invalid entries are skipped lazily when the queue is peeked.
+  Priority keys are immutable per job, so no decrease-key is ever needed.
+* **Admission queue** — the pre-sorted admission list is consumed through
+  an index pointer instead of ``pop(0)``.
+* **Policy wakeup** — ``wakeup_time()`` is cached and re-queried only after
+  a policy hook has run (the only code that can change it).
+
+Simultaneous releases still fire their ``on_release`` hooks in task-set
+order (states carry an ``ordinal``), so scheduling decisions are
+bit-for-bit identical to the pre-refactor linear engine — a property pinned
+by the cross-validation suite against
+:class:`~repro.sim.baseline.BaselineSimulator` and
+:class:`~repro.sim.ticksim.TickSimulator`.
+
+Horizon convention: a release landing within ``_EPS`` of ``duration`` (in
+particular, *exactly at* the horizon when the period divides the duration)
+is suppressed — the job would have zero executable window inside the run
+and its deadline lies beyond it, so :meth:`Simulator._final_deadline_check`
+could never classify it.  :class:`~repro.sim.ticksim.TickSimulator` applies
+the identical convention, keeping job counts comparable.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
+from itertools import count
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import DeadlineMissError, SimulationError
@@ -46,11 +82,14 @@ from repro.sim.trace import ExecutionTrace, Segment
 
 _EPS = 1e-9
 
+#: Sentinel distinguishing "wakeup cache empty" from a cached ``None``.
+_UNSET = object()
+
 #: What to do when a deadline miss is detected.
 MISS_MODES = ("raise", "drop", "continue")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Admission:
     """A task scheduled to join the system mid-run.
 
@@ -71,19 +110,20 @@ class Admission:
     defer: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class _TaskState:
     """Mutable per-task bookkeeping."""
 
     task: Task
     next_release: float  # math.inf while a deferred admission is pending
+    ordinal: int = 0  # insertion order; fixes simultaneous-release ordering
     invocation: int = 0
     job: Optional[Job] = None  # most recently released job
     pending_defer: bool = False
     # Jobs that were in flight when this task was admitted with defer=True;
     # the first release waits until every one of them has completed (the
     # paper's transient-miss avoidance, Sec. 4.3).
-    defer_blockers: List[Job] = None  # type: ignore[assignment]
+    defer_blockers: Optional[List[Job]] = None
 
 
 class SchedulerView:
@@ -209,11 +249,11 @@ class Simulator(SchedulerView):
         self.enforce_wcet = enforce_wcet
         self._admissions: List[Admission] = sorted(admissions,
                                                    key=lambda a: a.time)
+        self._admission_pos = 0  # consumed prefix of the sorted admissions
 
         # -- mutable run state --
         self.time = 0.0
         self._states: Dict[str, _TaskState] = {}
-        self._ready: List[Job] = []
         self._jobs: List[Job] = []
         self._misses: List[DeadlineMiss] = []
         self._energy = EnergyBreakdown()
@@ -223,6 +263,14 @@ class Simulator(SchedulerView):
         self._busy_time = 0.0
         self._idle_time = 0.0
         self._finished = False
+
+        # -- event indexes (see "Event-queue architecture" above) --
+        self._release_heap: List[tuple] = []
+        self._ready_heap: List[list] = []
+        self._ready_entries: Dict[int, list] = {}  # id(job) -> heap entry
+        self._ready_serial = count()
+        self._deferred: List[_TaskState] = []  # states awaiting defer release
+        self._wakeup_cache: object = _UNSET
 
     # ------------------------------------------------------------------
     # SchedulerView protocol
@@ -281,6 +329,75 @@ class Simulator(SchedulerView):
         return self._idle_time
 
     # ------------------------------------------------------------------
+    # event-queue primitives (overridden by BaselineSimulator)
+    # ------------------------------------------------------------------
+    def _schedule_release(self, state: _TaskState) -> None:
+        """Index ``state``'s next release.  O(log n).
+
+        Called after every change to ``state.next_release``; infinite times
+        (deferred admissions) are not indexed — they re-enter the queue when
+        the deferral resolves.
+        """
+        if state.next_release != math.inf:
+            heapq.heappush(self._release_heap,
+                           (state.next_release, state.ordinal, state))
+
+    def _peek_next_release(self) -> float:
+        """Earliest indexed release time (``inf`` when none), discarding
+        entries invalidated by a later reschedule.  Amortized O(log n)."""
+        heap = self._release_heap
+        while heap and heap[0][0] != heap[0][2].next_release:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+    def _ready_add(self, job: Job) -> None:
+        """Insert ``job`` into the ready queue.  O(log n).
+
+        The priority key is computed once at insertion: deadlines, periods
+        and tie-break indexes are immutable per job, so the key can never
+        change while the job is queued (no decrease-key required).
+        """
+        entry = [self.priority.key(job), next(self._ready_serial), job]
+        self._ready_entries[id(job)] = entry
+        heapq.heappush(self._ready_heap, entry)
+
+    def _ready_discard(self, job: Job) -> None:
+        """Lazy O(1) removal: mark the entry invalid; the heap skips it."""
+        entry = self._ready_entries.pop(id(job), None)
+        if entry is not None:
+            entry[2] = None
+
+    def _pick_job(self) -> Optional[Job]:
+        """Highest-priority ready job (amortized O(log n))."""
+        heap = self._ready_heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+        return heap[0][2] if heap else None
+
+    def _next_admission_time(self) -> float:
+        if self._admission_pos < len(self._admissions):
+            return self._admissions[self._admission_pos].time
+        return math.inf
+
+    def _policy_wakeup_time(self) -> Optional[float]:
+        """The policy's next timer wakeup, cached between policy hooks.
+
+        Only policy code can move the wakeup, and policy code only runs
+        inside hooks — so the cache is invalidated exactly after each hook
+        call (:meth:`_invalidate_wakeup`) instead of re-querying the policy
+        on every segment.
+        """
+        cached = self._wakeup_cache
+        if cached is _UNSET:
+            getter = getattr(self.policy, "wakeup_time", None)
+            cached = getter() if getter is not None else None
+            self._wakeup_cache = cached
+        return cached
+
+    def _invalidate_wakeup(self) -> None:
+        self._wakeup_cache = _UNSET
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
@@ -290,12 +407,20 @@ class Simulator(SchedulerView):
                                   "construct a new one to run again")
         self._finished = True
         for task in self.taskset:
-            self._states[task.name] = _TaskState(task=task, next_release=0.0)
+            state = _TaskState(task=task, next_release=0.0,
+                               ordinal=len(self._states))
+            self._states[task.name] = state
+            self._schedule_release(state)
         initial = self.policy.setup(self)
+        self._invalidate_wakeup()
         if initial is not None:
             self._point = initial
         while True:
             self._process_due_events()
+            # Releases/wakeups landing exactly at `duration` have already
+            # been handled (or suppressed — see the horizon convention in
+            # the module docstring) by the call above, so breaking here
+            # cannot skip an event inside the simulated span.
             if self.time >= self.duration - _EPS:
                 break
             self._advance_one_segment()
@@ -316,25 +441,46 @@ class Simulator(SchedulerView):
     # ------------------------------------------------------------------
     # event processing
     # ------------------------------------------------------------------
+    def _event_budget(self) -> int:
+        """Cap on same-instant event-processing passes.
+
+        Scales with the amount of work that can still legally fire (pending
+        admissions can each add a task whose release and policy hooks need
+        a pass of their own), so pathological-but-legal workloads — e.g.
+        thousands of same-instant admissions with switch halts — terminate,
+        while genuine non-progress (a policy that never advances) is still
+        caught quickly.
+        """
+        pending = (len(self._admissions) - self._admission_pos
+                   + len(self._states))
+        return 1024 + 8 * pending
+
     def _process_due_events(self) -> None:
         """Handle every admission, release, and policy wakeup that is due.
 
         Loops to a fixed point because a hook may advance time (switch
         halts) past further events.
         """
-        for _ in range(100_000):  # defensive bound; each pass makes progress
+        passes = 0
+        while True:
             progressed = self._process_due_admissions()
             progressed |= self._process_due_releases()
             progressed |= self._process_due_wakeup()
             if not progressed:
                 return
-        raise SimulationError(
-            "event processing did not reach a fixed point")
+            passes += 1
+            if passes > self._event_budget():  # recomputed: admissions grow it
+                raise SimulationError(
+                    "event processing did not reach a fixed point after "
+                    f"{passes} passes at t={self.time:g}")
 
     def _process_due_admissions(self) -> bool:
         progressed = False
-        while self._admissions and self._admissions[0].time <= self.time + _EPS:
-            admission = self._admissions.pop(0)
+        while (self._admission_pos < len(self._admissions)
+               and self._admissions[self._admission_pos].time
+               <= self.time + _EPS):
+            admission = self._admissions[self._admission_pos]
+            self._admission_pos += 1
             self._admit(admission)
             progressed = True
         self._check_deferred_releases()
@@ -346,31 +492,61 @@ class Simulator(SchedulerView):
         task = self.taskset[-1]  # carries an auto-assigned name if needed
         self.priority.register_task(task)
         state = _TaskState(task=task, next_release=math.inf,
+                           ordinal=len(self._states),
                            pending_defer=admission.defer)
         if admission.defer:
             state.defer_blockers = [
                 s.job for s in self._states.values()
                 if s.job is not None and not s.job.is_complete]
+            self._deferred.append(state)
         else:
             state.next_release = max(self.time, admission.time)
             state.pending_defer = False
         self._states[task.name] = state
+        self._schedule_release(state)
         hook = getattr(self.policy, "on_task_added", None)
         if hook is not None:
             new_point = hook(self, task)
+            self._invalidate_wakeup()
             if new_point is not None:
                 self._set_point(new_point)
 
     def _check_deferred_releases(self) -> None:
         """Release deferred admissions once the invocations that were in
         flight at their admission time have all completed."""
-        for state in self._states.values():
-            if not state.pending_defer:
-                continue
+        if not self._deferred:
+            return
+        still_blocked: List[_TaskState] = []
+        for state in self._deferred:
             if all(job.is_complete for job in state.defer_blockers or ()):
                 state.pending_defer = False
                 state.defer_blockers = None
                 state.next_release = self.time
+                self._schedule_release(state)
+            else:
+                still_blocked.append(state)
+        self._deferred = still_blocked
+
+    def _due_release_states(self) -> List[_TaskState]:
+        """Pop every state with a due, non-suppressed release from the
+        release queue, in task-set order."""
+        due: List[_TaskState] = []
+        heap = self._release_heap
+        limit = self.time + _EPS
+        suppress = self.duration - _EPS
+        while heap:
+            release, _, state = heap[0]
+            if release != state.next_release:  # invalidated by reschedule
+                heapq.heappop(heap)
+                continue
+            if release > limit or release >= suppress:
+                # Heap order: every remaining entry is due later (or is a
+                # suppressed at-the-horizon release; see module docstring).
+                break
+            heapq.heappop(heap)
+            due.append(state)
+        due.sort(key=lambda s: s.ordinal)
+        return due
 
     def _process_due_releases(self) -> bool:
         """Release every task whose release time has arrived.
@@ -381,13 +557,16 @@ class Simulator(SchedulerView):
         ``on_release`` hooks fire in task order as in the paper's
         pseudo-code.
         """
+        due = self._due_release_states()
+        if not due:
+            return False
         released: List[Task] = []
-        for task in self.taskset:
-            state = self._states[task.name]
+        for state in due:
+            # Catch-up loop: a long switch halt may jump several periods.
             while state.next_release <= self.time + _EPS \
                     and state.next_release < self.duration - _EPS:
                 self._create_job(state)
-                released.append(task)
+                released.append(state.task)
         zero_demand: List[Task] = []
         for task in released:
             job = self._states[task.name].job
@@ -399,7 +578,7 @@ class Simulator(SchedulerView):
             self._policy_hook(self.policy.on_release, task)
         for task in zero_demand:
             self._policy_hook(self.policy.on_completion, task)
-        return bool(released)
+        return True
 
     def _create_job(self, state: _TaskState) -> None:
         release_time = state.next_release
@@ -407,7 +586,7 @@ class Simulator(SchedulerView):
         if old_job is not None and not old_job.is_complete:
             self._record_miss(old_job)
             if self.on_miss == "drop":
-                self._ready.remove(old_job)
+                self._ready_discard(old_job)
         # Demand models that need the release time (e.g. a polling server
         # reading its queue) expose demand_at; plain models expose demand.
         demand_at = getattr(self.demand_model, "demand_at", None)
@@ -422,9 +601,10 @@ class Simulator(SchedulerView):
         state.job = job
         state.invocation += 1
         state.next_release = release_time + state.task.period
+        self._schedule_release(state)
         self._jobs.append(job)
         if job.demand > _EPS:
-            self._ready.append(job)
+            self._ready_add(job)
 
     def _process_due_wakeup(self) -> bool:
         """Fire the policy's timer hook when its wakeup time has arrived."""
@@ -434,6 +614,7 @@ class Simulator(SchedulerView):
             if wakeup is None or wakeup > self.time + _EPS:
                 return progressed
             new_point = self.policy.on_wakeup(self)
+            self._invalidate_wakeup()
             if self._policy_wakeup_time() == wakeup:
                 raise SimulationError(
                     f"policy {self.policy!r} did not advance its wakeup time")
@@ -442,12 +623,9 @@ class Simulator(SchedulerView):
             progressed = True
         raise SimulationError("too many policy wakeups at one instant")
 
-    def _policy_wakeup_time(self) -> Optional[float]:
-        getter = getattr(self.policy, "wakeup_time", None)
-        return getter() if getter is not None else None
-
     def _policy_hook(self, hook, task: Task) -> None:
         new_point = hook(self, task)
+        self._invalidate_wakeup()
         if new_point is not None:
             self._set_point(new_point)
 
@@ -490,6 +668,7 @@ class Simulator(SchedulerView):
             idle_hook = getattr(self.policy, "on_idle", None)
             if idle_hook is not None:
                 new_point = idle_hook(self)
+                self._invalidate_wakeup()
                 if new_point is not None:
                     self._set_point(new_point)
             self._idle_until(horizon)
@@ -505,19 +684,14 @@ class Simulator(SchedulerView):
                           completes=False)
 
     def _next_event_time(self) -> float:
-        horizon = min((s.next_release for s in self._states.values()),
-                      default=math.inf)
-        if self._admissions:
-            horizon = min(horizon, self._admissions[0].time)
+        horizon = self._peek_next_release()
+        admission = self._next_admission_time()
+        if admission < horizon:
+            horizon = admission
         wakeup = self._policy_wakeup_time()
-        if wakeup is not None:
-            horizon = min(horizon, wakeup)
+        if wakeup is not None and wakeup < horizon:
+            horizon = wakeup
         return horizon
-
-    def _pick_job(self) -> Optional[Job]:
-        if not self._ready:
-            return None
-        return min(self._ready, key=self.priority.key)
 
     def _execute(self, job: Job, cycles: float, until: float,
                  completes: bool) -> None:
@@ -534,7 +708,7 @@ class Simulator(SchedulerView):
         if completes:
             job.executed = job.demand  # absorb floating-point residue
             job.completion_time = self.time
-            self._ready.remove(job)
+            self._ready_discard(job)
             self._policy_hook(self.policy.on_completion, job.task)
             self._check_deferred_releases()
 

@@ -18,7 +18,7 @@ from repro.hw.operating_point import OperatingPoint
 _MIN_SEGMENT = 1e-12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """A maximal interval of homogeneous processor activity.
 

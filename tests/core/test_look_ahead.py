@@ -100,3 +100,57 @@ class TestDeferralProperties:
         la = simulate(ts, machine2(), LookAheadEDF(),
                       demand=0.9, duration=560.0)
         assert la.met_all_deadlines
+
+
+class TestOverUnityDeferral:
+    """Late admissions can make the deferral demand exceed f_max capacity;
+    the clamp must not swallow that silently (regression for the old
+    ``min(1.0, speed)`` behaviour)."""
+
+    # Task A is nearly idle; B is admitted without deferral 0.1 time units
+    # before A's current deadline, so the non-deferrable slice of B's work
+    # cannot fit before that deadline even at full speed.
+    BASE = TaskSet([Task(1.0, 10.0, name="A")])
+    LATE = Task(4.0, 4.2, name="B")
+
+    def _admissions(self):
+        from repro.sim.engine import Admission
+        return [Admission(time=9.9, task=self.LATE, defer=False)]
+
+    def test_counter_reports_over_unity_instants(self):
+        policy = LookAheadEDF()
+        result = simulate(self.BASE, machine0(), policy, demand="worst",
+                          duration=30.0, admissions=self._admissions(),
+                          on_miss="drop")
+        assert policy.over_unity_events > 0
+        # The overload is real: the injected work misses a deadline.
+        assert not result.met_all_deadlines
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(SchedulabilityError, match="> 1"):
+            simulate(self.BASE, machine0(), LookAheadEDF(strict=True),
+                     demand="worst", duration=30.0,
+                     admissions=self._admissions(), on_miss="drop")
+
+    def test_deferred_admission_stays_clean(self):
+        """The paper's defer=True recipe avoids the transient: no
+        over-unity instants, no misses."""
+        from repro.sim.engine import Admission
+        policy = LookAheadEDF(strict=True)
+        ok_task = Task(2.0, 10.0, name="B")
+        result = simulate(self.BASE, machine0(), policy, demand="worst",
+                          duration=60.0,
+                          admissions=[Admission(time=9.9, task=ok_task,
+                                                defer=True)])
+        assert policy.over_unity_events == 0
+        assert result.met_all_deadlines
+
+    def test_counter_resets_between_runs(self):
+        policy = LookAheadEDF()
+        simulate(self.BASE, machine0(), policy, demand="worst",
+                 duration=30.0, admissions=self._admissions(),
+                 on_miss="drop")
+        assert policy.over_unity_events > 0
+        simulate(self.BASE, machine0(), policy, demand="worst",
+                 duration=30.0)
+        assert policy.over_unity_events == 0

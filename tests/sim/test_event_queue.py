@@ -1,0 +1,240 @@
+"""The indexed event core vs the pre-refactor linear engine.
+
+The engine's hot path moved to heaps (release queue, lazy-deletion ready
+queue), an admission index, and a cached policy wakeup.  These tests pin
+the refactor to the old semantics *exactly*:
+
+* property test — on random schedulable task sets under ccEDF/laEDF with
+  early completions, :class:`~repro.sim.engine.Simulator` and
+  :class:`~repro.sim.baseline.BaselineSimulator` agree bit-for-bit on
+  energy, misses, switches, and per-job completion times (and both meet
+  every deadline);
+* the tick-quantized :class:`~repro.sim.ticksim.TickSimulator` agrees
+  within its quantization error on the same workloads;
+* pathological-but-legal event storms (1000 same-instant admissions with
+  switch halts) terminate instead of tripping the fixed-point guard;
+* releases/deadlines coinciding with the simulation horizon follow the
+  documented convention in both engines and in the tick simulator.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.sweep import materialize_demand
+from repro.core import make_policy
+from repro.core.cycle_conserving import CycleConservingEDF
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0
+from repro.hw.regulator import SwitchingModel
+from repro.model.demand import UniformFractionDemand
+from repro.model.generator import TaskSetGenerator
+from repro.model.job import JobOutcome
+from repro.model.task import Task, TaskSet
+from repro.sim.baseline import BaselineSimulator
+from repro.sim.engine import Admission, Simulator
+from repro.sim.ticksim import TickSimulator
+
+from tests.conftest import fractions, tasksets
+
+
+def run_both(ts, policy_name, **kwargs):
+    """Run the indexed and the baseline engine on identical inputs."""
+    indexed = Simulator(ts, machine0(), make_policy(policy_name),
+                        **kwargs).run()
+    baseline = BaselineSimulator(ts, machine0(), make_policy(policy_name),
+                                 **kwargs).run()
+    return indexed, baseline
+
+
+def assert_identical(indexed, baseline):
+    """Bit-for-bit agreement on everything the sweeps consume."""
+    assert indexed.total_energy == baseline.total_energy
+    assert indexed.energy.idle == baseline.energy.idle
+    assert indexed.energy.switch == baseline.energy.switch
+    assert len(indexed.jobs) == len(baseline.jobs)
+    assert indexed.switches == baseline.switches
+    assert len(indexed.misses) == len(baseline.misses)
+    for a, b in zip(indexed.jobs, baseline.jobs):
+        assert a.task.name == b.task.name
+        assert a.release_time == b.release_time
+        assert a.completion_time == b.completion_time
+        assert a.executed == b.executed
+
+
+class TestEquivalenceProperty:
+    """Heap-based engine == pre-refactor semantics, randomized."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets, fraction=fractions,
+           policy_index=st.integers(min_value=0, max_value=1))
+    def test_random_tasksets_agree_exactly(self, ts, fraction, policy_index):
+        policy_name = ("ccEDF", "laEDF")[policy_index]
+        fraction = min(fraction, 0.9)  # early completions drive DVS hooks
+        duration = 3.0 * max(t.period for t in ts)
+        indexed, baseline = run_both(ts, policy_name, demand=fraction,
+                                     duration=duration)
+        assert_identical(indexed, baseline)
+        assert indexed.met_all_deadlines
+        assert baseline.met_all_deadlines
+
+    @pytest.mark.parametrize("policy_name", ("ccEDF", "laEDF"))
+    @pytest.mark.parametrize("seed", (11, 42, 77))
+    def test_generated_sets_with_random_demands(self, policy_name, seed):
+        ts = TaskSetGenerator(n_tasks=8, utilization=0.75,
+                              seed=seed).generate()
+        demand = materialize_demand(UniformFractionDemand(seed=seed),
+                                    ts, 500.0)
+        indexed, baseline = run_both(ts, policy_name, demand=demand,
+                                     duration=500.0)
+        assert_identical(indexed, baseline)
+        assert indexed.met_all_deadlines
+
+    @pytest.mark.parametrize("policy_name", ("ccEDF", "laEDF"))
+    def test_ticksim_agrees_within_quantization(self, policy_name):
+        ts = TaskSet([Task(2, 8), Task(3, 12), Task(1, 6)])
+        model = EnergyModel(idle_level=0.2)
+        indexed = Simulator(ts, machine0(), make_policy(policy_name),
+                            demand=0.7, duration=48.0,
+                            energy_model=model).run()
+        quantized = TickSimulator(ts, machine0(), make_policy(policy_name),
+                                  demand=0.7, duration=48.0, tick=0.004,
+                                  energy_model=model).run()
+        assert quantized.energy == pytest.approx(indexed.total_energy,
+                                                 rel=0.03, abs=1.0)
+        assert indexed.met_all_deadlines and quantized.met_all_deadlines
+
+    def test_wakeup_timer_policy_agrees(self):
+        """The cached wakeup path (avgDVS fires a timer every interval)
+        must not change behavior versus the uncached baseline."""
+        ts = TaskSetGenerator(n_tasks=5, utilization=0.6, seed=9).generate()
+        indexed, baseline = run_both(ts, "avgDVS", demand=0.8,
+                                     duration=400.0, on_miss="drop")
+        assert_identical(indexed, baseline)
+
+    @pytest.mark.parametrize("on_miss", ("drop", "continue"))
+    def test_overload_modes_agree(self, on_miss):
+        """Lazy heap deletion (drop) and duplicate ready entries
+        (continue) behave exactly like list removal / retention."""
+        ts = TaskSet([Task(3, 4, name="A"), Task(3, 4, name="B")])  # U=1.5
+        indexed, baseline = run_both(ts, "EDF", demand="worst",
+                                     duration=24.0, on_miss=on_miss)
+        assert_identical(indexed, baseline)
+        assert not indexed.met_all_deadlines
+
+    def test_admissions_and_deferrals_agree(self):
+        ts = TaskSetGenerator(n_tasks=4, utilization=0.5, seed=3).generate()
+        admissions = [
+            Admission(time=40.0, task=Task(1.0, 20.0, name="d1"),
+                      defer=True),
+            Admission(time=40.0, task=Task(0.5, 10.0, name="n1"),
+                      defer=False),
+            Admission(time=120.0, task=Task(2.0, 50.0, name="d2"),
+                      defer=True),
+        ]
+        for policy_name in ("ccEDF", "laEDF"):
+            indexed, baseline = run_both(ts, policy_name, demand=0.7,
+                                         duration=400.0, on_miss="drop",
+                                         admissions=admissions)
+            assert_identical(indexed, baseline)
+
+
+class TestAdmissionStorm:
+    """Many same-instant events must terminate: the fixed-point guard now
+    scales with the pending event count instead of a magic constant."""
+
+    N = 1000
+
+    def _storm(self, engine_cls):
+        base = TaskSet([Task(1.0, 5.0, name="base")])
+        admissions = [
+            Admission(time=5.0, task=Task(0.0004, 1.0, name=f"s{i}"),
+                      defer=False)
+            for i in range(self.N)
+        ]
+        sim = engine_cls(
+            base, machine0(), CycleConservingEDF(), demand="worst",
+            duration=12.0, admissions=admissions,
+            switching=SwitchingModel(frequency_switch_time=1e-7,
+                                     voltage_switch_time=1e-6))
+        return sim.run()
+
+    def test_thousand_same_instant_admissions_complete(self):
+        result = self._storm(Simulator)
+        assert len(result.taskset) == self.N + 1
+        assert result.met_all_deadlines
+        # every admitted task got released and ran to completion
+        outcomes = result.job_outcomes()
+        assert outcomes[JobOutcome.MISSED] == 0
+        assert len(result.jobs) > self.N
+
+    def test_storm_matches_baseline(self):
+        indexed = self._storm(Simulator)
+        baseline = self._storm(BaselineSimulator)
+        assert indexed.total_energy == baseline.total_energy
+        assert len(indexed.jobs) == len(baseline.jobs)
+        assert indexed.switches == baseline.switches
+
+    def test_event_budget_scales_with_pending_admissions(self):
+        base = TaskSet([Task(1.0, 5.0, name="base")])
+        many = [Admission(time=1.0, task=Task(0.01, 1.0, name=f"a{i}"))
+                for i in range(50_000)]
+        sim = Simulator(base, machine0(), make_policy("EDF"),
+                        admissions=many, duration=10.0)
+        # The pre-refactor flat bound (100_000) could be exceeded by legal
+        # workloads; the budget must stay above the pending event count.
+        assert sim._event_budget() > 50_000
+
+
+class TestHorizonConvention:
+    """Releases/deadlines coinciding with ``duration`` (periods dividing
+    the horizon exactly) — pinned to the documented convention."""
+
+    def test_no_release_at_exact_horizon(self):
+        ts = TaskSet([Task(1.0, 5.0, name="A"), Task(2.0, 10.0, name="B")])
+        result = Simulator(ts, machine0(), make_policy("EDF"),
+                           demand="worst", duration=20.0).run()
+        assert len(result.jobs) == 4 + 2  # releases at 0,5,10,15 / 0,10
+        assert max(j.release_time for j in result.jobs) == 15.0
+        assert result.met_all_deadlines
+
+    def test_deadline_exactly_at_horizon_is_enforced(self):
+        """A job whose deadline is the horizon must finish inside the run;
+        at U=1 the completion lands exactly on ``duration`` and counts."""
+        ts = TaskSet([Task(5.0, 5.0, name="C")])
+        result = Simulator(ts, machine0(), make_policy("EDF"),
+                           demand="worst", duration=20.0).run()
+        assert len(result.jobs) == 4
+        assert result.met_all_deadlines
+        last = result.jobs[-1]
+        assert last.completion_time == pytest.approx(20.0, abs=1e-9)
+        assert last.outcome(20.0) is JobOutcome.COMPLETED
+
+    def test_unfinishable_final_job_is_flagged(self):
+        """The symmetric case: a final-period job that cannot finish by
+        the horizon-deadline is reported by _final_deadline_check."""
+        from repro.core.fixed import FixedSpeed
+        ts = TaskSet([Task(5.0, 5.0, name="C")])
+        slow = machine0().slowest.frequency  # < 1: cannot sustain U=1
+        result = Simulator(ts, machine0(), FixedSpeed(slow),
+                           demand="worst", duration=20.0,
+                           on_miss="drop").run()
+        assert not result.met_all_deadlines
+
+    @pytest.mark.parametrize("engine_cls", (Simulator, BaselineSimulator))
+    def test_convention_identical_across_engines(self, engine_cls):
+        ts = TaskSet([Task(1.0, 4.0, name="A"), Task(3.0, 12.0, name="B")])
+        result = engine_cls(ts, machine0(), make_policy("laEDF"),
+                            demand="worst", duration=24.0).run()
+        assert len(result.jobs) == 6 + 2
+        assert result.met_all_deadlines
+
+    def test_ticksim_counts_the_same_jobs(self):
+        ts = TaskSet([Task(1.0, 5.0, name="A"), Task(2.0, 10.0, name="B")])
+        exact = Simulator(ts, machine0(), make_policy("EDF"),
+                          demand="worst", duration=20.0).run()
+        quantized = TickSimulator(ts, machine0(), make_policy("EDF"),
+                                  demand="worst", duration=20.0,
+                                  tick=0.01).run()
+        assert len(exact.jobs) == len(quantized.jobs)
+        assert quantized.met_all_deadlines

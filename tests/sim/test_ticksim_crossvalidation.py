@@ -87,6 +87,11 @@ def test_cycle_totals_agree():
 def test_property_agreement(fraction, policy_index):
     """Random demand fractions: the two simulators stay in lockstep."""
     policy_name = ("EDF", "staticEDF", "ccEDF", "laEDF")[policy_index]
+    # The agreement-on-outcomes premise (module docstring) requires slack
+    # larger than the tick: at fraction 1.0 the DVS policies scale the
+    # frequency to consume *all* slack, and the tick simulator's one-tick
+    # hook delay can then legitimately flip a completion past its deadline.
+    fraction = min(fraction, 0.95)
     ts = TaskSet([Task(2, 8), Task(3, 12), Task(1, 6)])  # U = 0.667
     exact, quantized = cross_validate(ts, policy_name, demand=fraction,
                                       duration=48.0, tick=0.004)
