@@ -1,10 +1,23 @@
-.PHONY: install test bench bench-figures check experiments experiments-full clean
+.PHONY: install test cov bench bench-figures check experiments experiments-full clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Coverage gate CI enforces on the simulator core and the observability
+# layer (85% floor).  Degrades to a plain test run with a notice when
+# pytest-cov is not installed locally.
+cov:
+	@if PYTHONPATH=src python -c "import pytest_cov" 2>/dev/null; then \
+	  PYTHONPATH=src python -m pytest -q tests/sim tests/obs \
+	    --cov=repro.sim --cov=repro.obs --cov-branch \
+	    --cov-report=term-missing --cov-fail-under=85; \
+	else \
+	  echo "pytest-cov not installed; running tests without coverage"; \
+	  PYTHONPATH=src python -m pytest -q tests/sim tests/obs; \
+	fi
 
 # Perf trajectory: canonical engine workloads -> BENCH_engine.json
 # (indexed engine vs recorded pre-refactor baseline), then the pytest

@@ -70,6 +70,7 @@ from repro.sim import (
     simulate,
     steady_state_energy,
     theoretical_bound,
+    rederive_counters,
     validate_schedule,
 )
 from repro.core import (
@@ -108,6 +109,7 @@ __all__ = [
     # sim
     "Admission", "Simulator", "simulate", "SimResult", "ExecutionTrace",
     "theoretical_bound", "steady_state_energy", "validate_schedule",
+    "rederive_counters",
     # core
     "DVSPolicy", "NoDVS", "StaticEDF", "StaticRM", "CycleConservingEDF",
     "CycleConservingRM", "LookAheadEDF", "AveragingDVS", "FixedSpeed",

@@ -41,6 +41,13 @@ def combined_report(results: Sequence[ExperimentResult],
         lines.append(f"| {result.experiment_id} | {scale} | "
                      f"{passed}/{total} | {status} |")
     lines.append("")
+    residency_count = sum(len(getattr(r, "residency_tables", ()))
+                          for r in results)
+    if residency_count:
+        lines.append(f"Includes {residency_count} frequency-residency "
+                     "table(s) from instrumented runs "
+                     "(`repro.obs.MetricsCollector`).")
+        lines.append("")
     for result in results:
         lines.append(result.render(charts=charts))
         lines.append("")

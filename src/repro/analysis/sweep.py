@@ -34,6 +34,7 @@ from repro.hw.machine import Machine, machine0
 from repro.model.demand import DemandModel, TraceDemand, demand_from_spec
 from repro.model.generator import TaskSetGenerator
 from repro.model.task import TaskSet
+from repro.obs.metrics import MetricsCollector
 from repro.sim.bound import minimum_energy_for_cycles
 from repro.sim.engine import simulate
 
@@ -82,6 +83,10 @@ class SweepConfig:
     seed: int = 1
     workers: int = 1
     cycle_energy_scale: float = 1.0
+    #: Policies to additionally instrument with a
+    #: :class:`~repro.obs.MetricsCollector`; their mean per-frequency
+    #: residency fractions land in :attr:`SweepResult.residency`.
+    residency_policies: Tuple[str, ...] = ()
 
     def energy_model(self) -> EnergyModel:
         return EnergyModel(idle_level=self.idle_level,
@@ -97,6 +102,10 @@ class SweepResult:
     normalized: SweepTable
     std: Dict[str, Tuple[float, ...]]
     rm_fallbacks: int
+    #: policy -> residency table (one series per operating-point frequency,
+    #: mean fraction of the run spent there).  Filled only for
+    #: :attr:`SweepConfig.residency_policies`.
+    residency: Dict[str, SweepTable] = field(default_factory=dict)
 
     def series(self, label: str, normalized: bool = True) -> Series:
         table = self.normalized if normalized else self.raw
@@ -123,6 +132,11 @@ def utilization_sweep(config: SweepConfig) -> SweepResult:
     labels = _result_labels(config)
     per_label: Dict[str, List[List[float]]] = {
         label: [] for label in labels}
+    # residency: policy -> frequency -> per-utilization list of fractions
+    frequencies = tuple(sorted(p.frequency for p in config.machine.points))
+    res_acc: Dict[str, Dict[float, List[List[float]]]] = {
+        policy: {f: [] for f in frequencies}
+        for policy in config.residency_policies}
     rm_fallbacks = 0
     # One worker pool serves every utilization point: spawning processes
     # (and re-importing repro in each) per point dominated small sweeps.
@@ -136,6 +150,11 @@ def utilization_sweep(config: SweepConfig) -> SweepResult:
             for label in labels:
                 per_label[label].append([o[label] for o in outcomes])
             rm_fallbacks += sum(o["_rm_fallbacks"] for o in outcomes)
+            for policy, per_freq in res_acc.items():
+                for f in frequencies:
+                    per_freq[f].append(
+                        [o.get("_residency", {}).get(policy, {}).get(f, 0.0)
+                         for o in outcomes])
     finally:
         if pool is not None:
             pool.shutdown()
@@ -157,8 +176,20 @@ def utilization_sweep(config: SweepConfig) -> SweepResult:
         normalized.add(Series(
             label, xs, tuple(mean(v) for v in norm_values)))
         std[label] = tuple(sample_std(v) for v in per_label[label])
+    residency: Dict[str, SweepTable] = {}
+    for policy, per_freq in res_acc.items():
+        table = SweepTable(
+            title=(f"frequency residency vs utilization — {policy}, "
+                   f"{config.machine.name}"),
+            x_label="worst-case utilization",
+            y_label="mean fraction of run")
+        for f in frequencies:
+            table.add(Series(f"f={f:g}", xs,
+                             tuple(mean(v) for v in per_freq[f])))
+        residency[policy] = table
     return SweepResult(config=config, raw=raw, normalized=normalized,
-                       std=std, rm_fallbacks=rm_fallbacks)
+                       std=std, rm_fallbacks=rm_fallbacks,
+                       residency=residency)
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +222,7 @@ class _Cell:
     duration: float
     idle_level: float
     cycle_energy_scale: float
+    residency_policies: Tuple[str, ...] = ()
 
 
 def _build_cells(config: SweepConfig, u_index: int,
@@ -210,7 +242,8 @@ def _build_cells(config: SweepConfig, u_index: int,
             policies=tuple(_result_labels(config)[:-1]),
             machine=config.machine, duration=config.duration,
             idle_level=config.idle_level,
-            cycle_energy_scale=config.cycle_energy_scale))
+            cycle_energy_scale=config.cycle_energy_scale,
+            residency_policies=tuple(config.residency_policies)))
     return cells
 
 
@@ -225,25 +258,37 @@ def _run_cells(cells: List[_Cell], workers: int,
     return list(pool.map(_run_cell, cells, chunksize=chunksize))
 
 
-def _run_cell(cell: _Cell) -> Dict[str, float]:
-    """Simulate every policy on one task set; returns label -> energy."""
+def _run_cell(cell: _Cell) -> Dict[str, object]:
+    """Simulate every policy on one task set; returns label -> energy
+    (plus ``_rm_fallbacks`` and, when requested, ``_residency``)."""
     energy_model = EnergyModel(idle_level=cell.idle_level,
                                cycle_energy_scale=cell.cycle_energy_scale)
     out: Dict[str, float] = {"_rm_fallbacks": 0}
+    residency: Dict[str, Dict[float, float]] = {}
     reference_cycles: Optional[float] = None
     for name in cell.policies:
+        collector = None
+        if name in cell.residency_policies:
+            collector = MetricsCollector()
         try:
             result = simulate(cell.taskset, cell.machine, make_policy(name),
                               demand=cell.demand, duration=cell.duration,
-                              energy_model=energy_model, on_miss="raise")
+                              energy_model=energy_model, on_miss="raise",
+                              instrument=collector)
         except SchedulabilityError:
             # EDF-schedulable but not RM-schedulable (paper footnote 3):
             # fall back to full-speed RM and tolerate the misses.
             result = simulate(cell.taskset, cell.machine,
                               NoDVS(scheduler="rm"),
                               demand=cell.demand, duration=cell.duration,
-                              energy_model=energy_model, on_miss="drop")
+                              energy_model=energy_model, on_miss="drop",
+                              instrument=collector)
             out["_rm_fallbacks"] += 1
+        if collector is not None:
+            metrics = collector.metrics
+            span = metrics.span or 1.0
+            residency[name] = {f: seconds / span for f, seconds in
+                               metrics.residency.items()}
         out[name] = result.total_energy
         if name == REFERENCE_POLICY:
             reference_cycles = result.executed_cycles
@@ -251,4 +296,6 @@ def _run_cell(cell: _Cell) -> Dict[str, float]:
         raise ReproError("sweep cell ran without the EDF reference")
     out[BOUND_LABEL] = cell.cycle_energy_scale * minimum_energy_for_cycles(
         cell.machine, reference_cycles, cell.duration)
+    if residency:
+        out["_residency"] = residency
     return out

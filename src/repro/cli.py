@@ -15,6 +15,9 @@ Subcommands
     List the named embedded workloads, or simulate one.
 ``validate --tasks ... --policy NAME [options]``
     Simulate, then run the independent schedule validator on the trace.
+``obs summarize FILE [--csv PATH] [--residency-csv PATH]``
+    Render a metrics JSON-lines archive (written by ``simulate
+    --metrics``) as a text report; optionally re-export as CSV.
 """
 
 from __future__ import annotations
@@ -89,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--duration", type=float, default=None)
     p_sim.add_argument("--trace", action="store_true",
                        help="print the execution trace")
+    p_sim.add_argument("--metrics", metavar="FILE", default=None,
+                       help="collect run metrics (repro.obs) and append "
+                            "them to FILE as JSON-lines; '-' prints the "
+                            "summary instead")
     p_sim.set_defaults(handler=_cmd_simulate)
 
     p_work = sub.add_parser("workloads",
@@ -125,6 +132,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--demand", default="worst")
     p_cmp.add_argument("--duration", type=float, default=None)
     p_cmp.set_defaults(handler=_cmd_compare)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (metrics archives)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command")
+    p_obs.set_defaults(handler=_cmd_obs_help, obs_parser=p_obs)
+    p_obs_sum = obs_sub.add_parser(
+        "summarize", help="render a metrics JSON-lines archive")
+    p_obs_sum.add_argument("file", help="metrics .jsonl file "
+                                        "(from simulate --metrics)")
+    p_obs_sum.add_argument("--csv", metavar="PATH", default=None,
+                           help="also export flat per-run CSV to PATH")
+    p_obs_sum.add_argument("--residency-csv", metavar="PATH", default=None,
+                           help="also export per-frequency residency "
+                                "rows to PATH")
+    p_obs_sum.set_defaults(handler=_cmd_obs_summarize)
     return parser
 
 
@@ -178,13 +200,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         demand = float(demand)
     except ValueError:
         pass
+    collector = None
+    if args.metrics is not None:
+        from repro.obs import MetricsCollector
+        collector = MetricsCollector()
     result = simulate(taskset, machine, make_policy(args.policy),
                       demand=demand, duration=args.duration,
-                      record_trace=args.trace, on_miss="drop")
+                      record_trace=args.trace, on_miss="drop",
+                      instrument=collector)
     print(result.summary())
     if args.trace and result.trace is not None:
         from repro.sim.trace import render_trace
         print(render_trace(result.trace))
+    if collector is not None:
+        from repro.obs import format_metrics, metrics_to_jsonl
+        if args.metrics == "-":
+            print(format_metrics(collector.metrics))
+        else:
+            metrics_to_jsonl(collector, path=args.metrics)
+            print(f"appended metrics to {args.metrics}")
     return 0 if result.met_all_deadlines else 1
 
 
@@ -281,6 +315,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows = compare_policies(taskset, machine, policies=policies,
                             demand=demand, duration=args.duration)
     print(comparison_table(rows))
+    return 0
+
+
+def _cmd_obs_help(args: argparse.Namespace) -> int:
+    args.obs_parser.print_help()
+    return 2
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import load_jsonl, summarize_records
+    from repro.obs.metrics import RunMetrics
+
+    try:
+        records = load_jsonl(args.file)
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.file}: no metrics records")
+        return 1
+    print(summarize_records(records))
+    if args.csv or args.residency_csv:
+        from repro.obs import metrics_to_csv, residency_to_csv
+        metrics = [RunMetrics.from_dict(r) for r in records]
+        if args.csv:
+            metrics_to_csv(metrics, path=args.csv)
+            print(f"wrote {args.csv}")
+        if args.residency_csv:
+            residency_to_csv(metrics, path=args.residency_csv)
+            print(f"wrote {args.residency_csv}")
     return 0
 
 

@@ -36,6 +36,10 @@ class ExperimentResult:
     title: str
     description: str
     tables: List[SweepTable] = field(default_factory=list)
+    #: Per-policy frequency-residency tables (from instrumented sweeps,
+    #: see :attr:`repro.analysis.sweep.SweepConfig.residency_policies`);
+    #: rendered in their own section and exported alongside the data.
+    residency_tables: List[SweepTable] = field(default_factory=list)
     text_blocks: List[str] = field(default_factory=list)
     checks: List[ShapeCheck] = field(default_factory=list)
     quick: bool = True
@@ -66,6 +70,18 @@ class ExperimentResult:
                 lines.append(line_chart(table, width=width))
                 lines.append("```")
                 lines.append("")
+        if self.residency_tables:
+            lines.append("### Frequency residency")
+            lines.append("")
+            lines.append("Mean fraction of each run spent at every "
+                         "operating-point frequency (collected with "
+                         "`repro.obs.MetricsCollector`; rows sum to 1).")
+            lines.append("")
+            for table in self.residency_tables:
+                lines.append(f"#### {table.title}")
+                lines.append("")
+                lines.append(to_markdown(table))
+                lines.append("")
         if self.checks:
             lines.append("### Shape checks")
             lines.append("")
@@ -80,7 +96,7 @@ class ExperimentResult:
 
         os.makedirs(directory, exist_ok=True)
         paths = []
-        for index, table in enumerate(self.tables):
+        for index, table in enumerate(self.tables + self.residency_tables):
             slug = _slugify(table.title) or f"table{index}"
             path = os.path.join(directory,
                                 f"{self.experiment_id}_{slug}.csv")

@@ -23,6 +23,9 @@ from repro.hw.machine import Machine, machine0, machine1, machine2
 
 N_TASKS = 8
 
+#: Policies instrumented with a MetricsCollector for residency tables.
+RESIDENCY_POLICIES = ("ccEDF", "laEDF")
+
 
 def sweep_for(machine: Machine, quick: bool,
               workers: int = 1) -> SweepResult:
@@ -34,6 +37,7 @@ def sweep_for(machine: Machine, quick: bool,
         machine=machine,
         seed=110,
         workers=workers,
+        residency_policies=RESIDENCY_POLICIES,
     ))
 
 
@@ -53,6 +57,23 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
         table = sweep.normalized
         table.title = f"Fig. 11 panel: {name} (normalized energy)"
         result.tables.append(table)
+        if name == "machine2":
+            # Machine 2's seven fine-grained points are the interesting
+            # residency story (how ccEDF spreads across them).
+            for policy in RESIDENCY_POLICIES:
+                res = sweep.residency[policy]
+                res.title = f"Fig. 11 residency: {policy}, {name}"
+                result.residency_tables.append(res)
+
+    # Residency conservation on every machine and instrumented policy.
+    for name, sweep in sweeps.items():
+        for policy, table in sweep.residency.items():
+            totals = [sum(series.ys[i] for series in table.series)
+                      for i in range(len(table.xs))]
+            worst = max(abs(t - 1.0) for t in totals)
+            result.check(
+                f"{name}: {policy} residency fractions sum to 1 "
+                f"(worst |err| = {worst:.2e})", worst < 1e-9)
 
     for name, sweep in sweeps.items():
         cc = sweep.normalized.get("ccEDF").ys

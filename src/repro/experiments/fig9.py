@@ -14,9 +14,14 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.core import PAPER_POLICIES
 from repro.experiments.common import ExperimentResult
 
 TASK_COUNTS: Tuple[int, ...] = (5, 10, 15)
+
+#: Policies whose residency tables the report emits (all paper policies
+#: are instrumented; emitting all 6 per panel would flood the report).
+RESIDENCY_TABLE_POLICIES: Tuple[str, ...] = ("ccEDF", "laEDF")
 
 
 def sweep_for(n_tasks: int, quick: bool, workers: int = 1) -> SweepResult:
@@ -27,6 +32,7 @@ def sweep_for(n_tasks: int, quick: bool, workers: int = 1) -> SweepResult:
         duration=1000.0 if quick else 2000.0,
         seed=90 + n_tasks,
         workers=workers,
+        residency_policies=PAPER_POLICIES,
     ))
 
 
@@ -50,6 +56,12 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
         table = sweep.normalized
         table.title = f"Fig. 9 panel: {n_tasks} tasks (normalized energy)"
         result.tables.append(table)
+        if n_tasks == 10:
+            for policy in RESIDENCY_TABLE_POLICIES:
+                res = sweep.residency[policy]
+                res.title = (f"Fig. 9 residency: {policy}, "
+                             f"{n_tasks} tasks")
+                result.residency_tables.append(res)
 
     mid = 0.5
     for n_tasks, sweep in sweeps.items():
@@ -85,6 +97,18 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
                 f"{n_tasks} tasks: bound never exceeds {label} "
                 "(up to end-of-run tail effects)",
                 all(b <= y + 0.05 for b, y in zip(bound_ys, ys)))
+
+    # Residency conservation: at every utilization, each instrumented
+    # policy's mean per-frequency fractions must sum to exactly 1 (each
+    # run's histogram sums to its span by construction, so the means do
+    # too — within float accumulation error).
+    for policy, table in sweeps[10].residency.items():
+        totals = [sum(series.ys[i] for series in table.series)
+                  for i in range(len(table.xs))]
+        worst = max(abs(t - 1.0) for t in totals)
+        result.check(
+            f"10 tasks: {policy} residency fractions sum to 1 at every "
+            f"utilization (worst |err| = {worst:.2e})", worst < 1e-9)
 
     # Task-count invariance: compare laEDF curves across panels.
     la5 = sweeps[5].normalized.get("laEDF").ys

@@ -1,0 +1,179 @@
+"""Exporters: metrics to JSON-lines / CSV, plus a streaming event log.
+
+Two shapes of output:
+
+* **Run-level metrics** — one JSON object (or CSV row) per instrumented
+  run, produced from :class:`~repro.obs.metrics.RunMetrics`.  JSON-lines
+  is the append-friendly archival format (``repro obs summarize`` reads
+  it back); the CSV flattens the counters for spreadsheet tools, and
+  :func:`residency_to_csv` exports the per-frequency histograms.
+* **Event-level stream** — :class:`EventLog` is an
+  :class:`~repro.obs.hooks.Instrumentation` that records every release,
+  completion, deadline miss, context switch, and operating-point change
+  as a dict.  It pays a Python call per event, so it is a debugging and
+  testing tool, not something to attach to large sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.hooks import Instrumentation
+from repro.obs.metrics import MetricsCollector, RunMetrics
+
+#: Flat columns of the run-level CSV, in order.
+CSV_FIELDS = (
+    "policy", "scheduler", "duration", "span", "events",
+    "jobs_released", "jobs_completed", "deadline_misses",
+    "frequency_switches", "context_switches", "preemptions", "wakeups",
+    "over_unity_clamps", "busy_time", "idle_time", "idle_fraction",
+    "wall_seconds", "events_per_sec",
+)
+
+MetricsLike = Union[RunMetrics, MetricsCollector]
+
+
+def _runs(source: Union[MetricsLike, Iterable[MetricsLike]]
+          ) -> List[RunMetrics]:
+    if isinstance(source, (RunMetrics, MetricsCollector)):
+        source = [source]
+    runs: List[RunMetrics] = []
+    for item in source:
+        if isinstance(item, MetricsCollector):
+            runs.extend(item.runs)
+        else:
+            runs.append(item)
+    return runs
+
+
+def metrics_to_jsonl(source: Union[MetricsLike, Iterable[MetricsLike]],
+                     path: Optional[str] = None) -> str:
+    """Serialize run metrics as JSON-lines; optionally append to ``path``.
+
+    ``source`` may be a single :class:`RunMetrics`, a
+    :class:`MetricsCollector` (all its runs), or an iterable of either.
+    Returns the serialized text either way.
+    """
+    lines = [json.dumps(m.to_dict(), sort_keys=True) for m in _runs(source)]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def load_jsonl(path: str) -> List[dict]:
+    """Read a metrics JSON-lines file back into a list of dicts."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def metrics_to_csv(source: Union[MetricsLike, Iterable[MetricsLike]],
+                   path: Optional[str] = None) -> str:
+    """Flatten run metrics into one CSV row per run."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_FIELDS)
+    for m in _runs(source):
+        row = []
+        for field in CSV_FIELDS:
+            if field == "idle_fraction":
+                row.append(m.idle_fraction)
+            else:
+                row.append(getattr(m, field))
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def residency_to_csv(source: Union[MetricsLike, Iterable[MetricsLike]],
+                     path: Optional[str] = None) -> str:
+    """Per-frequency residency histograms, one row per (run, frequency)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["run", "policy", "frequency", "voltage",
+                     "seconds", "busy_seconds", "idle_seconds",
+                     "switch_seconds", "fraction"])
+    for index, m in enumerate(_runs(source)):
+        span = m.span or 1.0
+        for f in sorted(m.residency):
+            writer.writerow([
+                index, m.policy, f, m.voltages.get(f, ""),
+                m.residency[f], m.busy_residency.get(f, 0.0),
+                m.idle_residency.get(f, 0.0),
+                m.switch_residency.get(f, 0.0),
+                m.residency[f] / span,
+            ])
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+class EventLog(Instrumentation):
+    """Record every instrumented event as a dict (debugging/testing aid).
+
+    Events carry only deterministic simulation state (no wall clock), so
+    two engines producing the same schedule produce identical logs — the
+    differential suite uses this to pin hook *ordering*, not just final
+    counts.
+    """
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def on_run_start(self, sim) -> None:
+        self.records.append({"t": sim.time, "type": "run_start",
+                             "point": sim.current_point.frequency})
+
+    def on_run_end(self, sim, result) -> None:
+        self.records.append({"t": sim.time, "type": "run_end"})
+
+    def on_release(self, sim, job) -> None:
+        self.records.append({"t": sim.time, "type": "release",
+                             "task": job.task.name, "index": job.index,
+                             "demand": job.demand})
+
+    def on_completion(self, sim, job) -> None:
+        self.records.append({"t": sim.time, "type": "completion",
+                             "task": job.task.name, "index": job.index})
+
+    def on_deadline_miss(self, sim, miss) -> None:
+        name = getattr(miss, "task_name", None)
+        if name is None:  # the tick simulator passes the Job itself
+            name = miss.task.name
+        self.records.append({"t": sim.time, "type": "deadline_miss",
+                             "task": name})
+
+    def on_context_switch(self, sim, prev_job, next_job,
+                          preempted: bool) -> None:
+        self.records.append({
+            "t": sim.time, "type": "context_switch",
+            "from": prev_job.task.name if prev_job is not None else None,
+            "to": next_job.task.name, "preempted": preempted})
+
+    def on_frequency_change(self, sim, old_point, new_point) -> None:
+        self.records.append({"t": sim.time, "type": "frequency_change",
+                             "from": old_point.frequency,
+                             "to": new_point.frequency})
+
+    def to_jsonl(self, path: Optional[str] = None) -> str:
+        """Serialize the log as JSON-lines; optionally write to ``path``."""
+        lines = [json.dumps(r, sort_keys=True) for r in self.records]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text

@@ -1,0 +1,121 @@
+"""Human-readable summaries of collected metrics (``repro obs summarize``).
+
+Renders :class:`~repro.obs.metrics.RunMetrics` records (live objects or
+dicts loaded back from a JSON-lines archive) as compact text reports:
+headline counters, the per-frequency residency histogram as ASCII bars,
+per-task rollups, and — when self-profiling was on — per-event-type
+dispatch wall times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.obs.export import load_jsonl
+from repro.obs.metrics import RunMetrics
+
+_BAR_WIDTH = 40
+
+
+def _as_dict(metrics: Union[RunMetrics, dict]) -> dict:
+    if isinstance(metrics, RunMetrics):
+        return metrics.to_dict()
+    return metrics
+
+
+def format_metrics(metrics: Union[RunMetrics, dict],
+                   heading: str = "") -> str:
+    """One run's metrics as a text block."""
+    m = _as_dict(metrics)
+    span = m.get("span") or 1.0
+    lines: List[str] = []
+    title = heading or f"{m.get('policy', '?')} ({m.get('scheduler', '?')})"
+    lines.append(title)
+    lines.append("-" * len(title))
+    lines.append(
+        f"span {span:g} of {m.get('duration', span):g} simulated; "
+        f"{m.get('events', 0)} events"
+        + (f" ({m['events_per_sec']:,.0f} ev/s)"
+           if m.get("events_per_sec") else ""))
+    lines.append(
+        f"jobs: {m.get('jobs_released', 0)} released, "
+        f"{m.get('jobs_completed', 0)} completed, "
+        f"{m.get('deadline_misses', 0)} missed")
+    lines.append(
+        f"switches: {m.get('frequency_switches', 0)} frequency, "
+        f"{m.get('context_switches', 0)} context "
+        f"({m.get('preemptions', 0)} preemptions), "
+        f"{m.get('wakeups', 0)} timer wakeups, "
+        f"{m.get('over_unity_clamps', 0)} over-unity clamps")
+    if m.get("idle_time") is not None:
+        lines.append(f"idle: {m['idle_time']:g} "
+                     f"({100.0 * m['idle_time'] / span:.1f}% of span)")
+
+    residency = m.get("residency") or {}
+    if residency:
+        lines.append("frequency residency:")
+        items = sorted(residency.items(), key=lambda kv: float(kv[0]))
+        for freq, seconds in items:
+            fraction = seconds / span
+            bar = "#" * max(0, round(fraction * _BAR_WIDTH))
+            busy = (m.get("busy_residency") or {}).get(freq, 0.0)
+            lines.append(f"  f={float(freq):<5g} {seconds:>12.4f}s "
+                         f"{100.0 * fraction:6.2f}% |{bar:<{_BAR_WIDTH}}| "
+                         f"(busy {busy:.4f}s)")
+
+    tasks = m.get("tasks") or {}
+    if tasks:
+        lines.append(f"tasks ({len(tasks)}):")
+        shown = sorted(tasks.items())
+        for name, tm in shown[:10]:
+            lines.append(
+                f"  {name:<12} released {tm['released']:>5} "
+                f"completed {tm['completed']:>5} missed {tm['missed']:>3} "
+                f"cycles {tm['executed_cycles']:.4g}")
+        if len(shown) > 10:
+            lines.append(f"  ... and {len(shown) - 10} more tasks")
+
+    dispatch = m.get("dispatch") or {}
+    if dispatch:
+        lines.append("event-loop self-profile:")
+        for kind, stat in sorted(dispatch.items()):
+            count = stat.get("count", 0)
+            wall = stat.get("wall_seconds", 0.0)
+            mean_us = 1e6 * wall / count if count else 0.0
+            lines.append(f"  {kind:<11} {count:>7} dispatches, "
+                         f"{wall:.6f}s wall ({mean_us:.1f} us each)")
+    return "\n".join(lines)
+
+
+def summarize_records(records: List[Union[RunMetrics, dict]]) -> str:
+    """Render many runs: per-run blocks plus a per-policy rollup table."""
+    blocks = [format_metrics(record, heading=f"run {index}: "
+              f"{_as_dict(record).get('policy', '?')}")
+              for index, record in enumerate(records)]
+    rollup: dict = {}
+    for record in records:
+        m = _as_dict(record)
+        row = rollup.setdefault(m.get("policy", "?"), {
+            "runs": 0, "events": 0, "misses": 0, "switches": 0,
+            "context": 0})
+        row["runs"] += 1
+        row["events"] += m.get("events", 0)
+        row["misses"] += m.get("deadline_misses", 0)
+        row["switches"] += m.get("frequency_switches", 0)
+        row["context"] += m.get("context_switches", 0)
+    table = ["", "per-policy rollup:",
+             f"  {'policy':<12} {'runs':>5} {'events':>9} {'misses':>7} "
+             f"{'freq-sw':>8} {'ctx-sw':>8}"]
+    for policy, row in sorted(rollup.items()):
+        table.append(f"  {policy:<12} {row['runs']:>5} {row['events']:>9} "
+                     f"{row['misses']:>7} {row['switches']:>8} "
+                     f"{row['context']:>8}")
+    return "\n\n".join(blocks) + "\n" + "\n".join(table)
+
+
+def summarize_jsonl(path: str) -> str:
+    """Load a metrics JSON-lines archive and render it."""
+    records = load_jsonl(path)
+    if not records:
+        return f"{path}: no metrics records"
+    return summarize_records(records)

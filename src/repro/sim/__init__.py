@@ -14,7 +14,8 @@ from repro.sim.engine import Admission, Simulator, SchedulerView, simulate
 from repro.sim.bound import theoretical_bound, minimum_energy_for_cycles
 from repro.sim.ticksim import TickSimulator
 from repro.sim.steady import SteadyStateEnergy, steady_state_energy
-from repro.sim.validation import Violation, validate_schedule
+from repro.sim.validation import (Violation, rederive_counters,
+                                  validate_schedule)
 
 __all__ = [
     "PriorityPolicy",
@@ -37,5 +38,6 @@ __all__ = [
     "SteadyStateEnergy",
     "steady_state_energy",
     "Violation",
+    "rederive_counters",
     "validate_schedule",
 ]

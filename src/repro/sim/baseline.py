@@ -105,6 +105,9 @@ class BaselineSimulator(Simulator):
             if job.demand <= _EPS and not job.is_complete:
                 job.completion_time = self.time
                 zero_demand.append(task)
+                cb = self._obs_completion
+                if cb is not None:
+                    cb(self, job)
         for task in released:
             self._policy_hook(self.policy.on_release, task)
         for task in zero_demand:
@@ -118,6 +121,9 @@ class BaselineSimulator(Simulator):
 
     # -- fixed-point loop: the historical flat bound ---------------------
     def _process_due_events(self) -> None:
+        if self._obs_event is not None:
+            self._process_due_events_profiled()
+            return
         for _ in range(100_000):  # pre-refactor defensive bound
             progressed = self._process_due_admissions()
             progressed |= self._process_due_releases()

@@ -66,6 +66,7 @@ import heapq
 import math
 from dataclasses import dataclass
 from itertools import count
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import DeadlineMissError, SimulationError
@@ -213,6 +214,12 @@ class Simulator(SchedulerView):
         False lets demands overrun the bound, emulating the prototype's
         cold-start overruns (Sec. 4.3); deadline guarantees then no longer
         hold.
+    instrument:
+        Optional :class:`~repro.obs.hooks.Instrumentation` observing the
+        run (e.g. :class:`~repro.obs.metrics.MetricsCollector`).  Hooks
+        are cached as bound-method-or-``None`` at construction, so a
+        disabled or partial instrument costs the hot path one pointer
+        test per call site; ``None`` (the default) is free.
     """
 
     def __init__(self, taskset: TaskSet, machine: Machine, policy,
@@ -224,7 +231,8 @@ class Simulator(SchedulerView):
                  on_miss: str = "raise",
                  record_trace: bool = False,
                  admissions: Sequence[Admission] = (),
-                 enforce_wcet: bool = True):
+                 enforce_wcet: bool = True,
+                 instrument=None):
         if on_miss not in MISS_MODES:
             raise SimulationError(
                 f"on_miss must be one of {MISS_MODES}, got {on_miss!r}")
@@ -263,6 +271,26 @@ class Simulator(SchedulerView):
         self._busy_time = 0.0
         self._idle_time = 0.0
         self._finished = False
+
+        # -- instrumentation (see repro.obs) --
+        # Each hook is cached as bound-method-or-None so the hot path pays
+        # a single `is not None` test per call site when observation is
+        # off or partial.
+        self.instrument = instrument
+        if instrument is not None:
+            self._obs_counters = getattr(instrument, "counters", None)
+            self._obs_release = getattr(instrument, "on_release", None)
+            self._obs_completion = getattr(instrument, "on_completion",
+                                           None)
+            self._obs_miss = getattr(instrument, "on_deadline_miss", None)
+            self._obs_ctx = getattr(instrument, "on_context_switch", None)
+            self._obs_freq = getattr(instrument, "on_frequency_change",
+                                     None)
+            self._obs_event = getattr(instrument, "on_event", None)
+        else:
+            self._obs_counters = self._obs_release = None
+            self._obs_completion = self._obs_miss = self._obs_ctx = None
+            self._obs_freq = self._obs_event = None
 
         # -- event indexes (see "Event-queue architecture" above) --
         self._release_heap: List[tuple] = []
@@ -415,6 +443,19 @@ class Simulator(SchedulerView):
         self._invalidate_wakeup()
         if initial is not None:
             self._point = initial
+        obs = self.instrument
+        if obs is not None:
+            obs.on_run_start(self)
+        # Context-switch accounting lives here, on loop locals, because
+        # attribute increments per switch are measurable against the
+        # instrumentation overhead budget; the tallies flush to the
+        # instrument's HotCounters once, after the loop.
+        obs_counters = self._obs_counters
+        obs_ctx = self._obs_ctx
+        track_ctx = obs_counters is not None or obs_ctx is not None
+        last_job: Optional[Job] = None
+        ctx_switches = 0
+        preemptions = 0
         while True:
             self._process_due_events()
             # Releases/wakeups landing exactly at `duration` have already
@@ -423,9 +464,24 @@ class Simulator(SchedulerView):
             # cannot skip an event inside the simulated span.
             if self.time >= self.duration - _EPS:
                 break
-            self._advance_one_segment()
+            if track_ctx:
+                job = self._advance_one_segment()
+                if job is not None and job is not last_job:
+                    ctx_switches += 1
+                    preempted = (last_job is not None and
+                                 last_job.completion_time is None)
+                    if preempted:
+                        preemptions += 1
+                    if obs_ctx is not None:
+                        obs_ctx(self, last_job, job, preempted)
+                    last_job = job
+            else:
+                self._advance_one_segment()
+        if obs_counters is not None:
+            obs_counters.context_switches += ctx_switches
+            obs_counters.preemptions += preemptions
         self._final_deadline_check()
-        return SimResult(
+        result = SimResult(
             taskset=self.taskset,
             policy_name=getattr(self.policy, "name",
                                 type(self.policy).__name__),
@@ -437,6 +493,9 @@ class Simulator(SchedulerView):
             switches=self._switches,
             trace=self._trace,
         )
+        if obs is not None:
+            obs.on_run_end(self, result)
+        return result
 
     # ------------------------------------------------------------------
     # event processing
@@ -461,6 +520,9 @@ class Simulator(SchedulerView):
         Loops to a fixed point because a hook may advance time (switch
         halts) past further events.
         """
+        if self._obs_event is not None:
+            self._process_due_events_profiled()
+            return
         passes = 0
         while True:
             progressed = self._process_due_admissions()
@@ -470,6 +532,37 @@ class Simulator(SchedulerView):
                 return
             passes += 1
             if passes > self._event_budget():  # recomputed: admissions grow it
+                raise SimulationError(
+                    "event processing did not reach a fixed point after "
+                    f"{passes} passes at t={self.time:g}")
+
+    def _process_due_events_profiled(self) -> None:
+        """:meth:`_process_due_events` with per-event-type wall timing.
+
+        Selected only when the instrument implements ``on_event``
+        (self-profiling), so the unprofiled loop never pays for the
+        ``perf_counter`` brackets.
+        """
+        cb = self._obs_event
+        passes = 0
+        while True:
+            t0 = perf_counter()
+            admitted = self._process_due_admissions()
+            t1 = perf_counter()
+            released = self._process_due_releases()
+            t2 = perf_counter()
+            woke = self._process_due_wakeup()
+            t3 = perf_counter()
+            if admitted:
+                cb("admission", self.time, t1 - t0)
+            if released:
+                cb("release", self.time, t2 - t1)
+            if woke:
+                cb("wakeup", self.time, t3 - t2)
+            if not (admitted or released or woke):
+                return
+            passes += 1
+            if passes > self._event_budget():
                 raise SimulationError(
                     "event processing did not reach a fixed point after "
                     f"{passes} passes at t={self.time:g}")
@@ -574,6 +667,9 @@ class Simulator(SchedulerView):
             if job.demand <= _EPS and not job.is_complete:
                 job.completion_time = self.time
                 zero_demand.append(task)
+                cb = self._obs_completion
+                if cb is not None:
+                    cb(self, job)
         for task in released:
             self._policy_hook(self.policy.on_release, task)
         for task in zero_demand:
@@ -605,6 +701,9 @@ class Simulator(SchedulerView):
         self._jobs.append(job)
         if job.demand > _EPS:
             self._ready_add(job)
+        cb = self._obs_release
+        if cb is not None:
+            cb(self, job)
 
     def _process_due_wakeup(self) -> bool:
         """Fire the policy's timer hook when its wakeup time has arrived."""
@@ -614,6 +713,9 @@ class Simulator(SchedulerView):
             if wakeup is None or wakeup > self.time + _EPS:
                 return progressed
             new_point = self.policy.on_wakeup(self)
+            counters = self._obs_counters
+            if counters is not None:
+                counters.wakeups += 1
             self._invalidate_wakeup()
             if self._policy_wakeup_time() == wakeup:
                 raise SimulationError(
@@ -641,6 +743,11 @@ class Simulator(SchedulerView):
         self._switches += 1
         halt = self.switching.switch_time(old_point, new_point)
         self._point = new_point
+        cb = self._obs_freq
+        if cb is not None:
+            # Fired before the halt advances time, so collectors see the
+            # transition instant; the halt itself is charged below.
+            cb(self, old_point, new_point)
         if halt > 0.0:
             # The processor halts for the transition; the halt is charged
             # like an idle interval at the *target* point ("almost no energy
@@ -655,14 +762,18 @@ class Simulator(SchedulerView):
     # ------------------------------------------------------------------
     # time advancement
     # ------------------------------------------------------------------
-    def _advance_one_segment(self) -> None:
+    def _advance_one_segment(self) -> Optional[Job]:
         """Run or idle until the next event (release, completion, wakeup,
-        admission, or end of simulation)."""
+        admission, or end of simulation).
+
+        Returns the job that executed (None for idle or zero-length
+        segments) so the run loop can account context switches.
+        """
         horizon = min(self._next_event_time(), self.duration)
         if horizon <= self.time + _EPS:
             # An event became due while a hook advanced time (switch halt);
             # let the main loop process it before executing anything.
-            return
+            return None
         job = self._pick_job()
         if job is None:
             idle_hook = getattr(self.policy, "on_idle", None)
@@ -672,7 +783,7 @@ class Simulator(SchedulerView):
                 if new_point is not None:
                     self._set_point(new_point)
             self._idle_until(horizon)
-            return
+            return None
         frequency = self._point.frequency
         completion_time = self.time + job.remaining / frequency
         if completion_time <= horizon + _EPS:
@@ -682,6 +793,7 @@ class Simulator(SchedulerView):
             dt = horizon - self.time
             self._execute(job, cycles=dt * frequency, until=horizon,
                           completes=False)
+        return job
 
     def _next_event_time(self) -> float:
         horizon = self._peek_next_release()
@@ -709,7 +821,16 @@ class Simulator(SchedulerView):
             job.executed = job.demand  # absorb floating-point residue
             job.completion_time = self.time
             self._ready_discard(job)
-            self._policy_hook(self.policy.on_completion, job.task)
+            cb = self._obs_completion
+            if cb is not None:
+                cb(self, job)
+            ev = self._obs_event
+            if ev is not None:
+                t0 = perf_counter()
+                self._policy_hook(self.policy.on_completion, job.task)
+                ev("completion", self.time, perf_counter() - t0)
+            else:
+                self._policy_hook(self.policy.on_completion, job.task)
             self._check_deferred_releases()
 
     def _idle_until(self, horizon: float) -> None:
@@ -742,6 +863,9 @@ class Simulator(SchedulerView):
                             deadline=job.absolute_deadline,
                             demand=job.demand, executed=job.executed)
         self._misses.append(miss)
+        cb = self._obs_miss
+        if cb is not None:
+            cb(self, miss)
         if self.on_miss == "raise":
             raise DeadlineMissError(job.task.name, job.release_time,
                                     job.absolute_deadline, self.time)

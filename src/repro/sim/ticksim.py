@@ -61,7 +61,8 @@ class TickSimulator:
                  demand: Union[str, float, DemandModel, None] = None,
                  duration: float = 100.0, tick: float = 0.01,
                  energy_model: Optional[EnergyModel] = None,
-                 scheduler: Optional[str] = None):
+                 scheduler: Optional[str] = None,
+                 instrument=None):
         if tick <= 0:
             raise SimulationError(f"tick must be positive, got {tick}")
         if duration <= 0:
@@ -92,6 +93,28 @@ class TickSimulator:
         self._point: OperatingPoint = machine.fastest
         self._result = TickResult()
 
+        # -- instrumentation (see repro.obs); same caching scheme as the
+        # event-driven engine: bound-method-or-None per hook.  The tick
+        # simulator has no admission/wakeup machinery, so ``on_event``
+        # self-profiling does not apply here.
+        self.instrument = instrument
+        if instrument is not None:
+            self._obs_counters = getattr(instrument, "counters", None)
+            self._obs_release = getattr(instrument, "on_release", None)
+            self._obs_completion = getattr(instrument, "on_completion",
+                                           None)
+            self._obs_miss = getattr(instrument, "on_deadline_miss", None)
+            self._obs_ctx = getattr(instrument, "on_context_switch", None)
+            self._obs_freq = getattr(instrument, "on_frequency_change",
+                                     None)
+        else:
+            self._obs_counters = self._obs_release = None
+            self._obs_completion = self._obs_miss = self._obs_ctx = None
+            self._obs_freq = None
+        self._obs_track_ctx = (self._obs_counters is not None
+                               or self._obs_ctx is not None)
+        self._last_exec_job: Optional[Job] = None
+
     # -- SchedulerView protocol (duck-typed) -----------------------------
     def job_of(self, task: Task) -> Optional[Job]:
         return self._jobs[task.name]
@@ -120,11 +143,28 @@ class TickSimulator:
     def busy_time(self) -> float:  # pragma: no cover - AveragingDVS only
         raise SimulationError("TickSimulator does not track busy_time")
 
+    @property
+    def current_point(self) -> OperatingPoint:
+        return self._point
+
+    def _apply_point(self, new_point: Optional[OperatingPoint]) -> None:
+        """Adopt a policy-returned operating point, firing the obs hook."""
+        if new_point is None or new_point == self._point:
+            return
+        old_point = self._point
+        self._point = new_point
+        cb = self._obs_freq
+        if cb is not None:
+            cb(self, old_point, new_point)
+
     # -- main loop ----------------------------------------------------------
     def run(self) -> TickResult:
         point = self.policy.setup(self)
         if point is not None:
             self._point = point
+        obs = self.instrument
+        if obs is not None:
+            obs.on_run_start(self)
         steps = int(round(self.duration / self.tick))
         for step in range(steps):
             self.time = step * self.tick
@@ -133,12 +173,12 @@ class TickSimulator:
             if job is None:
                 idle_hook = getattr(self.policy, "on_idle", None)
                 if idle_hook is not None:
-                    point = idle_hook(self)
-                    if point is not None:
-                        self._point = point
+                    self._apply_point(idle_hook(self))
                 self._result.energy += self.energy_model.idle_energy(
                     self._point, self.tick)
                 continue
+            if self._obs_track_ctx and job is not self._last_exec_job:
+                self._note_context_switch(job)
             frequency = self._point.frequency
             cycles = min(self.tick * frequency, job.remaining)
             job.executed += cycles
@@ -151,12 +191,29 @@ class TickSimulator:
             if job.remaining <= _EPS:
                 job.executed = job.demand
                 job.completion_time = self.time + cycles / frequency
-                point = self.policy.on_completion(self, job.task)
-                if point is not None:
-                    self._point = point
+                cb = self._obs_completion
+                if cb is not None:
+                    cb(self, job)
+                self._apply_point(self.policy.on_completion(self, job.task))
         self.time = self.duration
         self._final_check()
+        if obs is not None:
+            obs.on_run_end(self, self._result)
         return self._result
+
+    def _note_context_switch(self, job: Job) -> None:
+        """Account a change of the executing job (see :mod:`repro.obs`)."""
+        prev = self._last_exec_job
+        self._last_exec_job = job
+        preempted = prev is not None and prev.completion_time is None
+        counters = self._obs_counters
+        if counters is not None:
+            counters.context_switches += 1
+            if preempted:
+                counters.preemptions += 1
+        cb = self._obs_ctx
+        if cb is not None:
+            cb(self, prev, job, preempted)
 
     # -- internals -----------------------------------------------------------
     def _release_due(self) -> None:
@@ -168,6 +225,9 @@ class TickSimulator:
                 old = self._jobs[name]
                 if old is not None and not old.is_complete:
                     self._result.missed.append(old)
+                    cb = self._obs_miss
+                    if cb is not None:
+                        cb(self, old)
                 release = self._next_release[name]
                 demand = min(
                     self.demand_model.demand(task, self._invocation[name]),
@@ -181,15 +241,18 @@ class TickSimulator:
                 self._next_release[name] = release + task.period
                 self._result.jobs.append(job)
                 released.append(task)
+                cb = self._obs_release
+                if cb is not None:
+                    cb(self, job)
+                if job.is_complete:
+                    cb = self._obs_completion
+                    if cb is not None:
+                        cb(self, job)
         for task in released:
-            point = self.policy.on_release(self, task)
-            if point is not None:
-                self._point = point
+            self._apply_point(self.policy.on_release(self, task))
             job = self._jobs[task.name]
             if job is not None and job.is_complete and job.demand <= _EPS:
-                point = self.policy.on_completion(self, task)
-                if point is not None:
-                    self._point = point
+                self._apply_point(self.policy.on_completion(self, task))
 
     def _pick(self) -> Optional[Job]:
         ready = [j for j in self._jobs.values()
@@ -207,3 +270,6 @@ class TickSimulator:
                     job.absolute_deadline <= self.duration + _EPS and \
                     job not in self._result.missed:
                 self._result.missed.append(job)
+                cb = self._obs_miss
+                if cb is not None:
+                    cb(self, job)

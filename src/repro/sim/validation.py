@@ -19,6 +19,18 @@ Any violation is returned as a human-readable finding; an empty list
 means the schedule is valid.  The property-test suite runs this checker
 over randomized workloads for every policy, which guards the *engine*
 (not just the policies) against regressions.
+
+The module also exposes :func:`rederive_counters`, which recomputes the
+bookkeeping the instrumentation layer (:mod:`repro.obs`) counts at run
+time — context switches, preemptions, deadline misses, operating-point
+transitions — from nothing but the trace and the job list, so collector
+output can be cross-checked against an independent derivation.
+
+Tolerances are *relative* wherever the compared quantity accumulates
+with simulated time or demand (cycles, energy): a flat epsilon that is
+comfortable at ``duration=100`` drowns in representation error at
+``duration=1e6``, and conversely over-tightens on large per-job demands.
+``_EPS`` is therefore scaled by ``max(1.0, magnitude)`` in those checks.
 """
 
 from __future__ import annotations
@@ -28,8 +40,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hw.energy import EnergyModel
-from repro.model.job import Job
+from repro.model.job import Job, JobOutcome
 from repro.sim.results import SimResult
+from repro.sim.trace import Segment
 
 _EPS = 1e-6
 
@@ -138,12 +151,16 @@ def _check_budgets(result: SimResult) -> List[Violation]:
     for job in jobs:
         key = (job.task.name, job.index)
         done = executed.get(key, 0.0)
-        if done > job.demand + _EPS:
+        # Relative tolerance: segment cycles are re-derived from segment
+        # bounds, whose representation error grows with the time scale and
+        # the per-job demand; a flat _EPS misfires on long runs.
+        tol = _EPS * max(1.0, job.demand)
+        if done > job.demand + tol:
             out.append(Violation(
                 "budget", job.release_time,
                 f"{job.task.name}#{job.index} executed {done:g} cycles, "
                 f"demand was {job.demand:g}"))
-        if job.is_complete and abs(done - job.demand) > _EPS \
+        if job.is_complete and abs(done - job.demand) > tol \
                 and job.demand > _EPS:
             out.append(Violation(
                 "budget", job.completion_time or 0.0,
@@ -235,3 +252,115 @@ def _check_energy(result: SimResult,
             f"re-priced energy {total:g} != reported "
             f"{result.total_energy:g}")]
     return []
+
+
+# ---------------------------------------------------------------------------
+# independent counter re-derivation (cross-checks repro.obs collectors)
+# ---------------------------------------------------------------------------
+
+def rederive_counters(result: SimResult) -> Dict[str, int]:
+    """Recompute the run's bookkeeping counters from trace + jobs alone.
+
+    Returns a dict with ``context_switches``, ``preemptions``,
+    ``deadline_misses`` and ``frequency_transitions``, derived without
+    trusting any counter the engine or an attached
+    :class:`~repro.obs.Instrumentation` maintained:
+
+    * a **context switch** every time the executing *job* changes (the
+      first dispatch counts, resuming the same job after idle does not) —
+      the same convention :class:`~repro.obs.MetricsCollector` records;
+    * a **preemption** when the displaced job had not completed by the
+      instant the next job took over;
+    * **deadline misses** from per-job outcomes
+      (:meth:`~repro.model.job.Job.outcome`), independently of
+      ``result.misses``;
+    * **frequency transitions** as operating-point changes *visible
+      between consecutive trace segments* — a lower bound on
+      ``result.switches``, since back-to-back changes at a single instant
+      leave no segment behind.
+
+    Job attribution inside merged segments assumes at most one live job
+    per task at any instant, which holds for every deadline-meeting
+    schedule and for overruns under ``on_miss="drop"`` (a missed job stops
+    at its deadline).  ``on_miss="continue"`` overload schedules, where
+    two jobs of one task stay live together, are outside its scope.
+    """
+    if result.trace is None:
+        raise SimulationError(
+            "rederive_counters needs a run with record_trace=True")
+    by_task: Dict[str, List[Job]] = {}
+    for job in sorted(result.jobs, key=lambda j: j.release_time):
+        if job.demand > 1e-9:  # zero-demand jobs complete without running
+            by_task.setdefault(job.task.name, []).append(job)
+
+    dispatches: List[Tuple[Job, float]] = []  # (job, time it took over)
+    for segment in result.trace.run_segments():
+        for job, when in _jobs_executed_in(by_task.get(segment.task, []),
+                                           segment, result.duration):
+            if not dispatches or dispatches[-1][0] is not job:
+                dispatches.append((job, when))
+
+    preemptions = 0
+    for (prev, _), (_cur, when) in zip(dispatches, dispatches[1:]):
+        if prev.completion_time is None or prev.completion_time > when:
+            preemptions += 1
+
+    transitions = 0
+    previous = None
+    for segment in result.trace:
+        if previous is not None and segment.point != previous:
+            transitions += 1
+        previous = segment.point
+
+    misses = sum(1 for job in result.jobs
+                 if job.outcome(result.duration) is JobOutcome.MISSED)
+    return {
+        "context_switches": len(dispatches),
+        "preemptions": preemptions,
+        "deadline_misses": misses,
+        "frequency_transitions": transitions,
+    }
+
+
+def _life_end(job: Job, duration: float) -> float:
+    """When the job stopped being eligible to execute (drop semantics)."""
+    if job.completion_time is not None:
+        return job.completion_time
+    if job.absolute_deadline <= duration + 1e-9:
+        return job.absolute_deadline  # dropped (or stopped) at its deadline
+    return float("inf")
+
+
+def _jobs_executed_in(jobs: List[Job], segment: Segment, duration: float
+                      ) -> List[Tuple[Job, float]]:
+    """The jobs that ran inside one (possibly merged) run segment.
+
+    Trace segments coalesce back-to-back jobs of the same task, so one
+    segment may span several completions.  Execution order within the
+    window is completion order, then the job still running at the end.
+    Returns ``(job, dispatch_time)`` pairs.
+    """
+    completed = [j for j in jobs
+                 if j.completion_time is not None
+                 and segment.start < j.completion_time <= segment.end]
+    completed.sort(key=lambda j: j.completion_time)
+    running = None
+    for job in jobs:  # sorted by release
+        if job.release_time >= segment.end:
+            break
+        if job.completion_time is not None \
+                and job.completion_time <= segment.end:
+            continue  # finished inside or before the window
+        if _life_end(job, duration) >= segment.end:
+            # Live through the whole window — including a job dropped at
+            # its deadline exactly when the segment ends.
+            running = job
+            break
+    sequence = completed + ([running] if running is not None else [])
+    out = []
+    start = segment.start
+    for job in sequence:
+        out.append((job, start))
+        if job.completion_time is not None:
+            start = job.completion_time
+    return out

@@ -1,0 +1,135 @@
+"""Exporters and text summaries: round-trips and shape checks."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import make_policy
+from repro.hw.machine import machine0
+from repro.obs import (EventLog, MetricsCollector, RunMetrics,
+                       load_jsonl, metrics_to_csv, metrics_to_jsonl,
+                       residency_to_csv)
+from repro.obs.export import CSV_FIELDS
+from repro.obs.summarize import (format_metrics, summarize_jsonl,
+                                 summarize_records)
+from repro.model.task import example_taskset
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(scope="module")
+def collector():
+    col = MetricsCollector()
+    for policy_name in ("ccEDF", "laEDF"):
+        Simulator(example_taskset(), machine0(), make_policy(policy_name),
+                  demand=0.7, duration=56.0, instrument=col).run()
+    return col
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, collector, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        metrics_to_jsonl(collector, path=str(path))
+        records = load_jsonl(str(path))
+        assert len(records) == 2
+        rebuilt = [RunMetrics.from_dict(r) for r in records]
+        for original, copy in zip(collector.runs, rebuilt):
+            assert copy.deterministic_dict() == original.deterministic_dict()
+            assert copy.wall_seconds == original.wall_seconds
+
+    def test_jsonl_appends(self, collector, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        metrics_to_jsonl(collector.runs[0], path=str(path))
+        metrics_to_jsonl(collector.runs[1], path=str(path))
+        assert len(load_jsonl(str(path))) == 2
+
+    def test_lines_are_valid_sorted_json(self, collector):
+        text = metrics_to_jsonl(collector)
+        for line in text.strip().splitlines():
+            record = json.loads(line)
+            assert record["policy"] in ("ccEDF", "laEDF")
+
+
+class TestCsv:
+    def test_metrics_csv_shape(self, collector):
+        rows = list(csv.reader(io.StringIO(metrics_to_csv(collector))))
+        assert rows[0] == list(CSV_FIELDS)
+        assert len(rows) == 3  # header + two runs
+        for row in rows[1:]:
+            assert len(row) == len(CSV_FIELDS)
+
+    def test_residency_csv_fractions_sum_to_one(self, collector, tmp_path):
+        path = tmp_path / "residency.csv"
+        residency_to_csv(collector, path=str(path))
+        with open(path, encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        by_run = {}
+        for row in rows:
+            by_run.setdefault(row["run"], 0.0)
+            by_run[row["run"]] += float(row["fraction"])
+            split = (float(row["busy_seconds"]) + float(row["idle_seconds"])
+                     + float(row["switch_seconds"]))
+            assert split == pytest.approx(float(row["seconds"]), rel=1e-9)
+        assert set(by_run) == {"0", "1"}
+        for total in by_run.values():
+            assert total == pytest.approx(1.0, rel=1e-9)
+
+
+class TestEventLog:
+    def test_log_matches_collector_counts(self, example_ts):
+        log = EventLog()
+        Simulator(example_ts, machine0(), make_policy("ccEDF"),
+                  demand=0.7, duration=56.0, instrument=log).run()
+        kinds = [r["type"] for r in log.records]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        col = MetricsCollector()
+        result = Simulator(example_ts, machine0(), make_policy("ccEDF"),
+                           demand=0.7, duration=56.0,
+                           instrument=col).run()
+        m = col.metrics
+        assert kinds.count("release") == m.jobs_released
+        assert kinds.count("completion") == m.jobs_completed
+        assert kinds.count("frequency_change") == result.switches
+        assert kinds.count("context_switch") == m.context_switches
+        preempted = sum(1 for r in log.records
+                        if r["type"] == "context_switch" and r["preempted"])
+        assert preempted == m.preemptions
+
+    def test_to_jsonl(self, example_ts, tmp_path):
+        log = EventLog()
+        Simulator(example_ts, machine0(), make_policy("ccEDF"),
+                  demand=0.7, duration=56.0, instrument=log).run()
+        path = tmp_path / "events.jsonl"
+        text = log.to_jsonl(path=str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(log.records)
+        assert text.strip().splitlines() == lines
+
+
+class TestSummaries:
+    def test_format_metrics_mentions_everything(self, collector):
+        text = format_metrics(collector.metrics)
+        assert "frequency residency:" in text
+        assert "jobs:" in text
+        assert "tasks (" in text
+        for f in collector.metrics.residency:
+            assert f"f={f:g}" in text
+
+    def test_summarize_records_accepts_dicts_and_objects(self, collector):
+        as_dicts = [m.to_dict() for m in collector.runs]
+        text = summarize_records(as_dicts)
+        assert "per-policy rollup:" in text
+        assert "ccEDF" in text and "laEDF" in text
+        assert summarize_records(collector.runs).count("run 0:") == 1
+
+    def test_summarize_jsonl_end_to_end(self, collector, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        metrics_to_jsonl(collector, path=str(path))
+        text = summarize_jsonl(str(path))
+        assert "per-policy rollup:" in text
+
+    def test_summarize_jsonl_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "no metrics records" in summarize_jsonl(str(path))

@@ -238,3 +238,81 @@ class TestHorizonConvention:
                                   tick=0.01).run()
         assert len(exact.jobs) == len(quantized.jobs)
         assert quantized.met_all_deadlines
+
+
+class TestMetricsDifferential:
+    """Instrumentation output is bit-identical across the two engines.
+
+    The engines share the run loop, so a divergence here means a hook
+    call site drifted between the indexed and the linear hot paths —
+    exactly the regression the obs layer must never introduce.
+    """
+
+    @staticmethod
+    def _collect(engine_cls, ts, policy_name, **kwargs):
+        from repro.obs import MetricsCollector
+        collector = MetricsCollector()
+        engine_cls(ts, machine0(), make_policy(policy_name),
+                   instrument=collector, **kwargs).run()
+        return collector.metrics
+
+    @staticmethod
+    def _log(engine_cls, ts, policy_name, **kwargs):
+        from repro.obs import EventLog
+        log = EventLog()
+        engine_cls(ts, machine0(), make_policy(policy_name),
+                   instrument=log, **kwargs).run()
+        return log.records
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets, fraction=fractions,
+           policy_index=st.integers(min_value=0, max_value=1))
+    def test_metrics_bit_identical(self, ts, fraction, policy_index):
+        policy_name = ("ccEDF", "laEDF")[policy_index]
+        fraction = min(fraction, 0.9)
+        duration = 3.0 * max(t.period for t in ts)
+        indexed = self._collect(Simulator, ts, policy_name,
+                                demand=fraction, duration=duration)
+        baseline = self._collect(BaselineSimulator, ts, policy_name,
+                                 demand=fraction, duration=duration)
+        assert indexed.deterministic_dict() == baseline.deterministic_dict()
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ts=tasksets, fraction=fractions,
+           policy_index=st.integers(min_value=0, max_value=1))
+    def test_event_stream_identical(self, ts, fraction, policy_index):
+        """Not just final counts: the per-event hook *ordering* agrees."""
+        policy_name = ("ccEDF", "laEDF")[policy_index]
+        fraction = min(fraction, 0.9)
+        duration = 3.0 * max(t.period for t in ts)
+        indexed = self._log(Simulator, ts, policy_name,
+                            demand=fraction, duration=duration)
+        baseline = self._log(BaselineSimulator, ts, policy_name,
+                             demand=fraction, duration=duration)
+        assert indexed == baseline
+
+    @pytest.mark.parametrize("policy_name", ("ccEDF", "laEDF", "avgDVS"))
+    @pytest.mark.parametrize("seed", (11, 42, 77))
+    def test_generated_sets_metrics_identical(self, policy_name, seed):
+        ts = TaskSetGenerator(n_tasks=8, utilization=0.75,
+                              seed=seed).generate()
+        demand = materialize_demand(UniformFractionDemand(seed=seed),
+                                    ts, 500.0)
+        indexed = self._collect(Simulator, ts, policy_name, demand=demand,
+                                duration=500.0, on_miss="drop")
+        baseline = self._collect(BaselineSimulator, ts, policy_name,
+                                 demand=demand, duration=500.0,
+                                 on_miss="drop")
+        assert indexed.deterministic_dict() == baseline.deterministic_dict()
+
+    def test_overload_metrics_identical(self):
+        ts = TaskSet([Task(3, 4, name="A"), Task(3, 4, name="B")])  # U=1.5
+        indexed = self._collect(Simulator, ts, "EDF", demand="worst",
+                                duration=24.0, on_miss="drop")
+        baseline = self._collect(BaselineSimulator, ts, "EDF",
+                                 demand="worst", duration=24.0,
+                                 on_miss="drop")
+        assert indexed.deadline_misses == 6
+        assert indexed.deterministic_dict() == baseline.deterministic_dict()

@@ -124,3 +124,59 @@ class TestValidate:
         code = main(["validate", "--tasks", "2:10", "--demand", "0.5",
                      "--duration", "40"])
         assert code == 0
+
+
+class TestObs:
+    def _archive(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        for policy in ("ccEDF", "laEDF"):
+            code = main(["simulate", "--tasks", "3:8,3:10,1:14",
+                         "--policy", policy, "--duration", "56",
+                         "--metrics", str(path)])
+            assert code == 0
+        return path
+
+    def test_simulate_metrics_to_stdout(self, capsys):
+        code = main(["simulate", "--tasks", "3:8,3:10,1:14",
+                     "--policy", "ccEDF", "--duration", "56",
+                     "--metrics", "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frequency residency:" in out
+
+    def test_simulate_metrics_appends_jsonl(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert "appended metrics to" in capsys.readouterr().out
+
+    def test_summarize_archive(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-policy rollup:" in out
+        assert "ccEDF" in out and "laEDF" in out
+
+    def test_summarize_exports_csvs(self, capsys, tmp_path):
+        path = self._archive(tmp_path)
+        csv_path = tmp_path / "runs.csv"
+        res_path = tmp_path / "residency.csv"
+        code = main(["obs", "summarize", str(path),
+                     "--csv", str(csv_path),
+                     "--residency-csv", str(res_path)])
+        assert code == 0
+        assert csv_path.read_text().startswith("policy,")
+        assert "frequency" in res_path.read_text().splitlines()[0]
+
+    def test_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_summarize_empty_archive(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["obs", "summarize", str(path)]) == 1
+        assert "no metrics records" in capsys.readouterr().out
+
+    def test_obs_without_subcommand_shows_help(self, capsys):
+        assert main(["obs"]) == 2
