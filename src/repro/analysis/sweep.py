@@ -10,6 +10,27 @@ Demands are *materialized* (pre-drawn into a trace) per task set so every
 policy sees byte-identical invocation demands — otherwise random demand
 models could de-synchronize across policies and corrupt the comparison.
 
+Execution model
+---------------
+A sweep is a flat bag of independent *cells* — one per
+``(utilization, set_index)`` pair.  Each cell is described by a compact,
+seed-level :class:`CellSpec`; workers regenerate the task set and demand
+trace locally from the seeds instead of unpickling megabytes of
+materialized traces.  Cells stream through a barrier-free
+:class:`~repro.analysis.executor.CellExecutor` (``submit`` +
+``as_completed`` across the *whole* sweep, not per utilization point), and
+outcomes can be cached on disk content-addressed by their full description
+(:mod:`repro.analysis.cellcache`), so interrupted runs resume and repeated
+figures that share cells skip re-simulation entirely.
+
+Cell identity is pinned to the historical seed derivation: one
+``TaskSetGenerator`` per utilization point draws ``n_sets`` task sets
+*sequentially*, so a worker reproducing set ``k`` fast-forwards the
+generator ``k`` draws (cheap — drawing a task set is microseconds against
+a multi-second simulation; a per-process generator memo makes consecutive
+cells O(1)).  This keeps every curve bit-identical across ``workers=1``,
+``workers=N``, cold cache, and warm cache.
+
 RM-based policies occasionally meet task sets that are EDF- but not
 RM-schedulable (the paper's footnote 3).  Those cells fall back to
 full-speed RM with misses tolerated, and the fallback count is reported in
@@ -20,11 +41,12 @@ from __future__ import annotations
 
 import math
 import random
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.aggregate import mean, sample_std
+from repro.analysis.cellcache import cell_key, open_cache
+from repro.analysis.executor import CellExecutor, SweepProgress
 from repro.analysis.series import Series, SweepTable
 from repro.core import PAPER_POLICIES, make_policy
 from repro.core.no_dvs import NoDVS
@@ -47,6 +69,10 @@ REFERENCE_POLICY = "EDF"
 DEFAULT_UTILIZATIONS: Tuple[float, ...] = tuple(
     round(0.1 * k, 1) for k in range(1, 11))
 
+#: Matches the engine's horizon tolerance: releases within this of the
+#: duration are suppressed (see ``repro.sim.engine`` module docs).
+_HORIZON_EPS = 1e-9
+
 
 def materialize_demand(model: DemandModel, taskset: TaskSet,
                        duration: float) -> TraceDemand:
@@ -54,10 +80,21 @@ def materialize_demand(model: DemandModel, taskset: TaskSet,
 
     Returns a :class:`TraceDemand` that replays the draws identically for
     every policy simulated on this task set.
+
+    The draw count per task covers every release the engine can fire under
+    the pinned duration-coincident convention (a release landing within
+    ``_EPS`` of the horizon is suppressed): ``ceil(duration/period)``
+    entries suffice because release ``k = ceil(d/p)`` satisfies
+    ``k*p >= d`` in exact arithmetic.  A defensive top-up guards the one
+    way that argument can fail — ``k*p`` rounding *below* ``d - _EPS`` in
+    floating point — so a worker-side regeneration can never run out of
+    trace entries and silently fall back to worst-case demand.
     """
     trace: Dict[str, List[float]] = {}
     for task in taskset:
         count = max(1, math.ceil(duration / task.period))
+        while count * task.period < duration - _HORIZON_EPS:
+            count += 1  # pragma: no cover - float pathology guard
         trace[task.name] = [model.demand(task, k) for k in range(count)]
     return TraceDemand(trace, repeat=False, fallback_fraction=1.0)
 
@@ -70,6 +107,10 @@ class SweepConfig:
     demand, utilizations 0.1 ... 1.0.  ``n_sets`` defaults to a laptop-scale
     20 (the paper averages "hundreds"; raise it for publication-grade
     smoothness).
+
+    ``workers`` accepts an integer or ``"auto"`` (CPU-count derived).
+    ``cache_dir`` points at a content-addressed cell-result cache
+    (:mod:`repro.analysis.cellcache`); ``None`` disables caching.
     """
 
     policies: Tuple[str, ...] = PAPER_POLICIES
@@ -81,12 +122,13 @@ class SweepConfig:
     idle_level: float = 0.0
     duration: float = 2000.0
     seed: int = 1
-    workers: int = 1
+    workers: Union[int, str] = 1
     cycle_energy_scale: float = 1.0
     #: Policies to additionally instrument with a
     #: :class:`~repro.obs.MetricsCollector`; their mean per-frequency
     #: residency fractions land in :attr:`SweepResult.residency`.
     residency_policies: Tuple[str, ...] = ()
+    cache_dir: Optional[str] = None
 
     def energy_model(self) -> EnergyModel:
         return EnergyModel(idle_level=self.idle_level,
@@ -106,6 +148,12 @@ class SweepResult:
     #: mean fraction of the run spent there).  Filled only for
     #: :attr:`SweepConfig.residency_policies`.
     residency: Dict[str, SweepTable] = field(default_factory=dict)
+    #: Cells answered straight from the on-disk cell cache.
+    cache_hits: int = 0
+    #: Cells actually simulated in this invocation.
+    simulated_cells: int = 0
+    #: Resolved worker count the sweep ran with.
+    workers_used: int = 1
 
     def series(self, label: str, normalized: bool = True) -> Series:
         table = self.normalized if normalized else self.raw
@@ -127,37 +175,328 @@ class SweepResult:
         return table
 
 
-def utilization_sweep(config: SweepConfig) -> SweepResult:
-    """Run the sweep described by ``config``."""
+# ---------------------------------------------------------------------------
+# cell descriptions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepContext:
+    """Everything a cell needs that is *shared* across the whole sweep.
+
+    Shipped to worker processes once (via the pool initializer or, on a
+    shared pool, memoized on first sight) and addressed by content digest
+    thereafter — cells themselves only carry seeds.
+    """
+
+    machine: Machine
+    policies: Tuple[str, ...]
+    duration: float
+    idle_level: float
+    cycle_energy_scale: float
+    residency_policies: Tuple[str, ...] = ()
+
+    def description(self) -> Dict[str, object]:
+        """JSON-safe canonical description (cache-key material)."""
+        return {
+            "machine": [[p.frequency, p.voltage]
+                        for p in self.machine.points],
+            "policies": list(self.policies),
+            "duration": self.duration,
+            "idle_level": self.idle_level,
+            "cycle_energy_scale": self.cycle_energy_scale,
+            "residency_policies": list(self.residency_policies),
+        }
+
+    def digest(self) -> str:
+        return cell_key(self.description())
+
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(idle_level=self.idle_level,
+                           cycle_energy_scale=self.cycle_energy_scale)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (task set, all policies) work unit, at seed level.
+
+    ``gen_seed`` seeds the per-utilization-point :class:`TaskSetGenerator`;
+    ``set_index`` says how many sets to fast-forward past (sets are drawn
+    sequentially from one generator — the historical derivation, kept so
+    curves stay bit-identical to serial in-process sweeps).  ``demand`` is
+    the compact spec (``"worst"``, ``"uniform"``, or a fraction); only
+    when the sweep was configured with a live :class:`DemandModel`
+    *instance* does ``trace`` carry a parent-materialized trace instead
+    (such models may be stateful, so worker-side regeneration could not
+    reproduce the sequential draw order).
+    """
+
+    utilization: float
+    set_index: int
+    n_tasks: int
+    gen_seed: int
+    demand_seed: int
+    demand: Union[str, float, None]
+    trace: Optional[TraceDemand] = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Only seed-described cells are content-addressable."""
+        return self.trace is None
+
+    def description(self) -> Dict[str, object]:
+        """JSON-safe cell-local description (cache-key material)."""
+        return {
+            "utilization": self.utilization,
+            "set_index": self.set_index,
+            "n_tasks": self.n_tasks,
+            "gen_seed": self.gen_seed,
+            "demand_seed": self.demand_seed,
+            "demand": self.demand,
+        }
+
+
+def cell_cache_key(context: SweepContext, spec: CellSpec) -> str:
+    """Content hash addressing one cell's outcome on disk."""
+    description = context.description()
+    description["cell"] = spec.description()
+    return cell_key(description)
+
+
+# ---------------------------------------------------------------------------
+# the sweep driver
+# ---------------------------------------------------------------------------
+
+def utilization_sweep(config: SweepConfig,
+                      executor: Optional[CellExecutor] = None,
+                      progress: Union[bool, SweepProgress, None] = None,
+                      ) -> SweepResult:
+    """Run the sweep described by ``config``.
+
+    ``executor`` lets callers (notably ``run-all``) share one worker pool
+    across many sweeps; when omitted, the sweep manages its own pool sized
+    by ``config.workers``.  ``progress`` enables per-sweep throughput/ETA
+    lines on stderr (or pass a :class:`SweepProgress` to customize).
+    """
     labels = _result_labels(config)
-    per_label: Dict[str, List[List[float]]] = {
-        label: [] for label in labels}
-    # residency: policy -> frequency -> per-utilization list of fractions
+    context = SweepContext(
+        machine=config.machine,
+        policies=tuple(labels[:-1]),
+        duration=config.duration,
+        idle_level=config.idle_level,
+        cycle_energy_scale=config.cycle_energy_scale,
+        residency_policies=tuple(config.residency_policies))
+    specs = _build_cell_specs(config)
+    cache = open_cache(config.cache_dir)
+
+    outcomes: List[Optional[Dict[str, object]]] = [None] * len(specs)
+    keys: List[Optional[str]] = [None] * len(specs)
+    pending: List[int] = []
+    cache_hits = 0
+    for index, spec in enumerate(specs):
+        if cache is not None and spec.cacheable:
+            keys[index] = cell_cache_key(context, spec)
+            cached = cache.get(keys[index])
+            if cached is not None:
+                outcomes[index] = cached
+                cache_hits += 1
+                continue
+        pending.append(index)
+
+    if isinstance(progress, SweepProgress):
+        meter: Optional[SweepProgress] = progress
+    elif progress:
+        meter = SweepProgress(total=len(specs),
+                              label=f"sweep seed={config.seed}")
+    else:
+        meter = None
+    if meter is not None:
+        for _ in range(cache_hits):
+            meter.advance(cache_hit=True)
+
+    own_executor = executor is None
+    runner = executor if executor is not None \
+        else CellExecutor(config.workers)
+    try:
+        pending_specs = [specs[index] for index in pending]
+
+        def store(sub_index: int, outcome: Dict[str, object]) -> None:
+            index = pending[sub_index]
+            outcomes[index] = outcome
+            if cache is not None and keys[index] is not None:
+                cache.put(keys[index], outcome)
+
+        # Drain the barrier-free stream; `store` fills `outcomes`.
+        for _ in runner.run_cells(context, pending_specs, progress=meter,
+                                  on_result=store):
+            pass
+        workers_used = runner.workers
+    finally:
+        if own_executor:
+            runner.shutdown()
+
+    result = _aggregate(config, labels, outcomes)
+    result.cache_hits = cache_hits
+    result.simulated_cells = len(pending)
+    result.workers_used = workers_used
+    return result
+
+
+# ---------------------------------------------------------------------------
+# cell construction (driver side)
+# ---------------------------------------------------------------------------
+
+def _build_cell_specs(config: SweepConfig) -> List[CellSpec]:
+    """All cells of the sweep, ordered ``(u_index, set_index)``.
+
+    Reproduces the historical seed derivation exactly: per utilization
+    point, one root RNG yields the generator seed and then one demand seed
+    per set, interleaved with the (RNG-independent) sequential task-set
+    draws.
+    """
+    demand_is_model = isinstance(config.demand, DemandModel)
+    specs: List[CellSpec] = []
+    for u_index, utilization in enumerate(config.utilizations):
+        seed_root = random.Random(f"{config.seed}/{u_index}")
+        gen_seed = seed_root.randrange(2 ** 63)
+        generator = TaskSetGenerator(
+            n_tasks=config.n_tasks, utilization=utilization,
+            seed=gen_seed) if demand_is_model else None
+        for set_index in range(config.n_sets):
+            demand_seed = seed_root.randrange(2 ** 63)
+            trace = None
+            if demand_is_model:
+                # Stateful model instances must be drawn sequentially in
+                # the parent; ship the materialized trace for this cell.
+                taskset = generator.generate()
+                trace = materialize_demand(config.demand, taskset,
+                                           config.duration)
+            specs.append(CellSpec(
+                utilization=utilization,
+                set_index=set_index,
+                n_tasks=config.n_tasks,
+                gen_seed=gen_seed,
+                demand_seed=demand_seed,
+                demand=None if demand_is_model else config.demand,
+                trace=trace))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# cell execution (worker side)
+# ---------------------------------------------------------------------------
+
+#: Per-process task-set generator memo: gen_seed -> (generator, sets
+#: already drawn).  Streamed cells arrive in roughly increasing set_index
+#: per utilization point, so regeneration is amortized O(1) per cell.
+_GENERATOR_MEMO: Dict[Tuple[int, int, float], Tuple[TaskSetGenerator, int]] = {}
+
+_GENERATOR_MEMO_LIMIT = 256
+
+
+def _taskset_for(spec: CellSpec) -> TaskSet:
+    """Regenerate cell ``spec``'s task set from its seeds."""
+    memo_key = (spec.gen_seed, spec.n_tasks, spec.utilization)
+    generator, produced = _GENERATOR_MEMO.get(memo_key, (None, 0))
+    if generator is None or produced > spec.set_index:
+        generator = TaskSetGenerator(
+            n_tasks=spec.n_tasks, utilization=spec.utilization,
+            seed=spec.gen_seed)
+        produced = 0
+    taskset = None
+    while produced <= spec.set_index:
+        taskset = generator.generate()
+        produced += 1
+    if len(_GENERATOR_MEMO) >= _GENERATOR_MEMO_LIMIT:
+        _GENERATOR_MEMO.clear()
+    _GENERATOR_MEMO[memo_key] = (generator, produced)
+    return taskset
+
+
+def materialize_cell(context: SweepContext,
+                     spec: CellSpec) -> Tuple[TaskSet, TraceDemand]:
+    """Rebuild a cell's task set and demand trace from its description."""
+    taskset = _taskset_for(spec)
+    if spec.trace is not None:
+        return taskset, spec.trace
+    model = demand_from_spec(spec.demand, seed=spec.demand_seed)
+    return taskset, materialize_demand(model, taskset, context.duration)
+
+
+def run_cell(context: SweepContext, spec: CellSpec) -> Dict[str, object]:
+    """Simulate every policy on one cell; returns label -> energy
+    (plus ``_rm_fallbacks`` and, when requested, ``_residency``)."""
+    taskset, demand = materialize_cell(context, spec)
+    energy_model = context.energy_model()
+    out: Dict[str, object] = {"_rm_fallbacks": 0}
+    residency: Dict[str, Dict[float, float]] = {}
+    reference_cycles: Optional[float] = None
+    for name in context.policies:
+        collector = None
+        if name in context.residency_policies:
+            collector = MetricsCollector()
+        try:
+            result = simulate(taskset, context.machine, make_policy(name),
+                              demand=demand, duration=context.duration,
+                              energy_model=energy_model, on_miss="raise",
+                              instrument=collector)
+        except SchedulabilityError:
+            # EDF-schedulable but not RM-schedulable (paper footnote 3):
+            # fall back to full-speed RM and tolerate the misses.
+            result = simulate(taskset, context.machine,
+                              NoDVS(scheduler="rm"),
+                              demand=demand, duration=context.duration,
+                              energy_model=energy_model, on_miss="drop",
+                              instrument=collector)
+            out["_rm_fallbacks"] += 1
+        if collector is not None:
+            metrics = collector.metrics
+            span = metrics.span or 1.0
+            residency[name] = {f: seconds / span for f, seconds in
+                               metrics.residency.items()}
+        out[name] = result.total_energy
+        if name == REFERENCE_POLICY:
+            reference_cycles = result.executed_cycles
+    if reference_cycles is None:  # pragma: no cover - labels always add EDF
+        raise ReproError("sweep cell ran without the EDF reference")
+    if demand.fallback_draws:
+        # The materialized trace must cover every fired release; a
+        # fallback draw means regeneration and engine disagree about the
+        # horizon — corrupt data, never average it into a curve.
+        raise ReproError(
+            f"materialized demand trace underflowed ({demand.fallback_draws}"
+            f" fallback draws) for cell u={spec.utilization} "
+            f"set={spec.set_index}")
+    out[BOUND_LABEL] = context.cycle_energy_scale * minimum_energy_for_cycles(
+        context.machine, reference_cycles, context.duration)
+    if residency:
+        out["_residency"] = residency
+    return out
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+def _aggregate(config: SweepConfig, labels: List[str],
+               outcomes: List[Dict[str, object]]) -> SweepResult:
+    """Fold per-cell outcomes (ordered by (u_index, set_index)) into the
+    mean/std/residency tables."""
+    per_label: Dict[str, List[List[float]]] = {label: [] for label in labels}
     frequencies = tuple(sorted(p.frequency for p in config.machine.points))
     res_acc: Dict[str, Dict[float, List[List[float]]]] = {
         policy: {f: [] for f in frequencies}
         for policy in config.residency_policies}
     rm_fallbacks = 0
-    # One worker pool serves every utilization point: spawning processes
-    # (and re-importing repro in each) per point dominated small sweeps.
-    pool: Optional[ProcessPoolExecutor] = None
-    if config.workers > 1:
-        pool = ProcessPoolExecutor(max_workers=config.workers)
-    try:
-        for u_index, utilization in enumerate(config.utilizations):
-            cells = _build_cells(config, u_index, utilization)
-            outcomes = _run_cells(cells, config.workers, pool)
-            for label in labels:
-                per_label[label].append([o[label] for o in outcomes])
-            rm_fallbacks += sum(o["_rm_fallbacks"] for o in outcomes)
-            for policy, per_freq in res_acc.items():
-                for f in frequencies:
-                    per_freq[f].append(
-                        [o.get("_residency", {}).get(policy, {}).get(f, 0.0)
-                         for o in outcomes])
-    finally:
-        if pool is not None:
-            pool.shutdown()
+    for u_index in range(len(config.utilizations)):
+        row = outcomes[u_index * config.n_sets:(u_index + 1) * config.n_sets]
+        for label in labels:
+            per_label[label].append([o[label] for o in row])
+        rm_fallbacks += sum(o["_rm_fallbacks"] for o in row)
+        for policy, per_freq in res_acc.items():
+            for f in frequencies:
+                per_freq[f].append(
+                    [o.get("_residency", {}).get(policy, {}).get(f, 0.0)
+                     for o in row])
 
     raw = SweepTable(title=_title(config, normalized=False),
                      x_label="worst-case utilization", y_label="energy")
@@ -209,93 +548,3 @@ def _title(config: SweepConfig, normalized: bool) -> str:
     return (f"{kind} vs utilization — {config.n_tasks} tasks, "
             f"{config.machine.name}, demand={config.demand}, "
             f"idle={config.idle_level}")
-
-
-@dataclass(frozen=True)
-class _Cell:
-    """One (task set, all policies) work unit — picklable for workers."""
-
-    taskset: TaskSet
-    demand: TraceDemand
-    policies: Tuple[str, ...]
-    machine: Machine
-    duration: float
-    idle_level: float
-    cycle_energy_scale: float
-    residency_policies: Tuple[str, ...] = ()
-
-
-def _build_cells(config: SweepConfig, u_index: int,
-                 utilization: float) -> List[_Cell]:
-    seed_root = random.Random(f"{config.seed}/{u_index}")
-    generator = TaskSetGenerator(
-        n_tasks=config.n_tasks, utilization=utilization,
-        seed=seed_root.randrange(2 ** 63))
-    cells = []
-    for set_index in range(config.n_sets):
-        taskset = generator.generate()
-        model = demand_from_spec(config.demand,
-                                 seed=seed_root.randrange(2 ** 63))
-        demand = materialize_demand(model, taskset, config.duration)
-        cells.append(_Cell(
-            taskset=taskset, demand=demand,
-            policies=tuple(_result_labels(config)[:-1]),
-            machine=config.machine, duration=config.duration,
-            idle_level=config.idle_level,
-            cycle_energy_scale=config.cycle_energy_scale,
-            residency_policies=tuple(config.residency_policies)))
-    return cells
-
-
-def _run_cells(cells: List[_Cell], workers: int,
-               pool: Optional[ProcessPoolExecutor] = None
-               ) -> List[Dict[str, float]]:
-    if pool is None or workers <= 1 or len(cells) <= 1:
-        return [_run_cell(cell) for cell in cells]
-    # Chunking amortizes pickling overhead; cap at 4 waves per worker so
-    # uneven cell runtimes still load-balance.
-    chunksize = max(1, len(cells) // (workers * 4))
-    return list(pool.map(_run_cell, cells, chunksize=chunksize))
-
-
-def _run_cell(cell: _Cell) -> Dict[str, object]:
-    """Simulate every policy on one task set; returns label -> energy
-    (plus ``_rm_fallbacks`` and, when requested, ``_residency``)."""
-    energy_model = EnergyModel(idle_level=cell.idle_level,
-                               cycle_energy_scale=cell.cycle_energy_scale)
-    out: Dict[str, float] = {"_rm_fallbacks": 0}
-    residency: Dict[str, Dict[float, float]] = {}
-    reference_cycles: Optional[float] = None
-    for name in cell.policies:
-        collector = None
-        if name in cell.residency_policies:
-            collector = MetricsCollector()
-        try:
-            result = simulate(cell.taskset, cell.machine, make_policy(name),
-                              demand=cell.demand, duration=cell.duration,
-                              energy_model=energy_model, on_miss="raise",
-                              instrument=collector)
-        except SchedulabilityError:
-            # EDF-schedulable but not RM-schedulable (paper footnote 3):
-            # fall back to full-speed RM and tolerate the misses.
-            result = simulate(cell.taskset, cell.machine,
-                              NoDVS(scheduler="rm"),
-                              demand=cell.demand, duration=cell.duration,
-                              energy_model=energy_model, on_miss="drop",
-                              instrument=collector)
-            out["_rm_fallbacks"] += 1
-        if collector is not None:
-            metrics = collector.metrics
-            span = metrics.span or 1.0
-            residency[name] = {f: seconds / span for f, seconds in
-                               metrics.residency.items()}
-        out[name] = result.total_energy
-        if name == REFERENCE_POLICY:
-            reference_cycles = result.executed_cycles
-    if reference_cycles is None:  # pragma: no cover - labels always add EDF
-        raise ReproError("sweep cell ran without the EDF reference")
-    out[BOUND_LABEL] = cell.cycle_energy_scale * minimum_energy_for_cycles(
-        cell.machine, reference_cycles, cell.duration)
-    if residency:
-        out["_residency"] = residency
-    return out

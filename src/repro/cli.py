@@ -18,6 +18,14 @@ Subcommands
 ``obs summarize FILE [--csv PATH] [--residency-csv PATH]``
     Render a metrics JSON-lines archive (written by ``simulate
     --metrics``) as a text report; optionally re-export as CSV.
+``cache [info|clean] [--dir PATH]``
+    Inspect or empty the content-addressed sweep cell cache.
+
+Sweep-driven commands accept ``--workers auto`` (CPU-count derived), show
+per-sweep progress/ETA lines with ``--progress``, and reuse cached cell
+results by default (disable with ``--no-cache``, redirect with
+``--cache-dir``) — an interrupted ``run-all --full`` resumes instead of
+restarting.
 """
 
 from __future__ import annotations
@@ -26,12 +34,42 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.cellcache import CellCache, default_cache_dir
+from repro.analysis.executor import resolve_workers
 from repro.core import available_policies, make_policy
 from repro.experiments.runall import (ALL_EXPERIMENTS, run_all,
                                       run_experiment, summary_table)
 from repro.hw.machine import MACHINE_PRESETS
 from repro.model.task import Task, TaskSet
 from repro.sim.engine import simulate
+
+
+def _workers_arg(text: str):
+    """argparse type for ``--workers``: a positive integer or ``auto``."""
+    try:
+        return resolve_workers(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every sweep-driving command."""
+    parser.add_argument("--workers", type=_workers_arg, default=1,
+                        metavar="N|auto",
+                        help="parallel worker processes for sweeps "
+                             "('auto' = CPU count)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=default_cache_dir(),
+                        help="content-addressed cell-result cache "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the cell-result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-sweep progress/ETA lines to stderr")
+
+
+def _cache_dir_from(args: argparse.Namespace):
+    return None if args.no_cache else args.cache_dir
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -65,8 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
     p_run.add_argument("--full", action="store_true",
                        help="paper-scale parameters (slow)")
-    p_run.add_argument("--workers", type=int, default=1,
-                       help="parallel worker processes for sweeps")
+    _add_sweep_options(p_run)
     p_run.add_argument("--csv", metavar="DIR",
                        help="also export the data tables as CSV")
     p_run.add_argument("--no-charts", action="store_true",
@@ -75,7 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--full", action="store_true")
-    p_all.add_argument("--workers", type=int, default=1)
+    _add_sweep_options(p_all)
     p_all.add_argument("--out", metavar="DIR",
                        help="write reports and CSVs into DIR")
     p_all.set_defaults(handler=_cmd_run_all)
@@ -147,6 +184,20 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="also export per-frequency residency "
                                 "rows to PATH")
     p_obs_sum.set_defaults(handler=_cmd_obs_summarize)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or empty the sweep cell cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command")
+    p_cache.set_defaults(handler=_cmd_cache_help, cache_parser=p_cache)
+    for name, help_text, handler in (
+            ("info", "show cache location, entry count and size",
+             _cmd_cache_info),
+            ("clean", "remove every cached cell result", _cmd_cache_clean)):
+        p_sub = cache_sub.add_parser(name, help=help_text)
+        p_sub.add_argument("--dir", metavar="DIR", dest="cache_dir",
+                           default=default_cache_dir(),
+                           help="cache directory (default: %(default)s)")
+        p_sub.set_defaults(handler=handler)
     return parser
 
 
@@ -164,11 +215,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    kwargs = {}
-    runner = ALL_EXPERIMENTS[args.experiment]
-    if "workers" in runner.__code__.co_varnames:
-        kwargs["workers"] = args.workers
-    result = run_experiment(args.experiment, quick=not args.full, **kwargs)
+    result = run_experiment(args.experiment, quick=not args.full,
+                            workers=args.workers,
+                            cache_dir=_cache_dir_from(args),
+                            progress=args.progress)
     print(result.render(charts=not args.no_charts))
     if args.csv:
         for path in result.write_csvs(args.csv):
@@ -178,7 +228,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     results = run_all(quick=not args.full, workers=args.workers,
-                      output_dir=args.out)
+                      output_dir=args.out,
+                      cache_dir=_cache_dir_from(args),
+                      progress=args.progress)
     print(summary_table(results))
     return 0 if all(r.all_checks_pass for r in results) else 1
 
@@ -321,6 +373,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_obs_help(args: argparse.Namespace) -> int:
     args.obs_parser.print_help()
     return 2
+
+
+def _cmd_cache_help(args: argparse.Namespace) -> int:
+    args.cache_parser.print_help()
+    return 2
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    cache = CellCache(args.cache_dir)
+    entries = len(cache)
+    size_kb = cache.size_bytes() / 1024.0 if entries else 0.0
+    print(f"cell cache: {cache.root}")
+    print(f"entries:    {entries}")
+    print(f"size:       {size_kb:.1f} KiB")
+    return 0
+
+
+def _cmd_cache_clean(args: argparse.Namespace) -> int:
+    cache = CellCache(args.cache_dir)
+    removed = cache.clear()
+    print(f"removed {removed} cached cell result(s) from {cache.root}")
+    return 0
 
 
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:

@@ -23,8 +23,8 @@ IDLE_LEVELS: Tuple[float, ...] = (0.01, 0.1, 1.0)
 N_TASKS = 8
 
 
-def sweep_for(idle_level: float, quick: bool,
-              workers: int = 1) -> SweepResult:
+def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
+              cache_dir=None, progress=False) -> SweepResult:
     """The Fig. 10 sweep for one idle level."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -33,10 +33,12 @@ def sweep_for(idle_level: float, quick: bool,
         idle_level=idle_level,
         seed=100,
         workers=workers,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 10 (three panels, one per idle level)."""
     result = ExperimentResult(
         experiment_id="fig10",
@@ -47,7 +49,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
     )
     sweeps: Dict[float, SweepResult] = {}
     for idle in IDLE_LEVELS:
-        sweep = sweep_for(idle, quick, workers)
+        sweep = sweep_for(idle, quick, workers, executor, cache_dir,
+                          progress)
         sweeps[idle] = sweep
         table = sweep.normalized
         table.title = f"Fig. 10 panel: idle level {idle} (normalized)"

@@ -27,8 +27,8 @@ N_TASKS = 8
 RESIDENCY_POLICIES = ("ccEDF", "laEDF")
 
 
-def sweep_for(machine: Machine, quick: bool,
-              workers: int = 1) -> SweepResult:
+def sweep_for(machine: Machine, quick: bool, workers=1, executor=None,
+              cache_dir=None, progress=False) -> SweepResult:
     """The Fig. 11 sweep for one machine specification."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -38,10 +38,12 @@ def sweep_for(machine: Machine, quick: bool,
         seed=110,
         workers=workers,
         residency_policies=RESIDENCY_POLICIES,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 11 (three panels, one per machine)."""
     result = ExperimentResult(
         experiment_id="fig11",
@@ -52,7 +54,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
     machines = {m.name: m for m in (machine0(), machine1(), machine2())}
     sweeps: Dict[str, SweepResult] = {}
     for name, machine in machines.items():
-        sweep = sweep_for(machine, quick, workers)
+        sweep = sweep_for(machine, quick, workers, executor, cache_dir,
+                          progress)
         sweeps[name] = sweep
         table = sweep.normalized
         table.title = f"Fig. 11 panel: {name} (normalized energy)"

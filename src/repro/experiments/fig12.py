@@ -20,8 +20,8 @@ FRACTIONS: Tuple[float, ...] = (0.9, 0.7, 0.5)
 N_TASKS = 8
 
 
-def sweep_for(fraction: float, quick: bool,
-              workers: int = 1) -> SweepResult:
+def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
+              cache_dir=None, progress=False) -> SweepResult:
     """The Fig. 12 sweep for one demand fraction."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -30,10 +30,12 @@ def sweep_for(fraction: float, quick: bool,
         demand=fraction,
         seed=120,
         workers=workers,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 12 (three panels, one per fraction)."""
     result = ExperimentResult(
         experiment_id="fig12",
@@ -43,7 +45,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
     )
     sweeps: Dict[float, SweepResult] = {}
     for fraction in FRACTIONS:
-        sweep = sweep_for(fraction, quick, workers)
+        sweep = sweep_for(fraction, quick, workers, executor, cache_dir,
+                          progress)
         sweeps[fraction] = sweep
         table = sweep.normalized
         table.title = f"Fig. 12 panel: c = {fraction} (normalized energy)"

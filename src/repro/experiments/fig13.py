@@ -15,7 +15,8 @@ from repro.experiments.common import ExperimentResult
 N_TASKS = 8
 
 
-def sweep_uniform(quick: bool, workers: int = 1) -> SweepResult:
+def sweep_uniform(quick: bool, workers=1, executor=None, cache_dir=None,
+                  progress=False) -> SweepResult:
     """The Fig. 13 sweep (uniform demand)."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -24,10 +25,12 @@ def sweep_uniform(quick: bool, workers: int = 1) -> SweepResult:
         demand="uniform",
         seed=130,
         workers=workers,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def sweep_half(quick: bool, workers: int = 1) -> SweepResult:
+def sweep_half(quick: bool, workers=1, executor=None, cache_dir=None,
+               progress=False) -> SweepResult:
     """The comparison sweep at constant c = 0.5 (same task sets)."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -36,10 +39,12 @@ def sweep_half(quick: bool, workers: int = 1) -> SweepResult:
         demand=0.5,
         seed=130,
         workers=workers,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 13 plus its comparison against c = 0.5."""
     result = ExperimentResult(
         experiment_id="fig13",
@@ -47,8 +52,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
         description=__doc__ or "",
         quick=quick,
     )
-    uniform = sweep_uniform(quick, workers)
-    half = sweep_half(quick, workers)
+    uniform = sweep_uniform(quick, workers, executor, cache_dir, progress)
+    half = sweep_half(quick, workers, executor, cache_dir, progress)
     uniform.normalized.title = "Fig. 13: uniform demand (normalized energy)"
     half.normalized.title = "comparison: constant c = 0.5 (normalized energy)"
     result.tables.append(uniform.normalized)

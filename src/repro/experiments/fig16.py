@@ -28,9 +28,10 @@ N_TASKS = 5
 DEMAND = 0.9
 
 
-def sweep_platform(quick: bool, workers: int = 1,
-                   laptop: LaptopPowerModel = LaptopPowerModel()
-                   ) -> SweepResult:
+def sweep_platform(quick: bool, workers=1,
+                   laptop: LaptopPowerModel = LaptopPowerModel(),
+                   executor=None, cache_dir=None,
+                   progress=False) -> SweepResult:
     """The underlying sweep, with energy calibrated to CPU watts."""
     machine = k6_2_plus()
     return utilization_sweep(SweepConfig(
@@ -43,7 +44,8 @@ def sweep_platform(quick: bool, workers: int = 1,
         seed=160,
         workers=workers,
         cycle_energy_scale=laptop.cycle_energy_scale_for(machine),
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
 def power_table(sweep: SweepResult, laptop: LaptopPowerModel,
@@ -62,7 +64,8 @@ def power_table(sweep: SweepResult, laptop: LaptopPowerModel,
     return table
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 16 (system power on the laptop model)."""
     laptop = LaptopPowerModel()
     result = ExperimentResult(
@@ -71,7 +74,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
         description=__doc__ or "",
         quick=quick,
     )
-    sweep = sweep_platform(quick, workers, laptop)
+    sweep = sweep_platform(quick, workers, laptop, executor, cache_dir,
+                           progress)
     table = power_table(sweep, laptop, include_overhead=True)
     result.tables.append(table)
 

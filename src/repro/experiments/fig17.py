@@ -20,7 +20,8 @@ from repro.hw.machine import k6_2_plus
 from repro.measure.laptop import LaptopPowerModel
 
 
-def sweep_simulated(quick: bool, workers: int = 1) -> SweepResult:
+def sweep_simulated(quick: bool, workers=1, executor=None, cache_dir=None,
+                    progress=False) -> SweepResult:
     """The pure-simulation sweep (unit energy scale)."""
     return utilization_sweep(SweepConfig(
         policies=POLICIES,
@@ -31,10 +32,12 @@ def sweep_simulated(quick: bool, workers: int = 1) -> SweepResult:
         demand=DEMAND,
         seed=160,  # same seed as fig16 -> same task sets and demands
         workers=workers,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 17 and validate it against the Fig. 16 emulation."""
     result = ExperimentResult(
         experiment_id="fig17",
@@ -42,7 +45,7 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
         description=__doc__ or "",
         quick=quick,
     )
-    sim = sweep_simulated(quick)
+    sim = sweep_simulated(quick, workers, executor, cache_dir, progress)
     duration = sim.config.duration
     table = SweepTable(
         title="Fig. 17: simulated CPU power (arbitrary units)",
@@ -54,7 +57,10 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
 
     # The validation claim: measured == simulated + constant overhead.
     laptop = LaptopPowerModel()
-    measured = sweep_platform(quick, workers, laptop)
+    # Identical parameters to fig16's sweep — with a shared cache this
+    # re-validation costs zero simulations after fig16 has run.
+    measured = sweep_platform(quick, workers, laptop, executor, cache_dir,
+                              progress)
     scale = laptop.cycle_energy_scale_for(k6_2_plus())
     worst_gap = 0.0
     for label in POLICIES:

@@ -24,7 +24,8 @@ TASK_COUNTS: Tuple[int, ...] = (5, 10, 15)
 RESIDENCY_TABLE_POLICIES: Tuple[str, ...] = ("ccEDF", "laEDF")
 
 
-def sweep_for(n_tasks: int, quick: bool, workers: int = 1) -> SweepResult:
+def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
+              cache_dir=None, progress=False) -> SweepResult:
     """The Fig. 9 sweep for one task count."""
     return utilization_sweep(SweepConfig(
         n_tasks=n_tasks,
@@ -33,10 +34,12 @@ def sweep_for(n_tasks: int, quick: bool, workers: int = 1) -> SweepResult:
         seed=90 + n_tasks,
         workers=workers,
         residency_policies=PAPER_POLICIES,
-    ))
+        cache_dir=cache_dir,
+    ), executor=executor, progress=progress)
 
 
-def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
+def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
+        progress=False) -> ExperimentResult:
     """Reproduce Fig. 9 (three panels, one per task count)."""
     result = ExperimentResult(
         experiment_id="fig9",
@@ -46,7 +49,8 @@ def run(quick: bool = True, workers: int = 1) -> ExperimentResult:
     )
     sweeps: Dict[int, SweepResult] = {}
     for n_tasks in TASK_COUNTS:
-        sweep = sweep_for(n_tasks, quick, workers)
+        sweep = sweep_for(n_tasks, quick, workers, executor, cache_dir,
+                          progress)
         sweeps[n_tasks] = sweep
         # The paper's Fig. 9 y-axis is *absolute* energy; include both
         # views (the shape checks run on the normalized one).

@@ -136,6 +136,11 @@ class TraceDemand(DemandModel):
     fallback_fraction:
         Fraction of the worst case used when a task or invocation is not
         covered by the trace and ``repeat`` is False.
+
+    Every fallback use is counted in :attr:`fallback_draws`, so callers
+    that *require* full trace coverage (e.g. sweep cells, where a silent
+    worst-case substitution would corrupt the policy comparison) can
+    detect underflow instead of averaging corrupt data.
     """
 
     def __init__(self, trace: Dict[str, Sequence[float]], repeat: bool = True,
@@ -154,15 +159,20 @@ class TraceDemand(DemandModel):
                         f"trace demand for {name!r} must be >= 0, got {value}")
         self.repeat = repeat
         self.fallback_fraction = fallback_fraction
+        #: Times an uncovered (task, invocation) fell back to
+        #: ``fallback_fraction`` of the worst case.
+        self.fallback_draws = 0
 
     def demand(self, task: Task, invocation: int) -> float:
         values = self.trace.get(task.name)
         if values is None:
+            self.fallback_draws += 1
             return task.wcet * self.fallback_fraction
         if invocation < len(values):
             return values[invocation]
         if self.repeat:
             return values[invocation % len(values)]
+        self.fallback_draws += 1
         return task.wcet * self.fallback_fraction
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

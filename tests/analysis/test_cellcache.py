@@ -1,0 +1,105 @@
+"""Tests for the content-addressed sweep-cell cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cellcache import (
+    CACHE_ENV_VAR,
+    CellCache,
+    cell_key,
+    decode_outcome,
+    default_cache_dir,
+    encode_outcome,
+    open_cache,
+)
+
+OUTCOME = {
+    "EDF": 123.456789012345,
+    "laEDF": 98.7,
+    "_rm_fallbacks": 1,
+    "_residency": {"ccEDF": {0.5: 0.25, 1.0: 0.75}},
+}
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        description = {"utilization": 0.5, "seed": 42}
+        assert cell_key(description) == cell_key(description)
+
+    def test_insensitive_to_dict_order(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+    def test_sensitive_to_every_field(self):
+        base = {"utilization": 0.5, "seed": 42}
+        assert cell_key(base) != cell_key({**base, "utilization": 0.7})
+        assert cell_key(base) != cell_key({**base, "seed": 43})
+        assert cell_key(base) != cell_key({**base, "extra": None})
+
+    def test_float_precision_preserved(self):
+        # Nearby floats must hash apart — keys are built from exact
+        # round-trip JSON reprs, not rounded display forms.
+        assert cell_key({"u": 0.1 + 0.2}) != cell_key({"u": 0.3})
+
+
+class TestOutcomeCodec:
+    def test_roundtrip_bit_exact(self):
+        encoded = encode_outcome(OUTCOME)
+        # Through an actual JSON round trip, as the cache stores it.
+        decoded = decode_outcome(json.loads(json.dumps(encoded)))
+        assert decoded == OUTCOME
+        # Residency keys come back as float frequencies, not strings.
+        assert set(decoded["_residency"]["ccEDF"]) == {0.5, 1.0}
+
+
+class TestCellCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 1})
+        assert cache.get(key) is None
+        cache.put(key, OUTCOME)
+        assert cache.get(key) == OUTCOME
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 2})
+        cache.put(key, OUTCOME)
+        path = cache.path_for(key)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 3})
+        cache.put(key, OUTCOME)
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = -1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        for n in range(3):
+            cache.put(cell_key({"cell": n}), OUTCOME)
+        assert len(cache) == 3
+        assert cache.size_bytes() > 0
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_env_var_overrides_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "override"))
+        assert default_cache_dir() == str(tmp_path / "override")
+
+    def test_open_cache_none_disables_caching(self, tmp_path):
+        assert open_cache(None) is None
+        assert open_cache(str(tmp_path)).root == tmp_path
+
+    def test_default_dir_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert default_cache_dir() == os.path.expanduser(
+            "~/.cache/rtdvs-repro/cells")

@@ -2,15 +2,18 @@
 
 import pytest
 
+from repro.analysis.executor import CellExecutor
 from repro.analysis.sweep import (
     BOUND_LABEL,
     SweepConfig,
     materialize_demand,
     utilization_sweep,
 )
+from repro.core import make_policy
 from repro.hw.machine import machine0
 from repro.model.demand import UniformFractionDemand, WorstCaseDemand
 from repro.model.task import example_taskset
+from repro.sim.engine import Simulator
 
 TINY = dict(n_tasks=3, n_sets=2, utilizations=(0.3, 0.7), duration=400.0,
             seed=5)
@@ -30,6 +33,32 @@ class TestMaterializeDemand:
         values_a = [trace.demand(ts[0], k) for k in range(5)]
         values_b = [trace.demand(ts[0], k) for k in range(5)]
         assert values_a == values_b
+
+    def test_horizon_coincident_release_needs_no_extra_draw(self):
+        # Regression: with a duration that is an exact multiple of every
+        # period, the release landing exactly *at* the horizon is
+        # suppressed by the engine (duration-coincident convention), so
+        # ceil(duration / period) draws per task cover the whole run and
+        # the k-th invocation never falls off the end of the trace.
+        ts = example_taskset()  # periods 8, 10, 14; lcm = 280
+        duration = 280.0
+        trace = materialize_demand(UniformFractionDemand(seed=7), ts,
+                                   duration)
+        assert len(trace.trace["T1"]) == 35  # 280/8, not 36
+        sim = Simulator(ts, machine0(), make_policy("ccEDF"), demand=trace,
+                        duration=duration, on_miss="drop")
+        sim.run()
+        assert trace.fallback_draws == 0
+
+    def test_fallback_draws_counts_underflow(self):
+        # A deliberately truncated trace must report its worst-case
+        # substitutions instead of silently corrupting the comparison.
+        ts = example_taskset()
+        trace = materialize_demand(UniformFractionDemand(seed=7), ts, 40.0)
+        sim = Simulator(ts, machine0(), make_policy("ccEDF"), demand=trace,
+                        duration=80.0, on_miss="drop")
+        sim.run()
+        assert trace.fallback_draws > 0
 
 
 class TestSweepConfig:
@@ -120,3 +149,51 @@ class TestSweep:
         result = utilization_sweep(config)
         # At U = 1.0, non-harmonic sets are never RM-schedulable.
         assert result.rm_fallbacks > 0
+
+
+class TestDifferentialExecution:
+    """Every execution mode must return a bit-identical SweepResult.
+
+    The barrier-free executor and the content-addressed cell cache are
+    pure transports: worker count and cache temperature may change *how*
+    a cell result is obtained, never *what* it is.
+    """
+
+    BASE = dict(n_tasks=4, n_sets=2, utilizations=(0.5, 1.0),
+                duration=400.0, seed=11, demand="uniform",
+                residency_policies=("ccEDF",))
+
+    @staticmethod
+    def _snapshot(result):
+        residency = {policy: table.rows()
+                     for policy, table in sorted(result.residency.items())}
+        return (result.raw.rows(), result.normalized.rows(), result.std,
+                residency, result.rm_fallbacks)
+
+    def test_workers_and_cache_modes_bit_identical(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        serial = utilization_sweep(SweepConfig(**self.BASE, workers=1))
+        parallel = utilization_sweep(SweepConfig(**self.BASE, workers=2))
+        cold = utilization_sweep(SweepConfig(**self.BASE, workers=1,
+                                             cache_dir=cache))
+        warm = utilization_sweep(SweepConfig(**self.BASE, workers=2,
+                                             cache_dir=cache))
+        reference = self._snapshot(serial)
+        assert self._snapshot(parallel) == reference
+        assert self._snapshot(cold) == reference
+        assert self._snapshot(warm) == reference
+
+        cells = len(self.BASE["utilizations"]) * self.BASE["n_sets"]
+        assert (serial.cache_hits, serial.simulated_cells) == (0, cells)
+        assert (parallel.cache_hits, parallel.simulated_cells) == (0, cells)
+        assert (cold.cache_hits, cold.simulated_cells) == (0, cells)
+        assert (warm.cache_hits, warm.simulated_cells) == (cells, 0)
+        assert serial.workers_used == 1
+        assert parallel.workers_used == 2
+
+    def test_shared_executor_matches_owned_pool(self):
+        config = SweepConfig(**self.BASE, workers=2)
+        baseline = utilization_sweep(config)
+        with CellExecutor(2) as executor:
+            shared = utilization_sweep(config, executor=executor)
+        assert self._snapshot(shared) == self._snapshot(baseline)
