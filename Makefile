@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-figures check experiments experiments-full sweep-cache-clean clean
+.PHONY: install test cov bench bench-figures check test-fast-path experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -34,6 +34,15 @@ bench-figures:
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
+
+# The fast-path differential suites: incremental-vs-from-scratch policy
+# state must produce bit-identical SimResults, and the hyperperiod
+# short-circuit must match full simulation to relative 1e-9.
+test-fast-path:
+	PYTHONPATH=src python -m pytest -q \
+	  tests/core/test_incremental_state.py \
+	  tests/sim/test_steady_fast_path.py \
+	  tests/analysis/test_sweep_fast_path.py
 
 experiments:
 	python -m repro run-all --out results_quick

@@ -22,6 +22,14 @@ Workloads
   (``--parallel-workers``, default 4, through the barrier-free fan-out
   layer), and warm-cache (a rerun against a freshly populated cell cache,
   which must complete with **zero** simulations).
+* ``policy_callbacks`` — per-event callback cost of ccEDF / ccRM / laEDF
+  at 10, 50 and 200 tasks, measured by wrapping the policy in a timing
+  proxy, with the incremental aggregates on and off.  The incremental and
+  from-scratch runs must agree bit-for-bit on energy and switches.
+* ``steady_fast_path`` — one fast-path-eligible Fig. 9-style cell batch
+  (degenerate commensurable period bands, hyperperiod 100 against a
+  4000 s horizon) swept with and without ``steady_fast_path``; curves must
+  match to 1e-9 relative.
 
 Usage::
 
@@ -40,6 +48,10 @@ Regression gates (non-zero exit on violation):
   looser 10 % budget (short runs amortize collector setup over far fewer
   events, so their percentage is structurally noisier);
 * ``fig9_sweep`` warm-cache rerun must simulate nothing;
+* ``policy_callbacks`` incremental speedup at 200 tasks must reach 2x for
+  every incremental policy (the tentpole per-event cost reduction);
+* ``steady_fast_path`` wall-clock speedup on the eligible cell batch must
+  reach 5x, with zero fallbacks;
 * ``fig9_sweep`` parallel speedup must reach 3x with >= 4 effective CPUs
   (scaled down to 0.75x-per-CPU below that; skipped on one CPU, where no
   parallel speedup is physically available);
@@ -65,6 +77,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.sweep import SweepConfig, utilization_sweep  # noqa: E402
 from repro.core import make_policy  # noqa: E402
+from repro.core.cycle_conserving import CycleConservingEDF  # noqa: E402
+from repro.core.cycle_conserving_rm import CycleConservingRM  # noqa: E402
+from repro.core.look_ahead import LookAheadEDF  # noqa: E402
 from repro.hw.machine import machine0  # noqa: E402
 from repro.model.generator import TaskSetGenerator  # noqa: E402
 from repro.obs import MetricsCollector  # noqa: E402
@@ -111,6 +126,18 @@ PARALLEL_TARGET_CPUS = 4
 #: Serial sweep throughput must stay above this fraction of the previous
 #: same-machine recording.
 SERIAL_REGRESSION_FLOOR = 0.7
+
+#: Incremental-vs-from-scratch per-callback speedup floor at 200 tasks.
+POLICY_CALLBACK_TARGET_SPEEDUP = 2.0
+
+#: Task counts for the policy-callback microbenchmark.
+POLICY_CALLBACK_TASK_COUNTS = (10, 50, 200)
+
+#: Policies with an incremental mode to microbenchmark.
+INCREMENTAL_POLICIES = ("ccEDF", "ccRM", "laEDF")
+
+#: Hyperperiod short-circuit wall-clock speedup floor on the eligible cell.
+FAST_PATH_TARGET_SPEEDUP = 5.0
 
 
 def _peak_rss_kb() -> int:
@@ -234,6 +261,216 @@ def bench_workload(name, n_tasks, policy_name, duration):
     }
 
 
+#: name -> incremental-flag factory for the callback microbenchmark.
+_INCREMENTAL_FACTORIES = {
+    "ccEDF": lambda incremental: CycleConservingEDF(incremental=incremental),
+    "ccRM": lambda incremental: CycleConservingRM(incremental=incremental),
+    "laEDF": lambda incremental: LookAheadEDF(incremental=incremental),
+}
+
+#: n_tasks -> duration for the callback microbenchmark (mirrors WORKLOADS'
+#: sizing: larger sets get shorter horizons so runs stay in seconds).
+_CALLBACK_DURATIONS = {10: 2000.0, 50: 600.0, 200: 200.0}
+
+#: Utilization for the callback benchmark — kept below the RM utilization
+#: bound (ln 2) so ccRM's static-scaling step is feasible at every size.
+CALLBACK_UTILIZATION = 0.5
+
+
+class _TimedPolicy:
+    """Timing proxy around a DVS policy.
+
+    Accumulates wall time and call count across every *event* callback the
+    engine fires, without touching the policy's decisions.  ``setup`` is
+    timed separately: it is a one-time analysis (ccRM's embedded exact RM
+    schedulability test is O(n^2) and identical in both modes), not a
+    per-event cost, and folding it into the average would mask the hot
+    path this benchmark exists to gate.  Deliberately does *not* define
+    ``wakeup_time`` — the engine treats its presence as a capability, and
+    none of the benched policies have it.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.scheduler = inner.scheduler
+        self.calls = 0
+        self.seconds = 0.0
+        self.setup_seconds = 0.0
+
+    def _timed(self, method, *args):
+        start = time.perf_counter()
+        result = method(*args)
+        self.seconds += time.perf_counter() - start
+        self.calls += 1
+        return result
+
+    def setup(self, view):
+        start = time.perf_counter()
+        result = self.inner.setup(view)
+        self.setup_seconds += time.perf_counter() - start
+        return result
+
+    def on_releases_invalidate(self, view, tasks):
+        # Part of the incremental maintenance cost (laEDF repositions the
+        # whole release batch here), so it is timed like any callback.
+        return self._timed(self.inner.on_releases_invalidate, view, tasks)
+
+    def on_release(self, view, task):
+        return self._timed(self.inner.on_release, view, task)
+
+    def on_completion(self, view, task):
+        return self._timed(self.inner.on_completion, view, task)
+
+    def on_task_added(self, view, task):
+        return self._timed(self.inner.on_task_added, view, task)
+
+    def on_task_removed(self, view, task):
+        return self._timed(self.inner.on_task_removed, view, task)
+
+    def on_idle(self, view):
+        return self._timed(self.inner.on_idle, view)
+
+
+def _timed_policy_run(name, incremental, taskset, duration):
+    """Best-of-REPEATS per-callback cost for one policy configuration."""
+    best_us = None
+    setup_us = None
+    calls = 0
+    result = None
+    for _ in range(REPEATS):
+        proxy = _TimedPolicy(_INCREMENTAL_FACTORIES[name](incremental))
+        sim = Simulator(taskset, machine0(), proxy, demand=DEMAND,
+                        duration=duration, on_miss="drop")
+        run = sim.run()
+        per_call = 1e6 * proxy.seconds / proxy.calls
+        if best_us is None or per_call < best_us:
+            best_us = per_call
+            setup_us = 1e6 * proxy.setup_seconds
+            calls = proxy.calls
+            result = run
+    return {"per_callback_us": round(best_us, 3),
+            "setup_us": round(setup_us, 1),
+            "callbacks": calls}, result
+
+
+def bench_policy_callbacks():
+    """Per-event callback cost, incremental vs from-scratch, per policy.
+
+    The two modes must agree bit-for-bit on energy, switches and misses —
+    the whole point of the incremental aggregates is that they change
+    nothing but the cost.
+    """
+    entry = {
+        "utilization": CALLBACK_UTILIZATION,
+        "demand": DEMAND,
+        "task_counts": list(POLICY_CALLBACK_TASK_COUNTS),
+        "policies": {},
+    }
+    for name in INCREMENTAL_POLICIES:
+        per_size = {}
+        for n_tasks in POLICY_CALLBACK_TASK_COUNTS:
+            duration = _CALLBACK_DURATIONS[n_tasks]
+            taskset = TaskSetGenerator(
+                n_tasks=n_tasks, utilization=CALLBACK_UTILIZATION,
+                seed=SEED).generate()
+            fast, fast_run = _timed_policy_run(name, True, taskset,
+                                               duration)
+            slow, slow_run = _timed_policy_run(name, False, taskset,
+                                               duration)
+            if fast_run.total_energy != slow_run.total_energy \
+                    or fast_run.switches != slow_run.switches \
+                    or len(fast_run.misses) != len(slow_run.misses):
+                raise SystemExit(
+                    f"policy_callbacks {name}/{n_tasks}: incremental run "
+                    f"diverged from from-scratch — "
+                    f"(E={fast_run.total_energy}, sw={fast_run.switches}) "
+                    f"vs (E={slow_run.total_energy}, "
+                    f"sw={slow_run.switches})")
+            per_size[str(n_tasks)] = {
+                "incremental": fast,
+                "from_scratch": slow,
+                "speedup": round(slow["per_callback_us"]
+                                 / fast["per_callback_us"], 2),
+            }
+        entry["policies"][name] = per_size
+    return entry
+
+
+def check_callback_gates(entry):
+    """policy_callbacks regression gates; returns failure strings."""
+    failures = []
+    top = str(POLICY_CALLBACK_TASK_COUNTS[-1])
+    for name, per_size in entry["policies"].items():
+        speedup = per_size[top]["speedup"]
+        if speedup < POLICY_CALLBACK_TARGET_SPEEDUP:
+            failures.append(
+                f"policy_callbacks: {name} incremental speedup {speedup}x "
+                f"at {top} tasks below the "
+                f"{POLICY_CALLBACK_TARGET_SPEEDUP:g}x target")
+    return failures
+
+
+def bench_steady_fast_path():
+    """One fast-path-eligible cell batch, with and without the short-circuit.
+
+    Degenerate commensurable period bands give every generated task set a
+    hyperperiod of 100 against a 4000 s horizon, so each policy run
+    simulates warmup + two hyperperiods (300 s) instead of 4000 s.
+    """
+    bands = ((25.0, 25.0), (50.0, 50.0), (100.0, 100.0))
+    base = dict(n_tasks=8, n_sets=3, utilizations=(0.3, 0.5, 0.7),
+                duration=4000.0, seed=SEED, period_bands=bands,
+                cache_dir=None)
+    start = time.perf_counter()
+    full = utilization_sweep(SweepConfig(**base))
+    full_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = utilization_sweep(SweepConfig(**base, steady_fast_path=True))
+    fast_s = time.perf_counter() - start
+    worst_gap = 0.0
+    for label in full.raw.labels():
+        for a, b in zip(full.raw.get(label).ys, fast.raw.get(label).ys):
+            worst_gap = max(worst_gap, abs(a - b) / max(abs(a), 1e-12))
+    if worst_gap > 1e-9:
+        raise SystemExit(
+            f"steady_fast_path: extrapolated curves diverged from full "
+            f"simulation (worst relative gap {worst_gap:.2e})")
+    cells = len(base["utilizations"]) * base["n_sets"]
+    return {
+        "n_tasks": base["n_tasks"],
+        "n_sets": base["n_sets"],
+        "utilizations": list(base["utilizations"]),
+        "duration": base["duration"],
+        "period_bands": [list(band) for band in bands],
+        "cells": cells,
+        "full_wall_seconds": round(full_s, 6),
+        "fast_wall_seconds": round(fast_s, 6),
+        "speedup": round(full_s / fast_s, 2),
+        "fast_path_cells": fast.fast_path_cells,
+        "fallbacks": fast.fast_path_fallbacks,
+        "worst_relative_gap": worst_gap,
+    }
+
+
+def check_fast_path_gates(entry):
+    """steady_fast_path regression gates; returns failure strings."""
+    failures = []
+    if entry["speedup"] < FAST_PATH_TARGET_SPEEDUP:
+        failures.append(
+            f"steady_fast_path: speedup {entry['speedup']}x below the "
+            f"{FAST_PATH_TARGET_SPEEDUP:g}x target")
+    if entry["fast_path_cells"] != entry["cells"]:
+        failures.append(
+            f"steady_fast_path: only {entry['fast_path_cells']}/"
+            f"{entry['cells']} cells took the short-circuit")
+    if entry["fallbacks"]:
+        failures.append(
+            f"steady_fast_path: unexpected fallbacks {entry['fallbacks']} "
+            "on an all-eligible batch")
+    return failures
+
+
 def _timed_sweep(**overrides):
     """One micro fig9-shaped sweep; returns (elapsed, result, cells)."""
     config = SweepConfig(n_sets=3, utilizations=(0.3, 0.5, 0.7, 0.9),
@@ -354,7 +591,7 @@ def main(argv=None) -> int:
     previous_rate, previous_fingerprint = _previous_serial_rate(args.out)
 
     report = {
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "fingerprint": _machine_fingerprint(),
@@ -377,6 +614,25 @@ def main(argv=None) -> int:
               f"{entry['instrumented']['uninstrumented_events_per_sec_cpu']:,.0f}"
               f" -> overhead {entry['instrumented_overhead_pct']:+.2f}%",
               flush=True)
+    print("[bench] policy_callbacks ...", flush=True)
+    callback_entry = bench_policy_callbacks()
+    report["workloads"]["policy_callbacks"] = callback_entry
+    top = str(POLICY_CALLBACK_TASK_COUNTS[-1])
+    for name, per_size in callback_entry["policies"].items():
+        sized = per_size[top]
+        print(f"[bench]   {name} @ {top} tasks: "
+              f"{sized['incremental']['per_callback_us']} us/callback "
+              f"incremental vs {sized['from_scratch']['per_callback_us']} "
+              f"us from-scratch -> {sized['speedup']:.2f}x", flush=True)
+    print("[bench] steady_fast_path ...", flush=True)
+    fast_entry = bench_steady_fast_path()
+    report["workloads"]["steady_fast_path"] = fast_entry
+    print(f"[bench]   {fast_entry['cells']} eligible cells: full "
+          f"{fast_entry['full_wall_seconds']:.2f}s vs fast-path "
+          f"{fast_entry['fast_wall_seconds']:.2f}s -> "
+          f"{fast_entry['speedup']:.2f}x "
+          f"({fast_entry['fast_path_cells']} short-circuited, fallbacks "
+          f"{fast_entry['fallbacks']})", flush=True)
     print("[bench] fig9_sweep ...", flush=True)
     sweep_entry = bench_fig9_sweep(args.parallel_workers)
     report["workloads"]["fig9_sweep"] = sweep_entry
@@ -404,6 +660,8 @@ def main(argv=None) -> int:
             failures.append(
                 f"{name} instrumentation overhead {overhead:.2f}% exceeds "
                 f"the {budget:g}% budget")
+    failures.extend(check_callback_gates(callback_entry))
+    failures.extend(check_fast_path_gates(fast_entry))
     failures.extend(check_sweep_gates(sweep_entry, previous_rate,
                                       previous_fingerprint))
     for failure in failures:

@@ -27,6 +27,7 @@ from repro.errors import (
     DeadlineMissError,
     KernelError,
     MachineError,
+    PolicyStateError,
     PowerNowError,
     ReproError,
     SchedulabilityError,
@@ -96,7 +97,7 @@ __all__ = [
     # errors
     "ReproError", "TaskModelError", "MachineError", "SchedulabilityError",
     "SimulationError", "DeadlineMissError", "KernelError", "AdmissionError",
-    "PowerNowError",
+    "PowerNowError", "PolicyStateError",
     # model
     "Task", "TaskSet", "Job", "JobOutcome", "TaskSetGenerator",
     "DemandModel", "WorstCaseDemand", "ConstantFractionDemand",

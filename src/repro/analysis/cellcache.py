@@ -45,7 +45,9 @@ from typing import Dict, Optional, Union
 
 #: Bump whenever simulator/policy/energy semantics change in a way that
 #: alters cell outcomes without changing the sweep parameters themselves.
-CACHE_SCHEMA = 1
+#: 2: outcomes gained the ``_fast_path`` accounting block and the steady
+#: fast path / period-band options entered the context description.
+CACHE_SCHEMA = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "RTDVS_CELL_CACHE"
@@ -93,6 +95,9 @@ def encode_outcome(outcome: Dict[str, object]) -> Dict[str, object]:
         encoded["residency"] = {
             policy: sorted([f, frac] for f, frac in table.items())
             for policy, table in residency.items()}
+    fast_path = outcome.get("_fast_path")
+    if fast_path is not None:
+        encoded["fast_path"] = fast_path
     return encoded
 
 
@@ -105,6 +110,12 @@ def decode_outcome(encoded: Dict[str, object]) -> Dict[str, object]:
         outcome["_residency"] = {
             policy: {float(f): float(frac) for f, frac in pairs}
             for policy, pairs in residency.items()}
+    fast_path = encoded.get("fast_path")
+    if fast_path is not None:
+        outcome["_fast_path"] = {
+            "used": int(fast_path.get("used", 0)),
+            "fallbacks": {reason: int(count) for reason, count in
+                          fast_path.get("fallbacks", {}).items()}}
     return outcome
 
 

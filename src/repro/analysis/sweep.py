@@ -54,11 +54,12 @@ from repro.errors import ReproError, SchedulabilityError
 from repro.hw.energy import EnergyModel
 from repro.hw.machine import Machine, machine0
 from repro.model.demand import DemandModel, TraceDemand, demand_from_spec
-from repro.model.generator import TaskSetGenerator
+from repro.model.generator import DEFAULT_BANDS, PeriodBand, TaskSetGenerator
 from repro.model.task import TaskSet
 from repro.obs.metrics import MetricsCollector
 from repro.sim.bound import minimum_energy_for_cycles
 from repro.sim.engine import simulate
+from repro.sim.steady import try_steady_fast_path
 
 #: Label used for the theoretical lower bound pseudo-policy.
 BOUND_LABEL = "bound"
@@ -129,6 +130,18 @@ class SweepConfig:
     #: residency fractions land in :attr:`SweepResult.residency`.
     residency_policies: Tuple[str, ...] = ()
     cache_dir: Optional[str] = None
+    #: Opt-in hyperperiod short-circuit (``--steady-fast-path``): cells
+    #: whose task set has a finite hyperperiod and whose demand trace
+    #: verifies as hyperperiod-periodic simulate warmup + two hyperperiods
+    #: and extrapolate instead of simulating the whole horizon; every
+    #: failed verification falls back to full simulation (reported in
+    #: :attr:`SweepResult.fast_path_fallbacks`).
+    steady_fast_path: bool = False
+    #: Custom period bands ``((low, high), ...)`` for the task-set
+    #: generator; ``None`` keeps the paper's 1-10/10-100/100-1000 ms
+    #: defaults.  Narrow or degenerate bands produce commensurable
+    #: periods, making cells eligible for the steady fast path.
+    period_bands: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def energy_model(self) -> EnergyModel:
         return EnergyModel(idle_level=self.idle_level,
@@ -154,6 +167,15 @@ class SweepResult:
     simulated_cells: int = 0
     #: Resolved worker count the sweep ran with.
     workers_used: int = 1
+    #: Cells where at least one policy run took the hyperperiod
+    #: short-circuit (only populated when
+    #: :attr:`SweepConfig.steady_fast_path` is on).
+    fast_path_cells: int = 0
+    #: Fallback reason -> count of policy runs that had to simulate the
+    #: full horizon despite the fast path being enabled ("no-hyperperiod",
+    #: "short-horizon", "aperiodic-demand", "not-periodic",
+    #: "instrumented").
+    fast_path_fallbacks: Dict[str, int] = field(default_factory=dict)
 
     def series(self, label: str, normalized: bool = True) -> Series:
         table = self.normalized if normalized else self.raw
@@ -194,6 +216,7 @@ class SweepContext:
     idle_level: float
     cycle_energy_scale: float
     residency_policies: Tuple[str, ...] = ()
+    steady_fast_path: bool = False
 
     def description(self) -> Dict[str, object]:
         """JSON-safe canonical description (cache-key material)."""
@@ -205,6 +228,7 @@ class SweepContext:
             "idle_level": self.idle_level,
             "cycle_energy_scale": self.cycle_energy_scale,
             "residency_policies": list(self.residency_policies),
+            "steady_fast_path": self.steady_fast_path,
         }
 
     def digest(self) -> str:
@@ -237,6 +261,9 @@ class CellSpec:
     demand_seed: int
     demand: Union[str, float, None]
     trace: Optional[TraceDemand] = None
+    #: Custom generator period bands (affects the drawn task set, so it is
+    #: part of the cell identity); ``None`` = paper defaults.
+    bands: Optional[Tuple[Tuple[float, float], ...]] = None
 
     @property
     def cacheable(self) -> bool:
@@ -245,7 +272,7 @@ class CellSpec:
 
     def description(self) -> Dict[str, object]:
         """JSON-safe cell-local description (cache-key material)."""
-        return {
+        description: Dict[str, object] = {
             "utilization": self.utilization,
             "set_index": self.set_index,
             "n_tasks": self.n_tasks,
@@ -253,6 +280,11 @@ class CellSpec:
             "demand_seed": self.demand_seed,
             "demand": self.demand,
         }
+        if self.bands is not None:
+            # Only non-default bands enter the key, so every pre-existing
+            # default-band cell key is unchanged.
+            description["bands"] = [list(band) for band in self.bands]
+        return description
 
 
 def cell_cache_key(context: SweepContext, spec: CellSpec) -> str:
@@ -284,7 +316,8 @@ def utilization_sweep(config: SweepConfig,
         duration=config.duration,
         idle_level=config.idle_level,
         cycle_energy_scale=config.cycle_energy_scale,
-        residency_policies=tuple(config.residency_policies))
+        residency_policies=tuple(config.residency_policies),
+        steady_fast_path=config.steady_fast_path)
     specs = _build_cell_specs(config)
     cache = open_cache(config.cache_dir)
 
@@ -354,13 +387,15 @@ def _build_cell_specs(config: SweepConfig) -> List[CellSpec]:
     draws.
     """
     demand_is_model = isinstance(config.demand, DemandModel)
+    bands = config.period_bands
     specs: List[CellSpec] = []
     for u_index, utilization in enumerate(config.utilizations):
         seed_root = random.Random(f"{config.seed}/{u_index}")
         gen_seed = seed_root.randrange(2 ** 63)
         generator = TaskSetGenerator(
             n_tasks=config.n_tasks, utilization=utilization,
-            seed=gen_seed) if demand_is_model else None
+            bands=_period_bands(bands), seed=gen_seed) \
+            if demand_is_model else None
         for set_index in range(config.n_sets):
             demand_seed = seed_root.randrange(2 ** 63)
             trace = None
@@ -377,30 +412,39 @@ def _build_cell_specs(config: SweepConfig) -> List[CellSpec]:
                 gen_seed=gen_seed,
                 demand_seed=demand_seed,
                 demand=None if demand_is_model else config.demand,
-                trace=trace))
+                trace=trace,
+                bands=bands))
     return specs
+
+
+def _period_bands(bands: Optional[Tuple[Tuple[float, float], ...]]):
+    """Resolve a config/spec band tuple to generator bands (or default)."""
+    if bands is None:
+        return DEFAULT_BANDS
+    return tuple(PeriodBand(low, high) for low, high in bands)
 
 
 # ---------------------------------------------------------------------------
 # cell execution (worker side)
 # ---------------------------------------------------------------------------
 
-#: Per-process task-set generator memo: gen_seed -> (generator, sets
-#: already drawn).  Streamed cells arrive in roughly increasing set_index
-#: per utilization point, so regeneration is amortized O(1) per cell.
-_GENERATOR_MEMO: Dict[Tuple[int, int, float], Tuple[TaskSetGenerator, int]] = {}
+#: Per-process task-set generator memo: (gen_seed, n_tasks, utilization,
+#: bands) -> (generator, sets already drawn).  Streamed cells arrive in
+#: roughly increasing set_index per utilization point, so regeneration is
+#: amortized O(1) per cell.
+_GENERATOR_MEMO: Dict[tuple, Tuple[TaskSetGenerator, int]] = {}
 
 _GENERATOR_MEMO_LIMIT = 256
 
 
 def _taskset_for(spec: CellSpec) -> TaskSet:
     """Regenerate cell ``spec``'s task set from its seeds."""
-    memo_key = (spec.gen_seed, spec.n_tasks, spec.utilization)
+    memo_key = (spec.gen_seed, spec.n_tasks, spec.utilization, spec.bands)
     generator, produced = _GENERATOR_MEMO.get(memo_key, (None, 0))
     if generator is None or produced > spec.set_index:
         generator = TaskSetGenerator(
             n_tasks=spec.n_tasks, utilization=spec.utilization,
-            seed=spec.gen_seed)
+            bands=_period_bands(spec.bands), seed=spec.gen_seed)
         produced = 0
     taskset = None
     while produced <= spec.set_index:
@@ -424,38 +468,61 @@ def materialize_cell(context: SweepContext,
 
 def run_cell(context: SweepContext, spec: CellSpec) -> Dict[str, object]:
     """Simulate every policy on one cell; returns label -> energy
-    (plus ``_rm_fallbacks`` and, when requested, ``_residency``)."""
+    (plus ``_rm_fallbacks``, ``_fast_path`` when the short-circuit is on,
+    and, when requested, ``_residency``)."""
     taskset, demand = materialize_cell(context, spec)
     energy_model = context.energy_model()
     out: Dict[str, object] = {"_rm_fallbacks": 0}
     residency: Dict[str, Dict[float, float]] = {}
     reference_cycles: Optional[float] = None
+    fast_used = 0
+    fast_fallbacks: Dict[str, int] = {}
+
+    def run_one(policy, on_miss, collector):
+        """(total_energy, executed_cycles) via the hyperperiod
+        short-circuit when it verifies, full simulation otherwise."""
+        nonlocal fast_used
+        if context.steady_fast_path:
+            if collector is not None:
+                # Residency instrumentation observes the whole run; an
+                # extrapolated run has no full-horizon trace to observe.
+                fast_fallbacks["instrumented"] = \
+                    fast_fallbacks.get("instrumented", 0) + 1
+            else:
+                fast, reason = try_steady_fast_path(
+                    taskset, context.machine, policy, demand=demand,
+                    duration=context.duration, energy_model=energy_model,
+                    on_miss=on_miss)
+                if fast is not None:
+                    fast_used += 1
+                    return fast.total_energy, fast.executed_cycles
+                fast_fallbacks[reason] = fast_fallbacks.get(reason, 0) + 1
+        result = simulate(taskset, context.machine, policy,
+                          demand=demand, duration=context.duration,
+                          energy_model=energy_model, on_miss=on_miss,
+                          instrument=collector)
+        return result.total_energy, result.executed_cycles
+
     for name in context.policies:
         collector = None
         if name in context.residency_policies:
             collector = MetricsCollector()
         try:
-            result = simulate(taskset, context.machine, make_policy(name),
-                              demand=demand, duration=context.duration,
-                              energy_model=energy_model, on_miss="raise",
-                              instrument=collector)
+            energy, cycles = run_one(make_policy(name), "raise", collector)
         except SchedulabilityError:
             # EDF-schedulable but not RM-schedulable (paper footnote 3):
             # fall back to full-speed RM and tolerate the misses.
-            result = simulate(taskset, context.machine,
-                              NoDVS(scheduler="rm"),
-                              demand=demand, duration=context.duration,
-                              energy_model=energy_model, on_miss="drop",
-                              instrument=collector)
+            energy, cycles = run_one(NoDVS(scheduler="rm"), "drop",
+                                     collector)
             out["_rm_fallbacks"] += 1
         if collector is not None:
             metrics = collector.metrics
             span = metrics.span or 1.0
             residency[name] = {f: seconds / span for f, seconds in
                                metrics.residency.items()}
-        out[name] = result.total_energy
+        out[name] = energy
         if name == REFERENCE_POLICY:
-            reference_cycles = result.executed_cycles
+            reference_cycles = cycles
     if reference_cycles is None:  # pragma: no cover - labels always add EDF
         raise ReproError("sweep cell ran without the EDF reference")
     if demand.fallback_draws:
@@ -470,6 +537,8 @@ def run_cell(context: SweepContext, spec: CellSpec) -> Dict[str, object]:
         context.machine, reference_cycles, context.duration)
     if residency:
         out["_residency"] = residency
+    if context.steady_fast_path:
+        out["_fast_path"] = {"used": fast_used, "fallbacks": fast_fallbacks}
     return out
 
 
@@ -487,11 +556,22 @@ def _aggregate(config: SweepConfig, labels: List[str],
         policy: {f: [] for f in frequencies}
         for policy in config.residency_policies}
     rm_fallbacks = 0
+    fast_path_cells = 0
+    fast_path_fallbacks: Dict[str, int] = {}
     for u_index in range(len(config.utilizations)):
         row = outcomes[u_index * config.n_sets:(u_index + 1) * config.n_sets]
         for label in labels:
             per_label[label].append([o[label] for o in row])
         rm_fallbacks += sum(o["_rm_fallbacks"] for o in row)
+        for o in row:
+            fast = o.get("_fast_path")
+            if not fast:
+                continue
+            if fast.get("used", 0):
+                fast_path_cells += 1
+            for reason, count in fast.get("fallbacks", {}).items():
+                fast_path_fallbacks[reason] = \
+                    fast_path_fallbacks.get(reason, 0) + count
         for policy, per_freq in res_acc.items():
             for f in frequencies:
                 per_freq[f].append(
@@ -528,7 +608,9 @@ def _aggregate(config: SweepConfig, labels: List[str],
         residency[policy] = table
     return SweepResult(config=config, raw=raw, normalized=normalized,
                        std=std, rm_fallbacks=rm_fallbacks,
-                       residency=residency)
+                       residency=residency,
+                       fast_path_cells=fast_path_cells,
+                       fast_path_fallbacks=fast_path_fallbacks)
 
 
 # ---------------------------------------------------------------------------

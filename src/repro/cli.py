@@ -66,6 +66,12 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the cell-result cache")
     parser.add_argument("--progress", action="store_true",
                         help="print per-sweep progress/ETA lines to stderr")
+    parser.add_argument("--steady-fast-path", action="store_true",
+                        help="enable the hyperperiod short-circuit: cells "
+                             "with a finite hyperperiod and verified "
+                             "periodic demand simulate warmup + two "
+                             "hyperperiods and extrapolate (fallback to "
+                             "full simulation whenever verification fails)")
 
 
 def _cache_dir_from(args: argparse.Namespace):
@@ -218,7 +224,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(args.experiment, quick=not args.full,
                             workers=args.workers,
                             cache_dir=_cache_dir_from(args),
-                            progress=args.progress)
+                            progress=args.progress,
+                            steady_fast_path=args.steady_fast_path)
     print(result.render(charts=not args.no_charts))
     if args.csv:
         for path in result.write_csvs(args.csv):
@@ -230,7 +237,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     results = run_all(quick=not args.full, workers=args.workers,
                       output_dir=args.out,
                       cache_dir=_cache_dir_from(args),
-                      progress=args.progress)
+                      progress=args.progress,
+                      steady_fast_path=args.steady_fast_path)
     print(summary_table(results))
     return 0 if all(r.all_checks_pass for r in results) else 1
 

@@ -46,12 +46,40 @@ class DVSPolicy(ABC):
         """Called after ``task`` is released; may change operating point."""
         return None
 
+    def on_releases_invalidate(self, view, tasks) -> None:
+        """Called once per release batch, before the per-task
+        :meth:`on_release` hooks, with every task released at the current
+        instant.
+
+        Invalidation hook for policies that cache view-derived per-task
+        state (deadlines, orderings): the engine creates *all* of a
+        batch's jobs before the first ``on_release`` hook fires, so by the
+        time a per-task hook runs, the view already reflects the other
+        co-released tasks' new invocations.  A policy that caches their
+        deadlines must refresh them here or its first intermediate
+        selection of the batch reads stale entries.  Pure notification —
+        no operating point is returned.
+        """
+        return None
+
     def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
         """Called after ``task`` completes its invocation."""
         return None
 
     def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
         """Called when a task is admitted dynamically (Sec. 4.3)."""
+        return None
+
+    def on_task_removed(self, view, task: Task) -> Optional[OperatingPoint]:
+        """Called after ``task`` leaves the task set.
+
+        Invalidation hook for policies that maintain incremental per-task
+        aggregates (running utilization sums, allocation tables, deferral
+        orderings): the policy must drop the task's contribution here so
+        the aggregates keep matching a from-scratch recomputation over the
+        shrunken set.  ``view.taskset`` no longer contains ``task`` when
+        the hook fires.
+        """
         return None
 
     def on_idle(self, view) -> Optional[OperatingPoint]:

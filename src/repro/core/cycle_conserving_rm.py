@@ -41,15 +41,39 @@ The paper's pseudo-code (Fig. 6)::
 The "during task_execution" decrements are realized lazily: at each
 selection point the quota is reduced by the cycles the task executed since
 the last allocation (the engine exposes per-invocation executed cycles).
+
+Incremental mode
+----------------
+Two aggregates are maintained instead of recomputed:
+
+* **RM priority order** — ``allocate_cycles`` walks tasks by period.  The
+  sorted order only changes when the task set changes, so it is cached and
+  invalidated by the task-set hooks (guarded by a task-set identity check,
+  since :class:`~repro.model.task.TaskSet` is immutable).
+* **Active quota set** — ``select_frequency`` needs ``Σd_i``, but between
+  allocations only tasks that were granted a non-zero allotment can
+  contribute: every other task's lazily-decremented quota is *exactly*
+  ``0.0`` (``max(0.0, …)`` of a non-positive value).  Each allocation
+  records the granted tasks in task-set order; the selection sums just
+  those.  Skipping exact zeros from a left-to-right sum of non-negative
+  floats leaves every partial sum bitwise unchanged (``x + 0.0 == x`` for
+  ``x >= 0.0``), so the reduced sum is bit-identical to the full sweep —
+  pinned by the differential tests.
+
+``strict=True`` cross-checks the reduced sum against the full task-set
+sweep at every selection and raises
+:class:`~repro.errors.PolicyStateError` on any difference (the equality
+is exact, so the tolerance is zero).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import DVSPolicy
 from repro.core.static_scaling import StaticRM
+from repro.errors import PolicyStateError
 from repro.hw.operating_point import OperatingPoint
 from repro.model.task import Task
 
@@ -73,20 +97,39 @@ class CycleConservingRM(DVSPolicy):
     exact_rm_test:
         Which RM test the embedded static-scaling step uses (see
         :class:`~repro.core.static_scaling.StaticRM`).
+    incremental:
+        Cache the RM priority order across allocations and sum only the
+        actively-allotted quotas at selection (default).  ``False`` re-sorts
+        and sweeps the full task set every time — the from-scratch
+        reference the differential tests compare against.
+    strict:
+        Cross-check the active-set quota sum against the full task-set
+        sweep at every selection; raise
+        :class:`~repro.errors.PolicyStateError` on any difference.
     """
 
     name = "ccRM"
     scheduler = "rm"
 
-    def __init__(self, exact_rm_test: bool = True):
+    def __init__(self, exact_rm_test: bool = True, incremental: bool = True,
+                 strict: bool = False):
         self._static = StaticRM(exact=exact_rm_test)
         self._static_frequency = 1.0
+        self.incremental = incremental
+        self.strict = strict
         self._quota: Dict[str, _Quota] = {}
+        self._rm_order: Tuple[Task, ...] = ()
+        self._rm_order_for: object = None  # taskset the cache was built for
+        self._rm_pairs: Tuple[Tuple[Task, _Quota], ...] = ()
+        self._ts_index: Dict[str, int] = {}
+        self._active: List[Tuple[Task, _Quota]] = []
 
     def setup(self, view) -> Optional[OperatingPoint]:
         static_point = self._static.select_point(view.taskset, view.machine)
         self._static_frequency = static_point.frequency
         self._quota = {task.name: _Quota() for task in view.taskset}
+        self._rm_order_for = None
+        self._active = []
         # No jobs exist yet; the t=0 releases will allocate immediately.
         return view.machine.slowest
 
@@ -107,7 +150,29 @@ class CycleConservingRM(DVSPolicy):
         self._allocate(view)
         return self._select(view)
 
+    def on_task_removed(self, view, task: Task) -> Optional[OperatingPoint]:
+        static_point = self._static.select_point(view.taskset, view.machine)
+        self._static_frequency = static_point.frequency
+        self._quota.pop(task.name, None)
+        self._allocate(view)
+        return self._select(view)
+
     # ------------------------------------------------------------------
+    def _rm_sorted_pairs(self, view) -> Tuple[Tuple[Task, _Quota], ...]:
+        """``(task, quota)`` pairs by period (RM priority), plus the
+        task-set-order index map.  The task set is immutable, so both are
+        cached until the set itself is replaced."""
+        if self._rm_order_for is not view.taskset:
+            self._rm_order = tuple(
+                sorted(view.taskset, key=lambda t: t.period))
+            self._rm_pairs = tuple(
+                (task, self._quota.setdefault(task.name, _Quota()))
+                for task in self._rm_order)
+            self._ts_index = {
+                task.name: i for i, task in enumerate(view.taskset)}
+            self._rm_order_for = view.taskset
+        return self._rm_pairs
+
     def _allocate(self, view) -> None:
         """``allocate_cycles``: split the statically-scaled capacity until
         the next deadline among tasks in RM priority order."""
@@ -115,21 +180,72 @@ class CycleConservingRM(DVSPolicy):
         if deadline is None:
             return
         budget = max(0.0, (deadline - view.time) * self._static_frequency)
-        for task in sorted(view.taskset, key=lambda t: t.period):
-            quota = self._quota.setdefault(task.name, _Quota())
-            c_left = view.worst_case_remaining(task)
+        if not self.incremental:
+            # From-scratch reference: re-sort every allocation and refresh
+            # every task's execution snapshot from its current job.
+            for task in sorted(view.taskset, key=lambda t: t.period):
+                quota = self._quota.setdefault(task.name, _Quota())
+                job = view.job_of(task)
+                if job is None:
+                    c_left = 0.0
+                    quota.invocation = -1
+                    quota.executed_at_alloc = 0.0
+                    quota.completed = False
+                else:
+                    c_left = job.worst_case_remaining
+                    quota.invocation = job.index
+                    quota.executed_at_alloc = job.executed
+                    quota.completed = job.is_complete
+                grant = min(c_left, budget)
+                quota.allotted = grant
+                budget -= grant
+            return
+        # Incremental path: tasks that would be granted exactly 0.0 cycles
+        # keep their *stale* snapshot — provably harmless, because a zero
+        # allotment yields a zero ``_current_quota`` under any snapshot
+        # (executed cycles never shrink within an invocation and invocation
+        # indexes never repeat).  Only genuinely-granted tasks pay the
+        # snapshot refresh.
+        granted: List[Tuple[Task, _Quota]] = []
+        for task, quota in self._rm_sorted_pairs(view):
+            if budget <= 0.0:
+                # Capacity exhausted: every remaining allotment is exactly
+                # 0.0 (``min(c_left, 0.0)``).
+                quota.allotted = 0.0
+                continue
+            # One view call per task; c_left / executed are derived from
+            # the same job (bitwise what the dedicated accessors return).
             job = view.job_of(task)
-            quota.invocation = job.index if job else -1
-            quota.executed_at_alloc = view.executed_in_invocation(task)
-            quota.completed = job is not None and job.is_complete
+            if job is None or job.is_complete:
+                # No outstanding invocation: ``worst_case_remaining`` is
+                # exactly 0.0, so the allotment is exactly 0.0.  In steady
+                # state this covers nearly every non-running task.
+                quota.allotted = 0.0
+                continue
+            c_left = job.worst_case_remaining
+            quota.invocation = job.index
+            quota.executed_at_alloc = job.executed
+            quota.completed = False
             grant = min(c_left, budget)
             quota.allotted = grant
             budget -= grant
+            if grant > 0.0:
+                granted.append((task, quota))
+        # Tasks granted nothing contribute an exact 0.0 to every later
+        # quota sum (see module docstring); record the rest, in task-set
+        # order so the reduced sum matches the full sweep.  The granted
+        # list is tiny (bounded by the budget), so re-ordering it beats a
+        # full task-set pass.
+        index = self._ts_index
+        granted.sort(key=lambda pair: index[pair[0].name])
+        self._active = granted
 
-    def _current_quota(self, view, task: Task) -> float:
+    def _current_quota(self, view, task: Task,
+                       quota: Optional[_Quota] = None) -> float:
         """``d_i`` right now: the allotment minus cycles executed since the
         allocation; zero once the invocation completes."""
-        quota = self._quota.get(task.name)
+        if quota is None:
+            quota = self._quota.get(task.name)
         if quota is None or quota.completed:
             return 0.0
         job = view.job_of(task)
@@ -147,7 +263,20 @@ class CycleConservingRM(DVSPolicy):
         s_m = deadline - view.time  # cycles at max frequency until deadline
         if s_m <= 1e-12:
             return view.machine.fastest
-        total = sum(self._current_quota(view, task) for task in view.taskset)
+        if self.incremental:
+            total = 0.0
+            for task, quota in self._active:
+                total += self._current_quota(view, task, quota)
+            if self.strict:
+                exact = sum(self._current_quota(view, task)
+                            for task in view.taskset)
+                if total != exact:
+                    raise PolicyStateError(
+                        f"ccRM active quota sum {total!r} != full-sweep "
+                        f"sum {exact!r} at t={view.time:g}")
+        else:
+            total = sum(
+                self._current_quota(view, task) for task in view.taskset)
         return view.machine.lowest_at_least(min(1.0, total / s_m))
 
     @property

@@ -33,14 +33,35 @@ invocations); whatever does not fit (``x``) must execute before ``D_n``.
 ``c_left_i`` is tracked by the engine (worst-case remaining cycles of the
 current invocation); tasks admitted but not yet released have no deadline
 and simply keep their full worst-case utilization reserved in ``U``.
+
+Incremental mode
+----------------
+``defer()`` is inherently O(n), but the from-scratch implementation paid an
+additional O(n log n) re-sort per event to derive the reverse-EDF order.
+A task's current deadline changes *only at its own release*, so the order
+is maintained instead: a sorted key list (``(-deadline, -taskset_index)``
+ascending — exactly the from-scratch descending ``(deadline, index)``
+sort) repositions one entry per release via ``bisect``.  Per-task
+worst-case utilizations and the task-set utilization sum are cached
+alongside (the task set only changes through the add/remove hooks, which
+rebuild everything).  Every float read in the maintained walk —
+deadlines, utilizations, the starting ``U`` — is the identical bit
+pattern the from-scratch path derives, so the selected operating points
+match bit-for-bit; the differential tests pin this on full simulations.
+
+``strict=True`` keeps its original meaning (raise on over-unity deferral
+instants) and additionally cross-checks the maintained order against a
+fresh re-sort at every ``defer()``, raising
+:class:`~repro.errors.PolicyStateError` on divergence.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import DVSPolicy
-from repro.errors import SchedulabilityError
+from repro.errors import PolicyStateError, SchedulabilityError
 from repro.hw.operating_point import OperatingPoint
 from repro.model.task import Task
 
@@ -62,7 +83,15 @@ class LookAheadEDF(DVSPolicy):
         :class:`~repro.errors.SchedulabilityError` immediately; by default
         the policy clamps to ``f_max`` and counts the instant in
         :attr:`over_unity_events` so callers can detect the overload
-        instead of it being silently swallowed.
+        instead of it being silently swallowed.  In incremental mode,
+        strict additionally cross-checks the maintained deferral order
+        against a fresh re-sort at every deferral (raising
+        :class:`~repro.errors.PolicyStateError` on divergence).
+    incremental:
+        Maintain the reverse-EDF deferral order across events (repositioning
+        one entry per release) instead of re-sorting the task set at every
+        deferral (default).  ``False`` is the from-scratch reference the
+        differential tests compare against.
 
     Attributes
     ----------
@@ -74,9 +103,20 @@ class LookAheadEDF(DVSPolicy):
     name = "laEDF"
     scheduler = "edf"
 
-    def __init__(self, strict: bool = False):
+    def __init__(self, strict: bool = False, incremental: bool = True):
         self.strict = strict
+        self.incremental = incremental
         self.over_unity_events = 0
+        # Maintained reverse-EDF order: ascending (-deadline, -index) keys
+        # with a parallel task list; tasks without a current job live in
+        # ``_no_job`` (they contribute nothing to the walk).
+        self._keys: List[Tuple[float, int]] = []
+        self._tasks: List[Task] = []
+        self._key_of: Dict[str, Tuple[float, int]] = {}
+        self._no_job: List[Task] = []
+        self._index_of: Dict[str, int] = {}
+        self._util_of: Dict[str, float] = {}
+        self._total_util = 0.0
 
     def setup(self, view) -> Optional[OperatingPoint]:
         if view.taskset.utilization > 1.0 + 1e-9:
@@ -84,18 +124,114 @@ class LookAheadEDF(DVSPolicy):
                 f"task set utilization {view.taskset.utilization:.3f} > 1; "
                 "not EDF-schedulable at any frequency")
         self.over_unity_events = 0
+        self._rebuild(view)
         # Nothing is released yet; start at the bottom — the t=0 releases
         # immediately re-run defer().
         return view.machine.slowest
 
+    def on_releases_invalidate(self, view, tasks) -> None:
+        # The engine creates every job of a same-instant batch before the
+        # first per-task hook fires, so the view is already "ahead" of the
+        # maintained order; reposition the whole batch now or the batch's
+        # intermediate deferrals read stale deadlines (observable as
+        # spurious same-instant operating-point switches vs from-scratch).
+        if self.incremental:
+            for task in tasks:
+                self._reposition(view, task)
+
     def on_release(self, view, task: Task) -> Optional[OperatingPoint]:
+        if self.incremental:
+            # No-op when the batch hook already repositioned this task;
+            # kept for direct hook-level driving outside the engine.
+            self._reposition(view, task)
         return self._defer(view)
 
     def on_completion(self, view, task: Task) -> Optional[OperatingPoint]:
+        # A completion leaves the task's current deadline (and hence the
+        # deferral order) untouched; only c_left drops to zero.
         return self._defer(view)
 
     def on_task_added(self, view, task: Task) -> Optional[OperatingPoint]:
+        if self.incremental:
+            self._rebuild(view)  # task-set change: rare, rebuild wholesale
         return self._defer(view)
+
+    def on_task_removed(self, view, task: Task) -> Optional[OperatingPoint]:
+        if self.incremental:
+            self._rebuild(view)  # indexes of later tasks shift
+        return self._defer(view)
+
+    # ------------------------------------------------------------------
+    # maintained order
+    # ------------------------------------------------------------------
+    def _rebuild(self, view) -> None:
+        """Reconstruct every cached aggregate from the view (used at setup
+        and on task-set changes; the per-release path is ``_reposition``)."""
+        self._index_of = {
+            task.name: index for index, task in enumerate(view.taskset)}
+        self._util_of = {
+            task.name: task.utilization for task in view.taskset}
+        # Bitwise-identical to TaskSet.utilization (same terms, same order).
+        self._total_util = sum(
+            self._util_of[task.name] for task in view.taskset)
+        self._keys = []
+        self._tasks = []
+        self._key_of = {}
+        self._no_job = []
+        for index, task in enumerate(view.taskset):
+            deadline = view.current_deadline(task)
+            if deadline is None:
+                self._no_job.append(task)
+            else:
+                self._insert(task, (-deadline, -index))
+        self._tasks = [task for _, task in
+                       sorted(zip(self._keys, self._tasks),
+                              key=lambda e: e[0])]
+        self._keys.sort()
+
+    def _insert(self, task: Task, key: Tuple[float, int]) -> None:
+        self._keys.append(key)
+        self._tasks.append(task)
+        self._key_of[task.name] = key
+
+    def _reposition(self, view, task: Task) -> None:
+        """Move ``task`` to the slot of its newly-released deadline.
+        O(log n) search + one list splice."""
+        name = task.name
+        deadline = view.current_deadline(task)
+        if deadline is None:  # defensive: release without a job
+            return
+        index = self._index_of.get(name)
+        if index is None:  # task unknown (hook order surprise): resync
+            self._rebuild(view)
+            return
+        key = (-deadline, -index)
+        old = self._key_of.get(name)
+        if old is not None:
+            if old == key:
+                return
+            pos = bisect_left(self._keys, old)
+            self._keys.pop(pos)
+            self._tasks.pop(pos)
+        else:
+            self._no_job.remove(task)  # first release only
+        pos = bisect_left(self._keys, key)
+        self._keys.insert(pos, key)
+        self._tasks.insert(pos, task)
+        self._key_of[name] = key
+
+    def _check_order(self, view) -> None:
+        """Strict-mode cross-check: the maintained walk must equal a fresh
+        reverse-EDF re-sort."""
+        expected = [(view.current_deadline(task), task.name)
+                    for task in self._reverse_edf_order_scratch(view)
+                    if view.current_deadline(task) is not None]
+        maintained = [(-key[0], task.name)
+                      for key, task in zip(self._keys, self._tasks)]
+        if maintained != expected:
+            raise PolicyStateError(
+                f"laEDF maintained deferral order {maintained!r} diverged "
+                f"from re-sorted order {expected!r} at t={view.time:g}")
 
     # ------------------------------------------------------------------
     def _defer(self, view) -> OperatingPoint:
@@ -104,26 +240,46 @@ class LookAheadEDF(DVSPolicy):
         earliest = view.earliest_deadline()
         if earliest is None or earliest <= now + 1e-12:
             return view.machine.slowest
-        utilization = view.taskset.utilization
-        must_run = 0.0  # `s`: cycles that must execute before `earliest`
-        for task in self._reverse_edf_order(view):
-            deadline = view.current_deadline(task)
-            if deadline is None:
-                # Admitted but unreleased: keep its worst case reserved in
-                # `utilization`, no current-invocation work to place.
-                continue
-            c_left = view.worst_case_remaining(task)
-            utilization -= task.utilization
-            span = deadline - earliest
-            if span <= 1e-12:
-                # This task's deadline *is* the earliest: nothing can be
-                # deferred.
-                deferred = 0.0
-            else:
-                capacity = max(0.0, 1.0 - utilization) * span
-                deferred = min(c_left, capacity)
-                utilization += deferred / span
-            must_run += c_left - deferred
+        if self.incremental:
+            if self.strict:
+                self._check_order(view)
+            utilization = self._total_util
+            must_run = 0.0
+            util_of = self._util_of
+            remaining = view.worst_case_remaining
+            for key, task in zip(self._keys, self._tasks):
+                deadline = -key[0]
+                c_left = remaining(task)
+                utilization -= util_of[task.name]
+                span = deadline - earliest
+                if span <= 1e-12:
+                    deferred = 0.0
+                else:
+                    capacity = max(0.0, 1.0 - utilization) * span
+                    deferred = min(c_left, capacity)
+                    utilization += deferred / span
+                must_run += c_left - deferred
+        else:
+            utilization = view.taskset.utilization
+            must_run = 0.0  # `s`: cycles that must execute before `earliest`
+            for task in self._reverse_edf_order_scratch(view):
+                deadline = view.current_deadline(task)
+                if deadline is None:
+                    # Admitted but unreleased: keep its worst case reserved
+                    # in `utilization`, no current-invocation work to place.
+                    continue
+                c_left = view.worst_case_remaining(task)
+                utilization -= task.utilization
+                span = deadline - earliest
+                if span <= 1e-12:
+                    # This task's deadline *is* the earliest: nothing can
+                    # be deferred.
+                    deferred = 0.0
+                else:
+                    capacity = max(0.0, 1.0 - utilization) * span
+                    deferred = min(c_left, capacity)
+                    utilization += deferred / span
+                must_run += c_left - deferred
         speed = must_run / (earliest - now)
         if speed > 1.0 + 1e-9:
             # Even f_max cannot finish the non-deferrable work by the
@@ -138,9 +294,9 @@ class LookAheadEDF(DVSPolicy):
         return view.machine.lowest_at_least(min(1.0, speed))
 
     @staticmethod
-    def _reverse_edf_order(view):
+    def _reverse_edf_order_scratch(view):
         """Tasks with current jobs, latest deadline first (ties broken by
-        task-set order, reversed, for determinism)."""
+        task-set order, reversed, for determinism) — recomputed fresh."""
         indexed = [(view.current_deadline(task), index, task)
                    for index, task in enumerate(view.taskset)]
         with_jobs = [(d, i, t) for d, i, t in indexed if d is not None]
@@ -150,3 +306,6 @@ class LookAheadEDF(DVSPolicy):
         # Unreleased tasks are only skipped in the loop; order is irrelevant,
         # but yield them first so the reservation logic sees them.
         return list(without_jobs) + ordered
+
+    # Backwards-compatible alias (pre-incremental name).
+    _reverse_edf_order = _reverse_edf_order_scratch

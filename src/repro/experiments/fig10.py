@@ -24,7 +24,8 @@ N_TASKS = 8
 
 
 def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
-              cache_dir=None, progress=False) -> SweepResult:
+              cache_dir=None, progress=False,
+              steady_fast_path=False) -> SweepResult:
     """The Fig. 10 sweep for one idle level."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -34,11 +35,12 @@ def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
         seed=100,
         workers=workers,
         cache_dir=cache_dir,
+        steady_fast_path=steady_fast_path,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False) -> ExperimentResult:
     """Reproduce Fig. 10 (three panels, one per idle level)."""
     result = ExperimentResult(
         experiment_id="fig10",
@@ -50,7 +52,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[float, SweepResult] = {}
     for idle in IDLE_LEVELS:
         sweep = sweep_for(idle, quick, workers, executor, cache_dir,
-                          progress)
+                          progress, steady_fast_path)
         sweeps[idle] = sweep
         table = sweep.normalized
         table.title = f"Fig. 10 panel: idle level {idle} (normalized)"

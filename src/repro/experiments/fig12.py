@@ -21,7 +21,8 @@ N_TASKS = 8
 
 
 def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
-              cache_dir=None, progress=False) -> SweepResult:
+              cache_dir=None, progress=False,
+              steady_fast_path=False) -> SweepResult:
     """The Fig. 12 sweep for one demand fraction."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -31,11 +32,12 @@ def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
         seed=120,
         workers=workers,
         cache_dir=cache_dir,
+        steady_fast_path=steady_fast_path,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False) -> ExperimentResult:
     """Reproduce Fig. 12 (three panels, one per fraction)."""
     result = ExperimentResult(
         experiment_id="fig12",
@@ -46,7 +48,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[float, SweepResult] = {}
     for fraction in FRACTIONS:
         sweep = sweep_for(fraction, quick, workers, executor, cache_dir,
-                          progress)
+                          progress, steady_fast_path)
         sweeps[fraction] = sweep
         table = sweep.normalized
         table.title = f"Fig. 12 panel: c = {fraction} (normalized energy)"

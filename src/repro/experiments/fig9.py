@@ -25,7 +25,8 @@ RESIDENCY_TABLE_POLICIES: Tuple[str, ...] = ("ccEDF", "laEDF")
 
 
 def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
-              cache_dir=None, progress=False) -> SweepResult:
+              cache_dir=None, progress=False,
+              steady_fast_path=False) -> SweepResult:
     """The Fig. 9 sweep for one task count."""
     return utilization_sweep(SweepConfig(
         n_tasks=n_tasks,
@@ -35,11 +36,12 @@ def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
         workers=workers,
         residency_policies=PAPER_POLICIES,
         cache_dir=cache_dir,
+        steady_fast_path=steady_fast_path,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False) -> ExperimentResult:
     """Reproduce Fig. 9 (three panels, one per task count)."""
     result = ExperimentResult(
         experiment_id="fig9",
@@ -50,7 +52,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[int, SweepResult] = {}
     for n_tasks in TASK_COUNTS:
         sweep = sweep_for(n_tasks, quick, workers, executor, cache_dir,
-                          progress)
+                          progress, steady_fast_path)
         sweeps[n_tasks] = sweep
         # The paper's Fig. 9 y-axis is *absolute* energy; include both
         # views (the shape checks run on the normalized one).

@@ -20,6 +20,11 @@ from repro.hw.operating_point import OperatingPoint
 #: discrete table ("round up to the closest available setting").
 _EPS = 1e-9
 
+#: Upper bound on memoized ``lowest_at_least`` entries per machine.  DVS
+#: policies revisit the same handful of speed requests within a simulation;
+#: the cap only matters for adversarial float churn, where we simply reset.
+_SELECT_MEMO_CAP = 4096
+
 
 class Machine:
     """An ordered list of operating points for a DVS-capable processor.
@@ -71,6 +76,8 @@ class Machine:
         self._points: Tuple[OperatingPoint, ...] = tuple(converted)
         self._frequencies: Tuple[float, ...] = tuple(
             p.frequency for p in converted)
+        self._point_index = {p: i for i, p in enumerate(self._points)}
+        self._select_memo: dict = {}
         self.name = name
 
     # -- container protocol --------------------------------------------------
@@ -82,6 +89,9 @@ class Machine:
 
     def __getitem__(self, index: int) -> OperatingPoint:
         return self._points[index]
+
+    def __contains__(self, point) -> bool:
+        return point in self._point_index
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, Machine):
@@ -135,25 +145,46 @@ class Machine:
         This is the frequency-selection primitive every RT-DVS algorithm in
         the paper uses ("use lowest frequency f_i such that ... <= f_i/f_m").
         Requests <= 0 return the slowest point; requests > 1 raise.
+
+        Resolution is a bisect over the precomputed frequency thresholds
+        behind a bounded memo: DVS policies call this on every scheduling
+        event, and the handful of utilization levels a task set actually
+        visits recur far more often than they change.
         """
+        try:
+            return self._select_memo[speed]
+        except KeyError:
+            pass
         if speed > 1.0 + 1e-7:
             raise MachineError(
                 f"required relative speed {speed} exceeds the maximum (1.0)")
         index = bisect.bisect_left(self._frequencies, speed - _EPS)
         if index >= len(self._points):
             index = len(self._points) - 1
-        return self._points[index]
+        point = self._points[index]
+        if len(self._select_memo) >= _SELECT_MEMO_CAP:
+            self._select_memo.clear()
+        self._select_memo[speed] = point
+        return point
+
+    def index_of(self, point: OperatingPoint) -> int:
+        """The table index of ``point`` (raises ``MachineError`` if absent)."""
+        try:
+            return self._point_index[point]
+        except KeyError:
+            raise MachineError(
+                f"{point} is not an operating point of {self.name}") from None
 
     def next_faster(self, point: OperatingPoint) -> Optional[OperatingPoint]:
         """The next-higher operating point, or ``None`` at full speed."""
-        index = self._points.index(point)
+        index = self.index_of(point)
         if index + 1 < len(self._points):
             return self._points[index + 1]
         return None
 
     def next_slower(self, point: OperatingPoint) -> Optional[OperatingPoint]:
         """The next-lower operating point, or ``None`` at the slowest."""
-        index = self._points.index(point)
+        index = self.index_of(point)
         if index > 0:
             return self._points[index - 1]
         return None

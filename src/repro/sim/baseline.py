@@ -10,7 +10,8 @@ heap, admission index pointer, cached policy wakeup):
   full ``min(..., key=priority.key)`` scan, removal is ``list.remove``;
 * admissions are consumed with ``pop(0)`` from the sorted list;
 * the policy's ``wakeup_time()`` is re-queried on every segment;
-* deferred admissions are re-checked by scanning *all* task states.
+* deferred admissions are re-checked by scanning *all* task states;
+* ``earliest_deadline()`` re-scans every task state with ``min()``.
 
 Two jobs:
 
@@ -56,6 +57,12 @@ class BaselineSimulator(Simulator):
         if not self._ready:
             return None
         return min(self._ready, key=self.priority.key)
+
+    # -- earliest deadline: rescan all states ---------------------------
+    def earliest_deadline(self) -> Optional[float]:
+        deadlines = [s.job.absolute_deadline
+                     for s in self._states.values() if s.job is not None]
+        return min(deadlines) if deadlines else None
 
     # -- release queue: rescan all states ------------------------------
     def _schedule_release(self, state: _TaskState) -> None:
@@ -108,6 +115,13 @@ class BaselineSimulator(Simulator):
                 cb = self._obs_completion
                 if cb is not None:
                     cb(self, job)
+        if released:
+            # Same batch-invalidation contract as the indexed engine: all
+            # of the batch's jobs exist before the first per-task hook.
+            invalidate = getattr(self.policy, "on_releases_invalidate",
+                                 None)
+            if invalidate is not None:
+                invalidate(self, released)
         for task in released:
             self._policy_hook(self.policy.on_release, task)
         for task in zero_demand:

@@ -42,6 +42,12 @@ rather than linear (see ``DESIGN.md`` for the full complexity table):
   Priority keys are immutable per job, so no decrease-key is ever needed.
 * **Admission queue** — the pre-sorted admission list is consumed through
   an index pointer instead of ``pop(0)``.
+* **Deadline index** — ``earliest_deadline()`` resolves from a min-heap of
+  ``(deadline, serial, state, job)`` entries pushed at job creation; an
+  entry is valid while the state's current job is still the recorded one,
+  and stale entries are discarded lazily on peek.  ccRM and laEDF query
+  the earliest deadline on every policy hook, so this turns an O(n) scan
+  into amortized O(log n).
 * **Policy wakeup** — ``wakeup_time()`` is cached and re-queried only after
   a policy hook has run (the only code that can change it).
 
@@ -299,6 +305,10 @@ class Simulator(SchedulerView):
         self._ready_serial = count()
         self._deferred: List[_TaskState] = []  # states awaiting defer release
         self._wakeup_cache: object = _UNSET
+        # Deadline index: (deadline, serial, state, job); valid while
+        # ``state.job is job``.  See ``earliest_deadline``.
+        self._deadline_heap: List[tuple] = []
+        self._deadline_serial = count()
 
     # ------------------------------------------------------------------
     # SchedulerView protocol
@@ -318,10 +328,17 @@ class Simulator(SchedulerView):
         return job.absolute_deadline if job else None
 
     def earliest_deadline(self) -> Optional[float]:
-        """The next deadline in the system (minimum current deadline)."""
-        deadlines = [s.job.absolute_deadline
-                     for s in self._states.values() if s.job is not None]
-        return min(deadlines) if deadlines else None
+        """The next deadline in the system (minimum current deadline).
+
+        Amortized O(log n): resolves from the deadline index, discarding
+        entries whose state has since released a newer job.  The deadline
+        of a completed invocation stays current until the next release, so
+        completion does not invalidate an entry.
+        """
+        heap = self._deadline_heap
+        while heap and heap[0][2].job is not heap[0][3]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def worst_case_remaining(self, task: Task) -> float:
         """``c_left_i``: worst-case cycles the current invocation may still
@@ -401,6 +418,17 @@ class Simulator(SchedulerView):
         while heap and heap[0][2] is None:
             heapq.heappop(heap)
         return heap[0][2] if heap else None
+
+    def _index_deadline(self, state: _TaskState, job: Job) -> None:
+        """Index ``job``'s absolute deadline for ``earliest_deadline``.
+
+        O(log n).  The entry self-invalidates when the state moves on to a
+        newer job (which always carries a later deadline for that task, so
+        heap order is never violated by staleness).
+        """
+        heapq.heappush(self._deadline_heap,
+                       (job.absolute_deadline, next(self._deadline_serial),
+                        state, job))
 
     def _next_admission_time(self) -> float:
         if self._admission_pos < len(self._admissions):
@@ -670,6 +698,15 @@ class Simulator(SchedulerView):
                 cb = self._obs_completion
                 if cb is not None:
                     cb(self, job)
+        if released:
+            # Batch invalidation first: every job above already exists, so
+            # per-task hooks observe the other co-released tasks' new
+            # invocations; policies caching view-derived state (e.g.
+            # laEDF's deferral order) refresh it here.
+            invalidate = getattr(self.policy, "on_releases_invalidate",
+                                 None)
+            if invalidate is not None:
+                invalidate(self, released)
         for task in released:
             self._policy_hook(self.policy.on_release, task)
         for task in zero_demand:
@@ -695,6 +732,7 @@ class Simulator(SchedulerView):
         job = Job(task=state.task, release_time=release_time, demand=demand,
                   index=state.invocation)
         state.job = job
+        self._index_deadline(state, job)
         state.invocation += 1
         state.next_release = release_time + state.task.period
         self._schedule_release(state)
@@ -735,7 +773,7 @@ class Simulator(SchedulerView):
         """Change the operating point, charging any switch halt."""
         if new_point == self._point:
             return
-        if new_point not in self.machine.points:
+        if new_point not in self.machine:  # O(1) membership via point index
             raise SimulationError(
                 f"policy requested {new_point}, which is not an operating "
                 f"point of {self.machine.name}")

@@ -248,6 +248,12 @@ class TickSimulator:
                     cb = self._obs_completion
                     if cb is not None:
                         cb(self, job)
+        if released:
+            # Same batch-invalidation contract as the event-driven engines.
+            invalidate = getattr(self.policy, "on_releases_invalidate",
+                                 None)
+            if invalidate is not None:
+                invalidate(self, released)
         for task in released:
             self._apply_point(self.policy.on_release(self, task))
             job = self._jobs[task.name]

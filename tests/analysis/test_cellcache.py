@@ -20,6 +20,7 @@ OUTCOME = {
     "laEDF": 98.7,
     "_rm_fallbacks": 1,
     "_residency": {"ccEDF": {0.5: 0.25, 1.0: 0.75}},
+    "_fast_path": {"used": 5, "fallbacks": {"instrumented": 1}},
 }
 
 

@@ -1,0 +1,130 @@
+"""Sweep-level tests for the steady fast path (``--steady-fast-path``).
+
+Eligibility needs a finite, small hyperperiod, which the default
+log-uniform period bands essentially never produce — so the differential
+tests pin the fast path with degenerate (fixed-period) bands and pin the
+fallback accounting with the defaults.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cellcache import CACHE_SCHEMA, CellCache
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+
+#: Fixed periods -> hyperperiod 100 -> every cell is fast-path eligible.
+COMMENSURABLE_BANDS = ((25.0, 25.0), (50.0, 50.0), (100.0, 100.0))
+
+FIXTURE_DIR = Path(__file__).parent / "data" / "cells"
+
+
+def _config(**overrides):
+    base = dict(
+        n_tasks=4,
+        n_sets=2,
+        utilizations=(0.3, 0.6, 0.9),
+        duration=1500.0,
+        seed=7,
+        period_bands=COMMENSURABLE_BANDS,
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+def _curves(sweep):
+    return {series.label: tuple(series.ys) for series in sweep.raw.series}
+
+
+def _worst_gap(a, b):
+    worst = 0.0
+    for label, ys in a.items():
+        for x, y in zip(ys, b[label]):
+            worst = max(worst, abs(x - y) / max(abs(x), abs(y), 1e-12))
+    return worst
+
+
+class TestFastPathSweepDifferential:
+    def test_eligible_sweep_matches_full_simulation(self):
+        full = utilization_sweep(_config())
+        fast = utilization_sweep(_config(steady_fast_path=True))
+        assert _worst_gap(_curves(full), _curves(fast)) < 1e-9
+        assert fast.fast_path_cells == 6  # every (utilization, set) cell
+        assert fast.fast_path_fallbacks == {}
+        # The full run must not report fast-path accounting at all.
+        assert full.fast_path_cells == 0
+
+    def test_default_bands_fall_back_everywhere(self):
+        full = utilization_sweep(_config(period_bands=None))
+        fast = utilization_sweep(_config(period_bands=None,
+                                         steady_fast_path=True))
+        # Fallback means a full simulation: results are bit-identical.
+        assert _curves(full) == _curves(fast)
+        assert fast.fast_path_cells == 0
+        # One fallback per policy run: 6 cells x 6 policies.
+        assert sum(fast.fast_path_fallbacks.values()) == 36
+        assert set(fast.fast_path_fallbacks) <= {
+            "no-hyperperiod", "short-horizon", "aperiodic-demand",
+            "not-periodic"}
+
+    def test_short_horizon_falls_back(self):
+        fast = utilization_sweep(_config(duration=400.0,
+                                         steady_fast_path=True))
+        assert fast.fast_path_cells == 0
+        assert fast.fast_path_fallbacks.get("short-horizon") == 36
+
+    def test_instrumented_cells_fall_back(self):
+        fast = utilization_sweep(_config(steady_fast_path=True,
+                                         residency_policies=("ccEDF",)))
+        # Residency instrumentation needs the full trace: the instrumented
+        # policy falls back, the others still short-circuit.
+        assert fast.fast_path_cells == 6
+        assert fast.fast_path_fallbacks.get("instrumented") == 6
+        assert "ccEDF" in fast.residency
+
+
+class TestFastPathCacheRoundtrip:
+    def test_fast_path_accounting_survives_the_cache(self, tmp_path):
+        config = _config(steady_fast_path=True, cache_dir=str(tmp_path))
+        cold = utilization_sweep(config)
+        warm = utilization_sweep(config)
+        assert warm.cache_hits == 6
+        assert warm.simulated_cells == 0
+        assert _curves(cold) == _curves(warm)
+        # The _fast_path block rides along through encode/decode.
+        assert warm.fast_path_cells == cold.fast_path_cells == 6
+
+    def test_fast_and_full_do_not_share_cache_keys(self, tmp_path):
+        full_config = _config(cache_dir=str(tmp_path))
+        utilization_sweep(full_config)
+        fast = utilization_sweep(_config(steady_fast_path=True,
+                                         cache_dir=str(tmp_path)))
+        # steady_fast_path is part of the context description: a fast
+        # sweep never reuses full-simulation cells (or vice versa).
+        assert fast.cache_hits == 0
+
+
+class TestStaleSchemaFixtures:
+    """The committed schema-1 fixtures (the survivors of the deleted
+    ``results/cells`` blobs) must read as misses and self-evict under the
+    current schema."""
+
+    def test_fixtures_are_stale_schema(self):
+        fixtures = sorted(FIXTURE_DIR.glob("*/*.json"))
+        assert fixtures, "expected committed cell fixtures"
+        for path in fixtures:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            assert entry["schema"] != CACHE_SCHEMA
+            assert entry["schema"] == 1
+
+    def test_stale_fixture_entries_self_evict(self, tmp_path):
+        shutil.copytree(FIXTURE_DIR, tmp_path / "cells")
+        cache = CellCache(str(tmp_path / "cells"))
+        keys = [path.stem for path in sorted(FIXTURE_DIR.glob("*/*.json"))]
+        assert len(cache) == len(keys)
+        for key in keys:
+            assert cache.get(key) is None          # stale schema: a miss
+            assert not cache.path_for(key).exists()  # and evicted
+        assert len(cache) == 0

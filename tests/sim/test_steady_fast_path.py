@@ -1,0 +1,203 @@
+"""Tests for the hyperperiod short-circuit (:func:`try_steady_fast_path`).
+
+The contract: the fast path either returns totals that match a full
+simulation to tight tolerance, or it declines with a reason and the caller
+falls back — it never guesses.  Hypothesis drives the tolerance-bounded
+extrapolation equality over random harmonic task sets.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_POLICIES, make_policy
+from repro.hw.energy import EnergyModel
+from repro.hw.machine import machine0, machine2
+from repro.model.demand import TraceDemand
+from repro.model.task import Task, TaskSet, example_taskset
+from repro.sim.engine import simulate
+from repro.sim.steady import (
+    FastPathOutcome,
+    demand_is_hyperperiodic,
+    try_steady_fast_path,
+)
+
+#: example_taskset() has hyperperiod lcm(8, 10, 14) = 280; warmup + 2
+#: hyperperiods is 840, so any horizon >= 1680 is fast-path eligible.
+HORIZON = 2800.0
+
+RTOL = 1e-9
+
+
+def _gap(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+class TestEligibleExtrapolation:
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    @pytest.mark.parametrize("demand", ["worst", 0.6])
+    def test_matches_full_simulation(self, policy_name, demand):
+        taskset = example_taskset()
+        outcome, reason = try_steady_fast_path(
+            taskset, machine0(), make_policy(policy_name),
+            demand=demand, duration=HORIZON)
+        assert reason == "ok"
+        assert isinstance(outcome, FastPathOutcome)
+        full = simulate(taskset, machine0(), make_policy(policy_name),
+                        demand=demand, duration=HORIZON)
+        assert _gap(outcome.total_energy, full.total_energy) < RTOL
+        assert _gap(outcome.executed_cycles, full.executed_cycles) < RTOL
+
+    def test_simulates_far_less_than_horizon(self):
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("ccEDF"),
+            demand=0.6, duration=28000.0)
+        assert reason == "ok"
+        assert outcome.simulated_duration == pytest.approx(3 * 280.0)
+        assert outcome.horizon == 28000.0
+        assert outcome.simulated_duration * 10 < outcome.horizon
+
+    def test_with_idle_energy_model(self):
+        model = EnergyModel(idle_level=0.3)
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("ccEDF"),
+            demand=0.5, duration=HORIZON, energy_model=model)
+        assert reason == "ok"
+        full = simulate(example_taskset(), machine0(), make_policy("ccEDF"),
+                        demand=0.5, duration=HORIZON, energy_model=model)
+        assert _gap(outcome.total_energy, full.total_energy) < RTOL
+
+    def test_non_whole_hyperperiod_horizon(self):
+        """The remainder splice: horizon = warmup + k·H + r with r > 0."""
+        duration = 280.0 * 7 + 123.456
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("laEDF"),
+            demand=0.7, duration=duration)
+        assert reason == "ok"
+        full = simulate(example_taskset(), machine0(), make_policy("laEDF"),
+                        demand=0.7, duration=duration)
+        assert _gap(outcome.total_energy, full.total_energy) < RTOL
+        assert _gap(outcome.executed_cycles, full.executed_cycles) < RTOL
+
+    def test_periodic_trace_demand_accepted(self):
+        """A TraceDemand whose cycle maps onto itself under a hyperperiod
+        shift is provably periodic and takes the fast path."""
+        ts = TaskSet([Task(1.0, 4.0, name="A"), Task(1.0, 8.0, name="B")])
+        # Hyperperiod 8 -> A fires 2 jobs/hp, B 1 job/hp.  Cycle lengths
+        # dividing the per-hp counts repeat exactly.
+        demand = TraceDemand({"A": [0.5, 0.5], "B": [0.75]}, repeat=True)
+        outcome, reason = try_steady_fast_path(
+            ts, machine0(), make_policy("ccEDF"), demand=demand,
+            duration=400.0)
+        assert reason == "ok"
+        full = simulate(ts, machine0(), make_policy("ccEDF"),
+                        demand=demand, duration=400.0)
+        assert _gap(outcome.total_energy, full.total_energy) < RTOL
+
+
+class TestDeclineReasons:
+    def test_no_hyperperiod(self):
+        ts = TaskSet([Task(0.1, math.pi), Task(0.1, 1.0)])
+        outcome, reason = try_steady_fast_path(
+            ts, machine0(), make_policy("ccEDF"), duration=10000.0,
+            resolution=1.0)
+        assert outcome is None
+        assert reason == "no-hyperperiod"
+
+    def test_short_horizon(self):
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("ccEDF"),
+            duration=1000.0)  # < 2 x (3 x 280)
+        assert outcome is None
+        assert reason == "short-horizon"
+
+    def test_random_demand_rejected(self):
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("ccEDF"),
+            demand="uniform", duration=HORIZON)
+        assert outcome is None
+        assert reason == "aperiodic-demand"
+
+    def test_non_repeating_trace_rejected(self):
+        ts = TaskSet([Task(1.0, 4.0, name="A"), Task(1.0, 8.0, name="B")])
+        demand = TraceDemand({"A": [0.5, 0.9, 0.4], "B": [0.75]},
+                             repeat=True)  # 3 does not divide 2/hp cycle
+        outcome, reason = try_steady_fast_path(
+            ts, machine0(), make_policy("ccEDF"), demand=demand,
+            duration=400.0)
+        assert outcome is None
+        assert reason == "not-periodic"
+
+    def test_finite_trace_shorter_than_horizon_rejected(self):
+        ts = TaskSet([Task(1.0, 4.0, name="A")])
+        demand = TraceDemand({"A": [0.5, 0.5]}, repeat=False)
+        outcome, reason = try_steady_fast_path(
+            ts, machine0(), make_policy("ccEDF"), demand=demand,
+            duration=100.0)
+        assert outcome is None
+        assert reason == "not-periodic"
+
+    def test_demand_checker_reports_ok_for_builtin_models(self):
+        ts = example_taskset()
+        for spec in ("worst", 0.5, 1.0):
+            ok, reason = demand_is_hyperperiodic(spec, ts, 280.0, HORIZON)
+            assert ok and reason == "ok", spec
+
+
+class TestErrorPropagation:
+    def test_schedulability_error_propagates(self):
+        from repro.errors import SchedulabilityError
+        ts = TaskSet([Task(9.0, 10.0), Task(5.0, 10.0)])  # U > 1
+        with pytest.raises(SchedulabilityError):
+            try_steady_fast_path(ts, machine0(), make_policy("ccEDF"),
+                                 duration=HORIZON)
+
+    def test_on_miss_drop_matches_full_simulation(self):
+        # U just above the RM bound for NoDVS-on-RM misses at full speed?
+        # Use a schedulable set with drop mode anyway: results must match.
+        outcome, reason = try_steady_fast_path(
+            example_taskset(), machine0(), make_policy("ccRM"),
+            demand=0.8, duration=HORIZON, on_miss="drop")
+        assert reason == "ok"
+        full = simulate(example_taskset(), machine0(), make_policy("ccRM"),
+                        demand=0.8, duration=HORIZON, on_miss="drop")
+        assert _gap(outcome.total_energy, full.total_energy) < RTOL
+
+
+class TestExtrapolationProperty:
+    """Hypothesis: on random harmonic task sets, the extrapolated totals
+    equal a full simulation within the verification tolerance."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        periods=st.lists(st.sampled_from([2.0, 4.0, 8.0, 16.0]),
+                         min_size=2, max_size=5),
+        utils=st.lists(st.floats(0.02, 0.2), min_size=5, max_size=5),
+        fraction=st.floats(0.3, 1.0),
+        policy_name=st.sampled_from(["ccEDF", "laEDF", "staticEDF"]),
+        fine_machine=st.booleans(),
+        whole=st.integers(7, 25),
+        remainder=st.floats(0.0, 15.9),
+    )
+    def test_extrapolation_matches_full_sim(self, periods, utils, fraction,
+                                            policy_name, fine_machine,
+                                            whole, remainder):
+        tasks = [Task(u * p, p, name=f"H{i}")
+                 for i, (p, u) in enumerate(zip(periods, utils))]
+        taskset = TaskSet(tasks)
+        assume(taskset.utilization <= 0.95)
+        machine = machine2() if fine_machine else machine0()
+        hyperperiod = max(periods)  # powers of two: lcm = max
+        duration = whole * hyperperiod + remainder
+        assume(duration >= 2.0 * 3.0 * hyperperiod)
+        outcome, reason = try_steady_fast_path(
+            taskset, machine, make_policy(policy_name),
+            demand=fraction, duration=duration)
+        assert reason == "ok"
+        full = simulate(taskset, machine, make_policy(policy_name),
+                        demand=fraction, duration=duration)
+        assert _gap(outcome.total_energy, full.total_energy) < 1e-8
+        assert _gap(outcome.executed_cycles, full.executed_cycles) < 1e-8
