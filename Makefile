@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-figures check test-fast-path experiments experiments-full sweep-cache-clean clean
+.PHONY: install test cov bench bench-mem bench-figures check test-fast-path experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -26,14 +26,21 @@ bench:
 	PYTHONPATH=src python benchmarks/write_bench_json.py
 	pytest benchmarks/ --benchmark-only
 
+# Memory trajectory: before/after peak RSS and bytes shipped for the two
+# trace backends (one fresh subprocess per backend) -> BENCH_mem.json.
+bench-mem:
+	PYTHONPATH=src python benchmarks/mem_workload.py
+
 bench-figures:
 	pytest benchmarks/ --benchmark-only
 
-# What CI runs: tier-1 tests plus a smoke pass of the engine benchmarks,
-# so the perf harness itself cannot rot.
+# What CI runs: tier-1 tests plus a smoke pass of the engine benchmarks
+# (so the perf harness itself cannot rot) plus the peak-RSS gate of the
+# memory workload (array trace backend must cut peak RSS >= 30%).
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
+	PYTHONPATH=src python benchmarks/mem_workload.py --gate
 
 # The fast-path differential suites: incremental-vs-from-scratch policy
 # state must produce bit-identical SimResults, and the hyperperiod

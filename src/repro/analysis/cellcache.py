@@ -29,9 +29,14 @@ Invalidation rules
 
 The cache directory defaults to ``~/.cache/rtdvs-repro/cells`` and can be
 redirected with the ``RTDVS_CELL_CACHE`` environment variable or the
-``--cache-dir`` CLI option.  Entries are JSON files (floats round-trip
-bit-exactly through Python's ``json``), written atomically via a temp file
-and ``os.replace`` so concurrent sweeps never observe torn entries.
+``--cache-dir`` CLI option.  Since schema 3, entries are ``.bin`` files in
+the columnar wire format of :mod:`repro.analysis.transport` (raw float64
+buffers round-trip bit-exactly by construction) — the same codec the
+parallel executor ships worker results with.  Entries are written
+atomically via a temp file and ``os.replace`` so concurrent sweeps never
+observe torn entries.  Legacy schema-2 ``.json`` entries self-evict: a
+``get`` that finds one removes it and reports a miss, so stale files drain
+away as sweeps re-run instead of lingering forever.
 """
 
 from __future__ import annotations
@@ -43,11 +48,15 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.analysis.transport import decode_cell, encode_cell
+
 #: Bump whenever simulator/policy/energy semantics change in a way that
 #: alters cell outcomes without changing the sweep parameters themselves.
 #: 2: outcomes gained the ``_fast_path`` accounting block and the steady
 #: fast path / period-band options entered the context description.
-CACHE_SCHEMA = 2
+#: 3: entries moved from JSON to the columnar ``transport`` codec
+#: (``.bin``); old ``.json`` entries are evicted on sight.
+CACHE_SCHEMA = 3
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "RTDVS_CELL_CACHE"
@@ -78,7 +87,8 @@ def cell_key(description: Dict[str, object]) -> str:
 
 
 def encode_outcome(outcome: Dict[str, object]) -> Dict[str, object]:
-    """Convert a cell outcome to a JSON-safe dict.
+    """Convert a cell outcome to a JSON-safe dict (legacy schema <= 2
+    entry format; current entries use :mod:`repro.analysis.transport`).
 
     Outcomes map policy labels to float energies, plus ``_rm_fallbacks``
     (int) and optionally ``_residency`` (policy -> {float frequency ->
@@ -122,47 +132,68 @@ def decode_outcome(encoded: Dict[str, object]) -> Dict[str, object]:
 class CellCache:
     """A directory of content-addressed cell outcomes.
 
-    Entries are sharded two hex characters deep (``ab/abcdef....json``) so
+    Entries are sharded two hex characters deep (``ab/abcdef....bin``) so
     paper-scale sweeps (thousands of cells) do not pile every entry into
-    one directory.  Unreadable or schema-mismatched entries are treated as
-    misses and removed.
+    one directory.  Unreadable or schema-mismatched entries — including
+    pre-schema-3 ``.json`` files — are treated as misses and removed.
     """
+
+    #: Entry globs in probe order: current binary format first, then the
+    #: legacy JSON format kept only so old entries can self-evict.
+    _ENTRY_GLOBS = ("??/*.bin", "??/*.json")
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
 
     def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.bin"
+
+    def _legacy_path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The cached outcome for ``key``, or ``None`` on a miss."""
+        """The cached outcome for ``key``, or ``None`` on a miss.
+
+        Probes the ``.bin`` entry, then the legacy ``.json`` slot; a
+        legacy (or torn, or wrong-schema) file is unlinked on sight so
+        stale entries drain away instead of being re-parsed on every
+        sweep forever.
+        """
         path = self.path_for(key)
         try:
-            with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if entry.get("schema") != CACHE_SCHEMA:
-                raise ValueError(f"schema {entry.get('schema')!r}")
-            return decode_outcome(entry["outcome"])
+            data = path.read_bytes()
+            outcome, meta = decode_cell(data, with_meta=True)
+            if meta.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"schema {meta.get('schema')!r}")
+            self._evict(self._legacy_path_for(key))
+            return outcome
         except FileNotFoundError:
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
+            pass
+        except Exception:
             # Torn, corrupt, or stale-schema entry: drop it and resimulate.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._evict(path)
             return None
+        # No binary entry; a JSON file here is by definition pre-schema-3.
+        self._evict(self._legacy_path_for(key))
+        return None
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, outcome: Dict[str, object]) -> None:
         """Store ``outcome`` under ``key`` (atomic; last writer wins)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"schema": CACHE_SCHEMA, "key": key,
-                 "outcome": encode_outcome(outcome)}
+        payload = encode_cell(outcome,
+                              meta={"schema": CACHE_SCHEMA, "key": key})
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, allow_nan=False)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -171,17 +202,21 @@ class CellCache:
                 pass
             raise
 
+    def _entries(self):
+        for pattern in self._ENTRY_GLOBS:
+            yield from self.root.glob(pattern)
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return sum(1 for _ in self._entries())
 
     def size_bytes(self) -> int:
-        """Total size of all cache entries, in bytes."""
-        return sum(p.stat().st_size for p in self.root.glob("??/*.json"))
+        """Total size of all cache entries (legacy JSON included), in bytes."""
+        return sum(p.stat().st_size for p in self._entries())
 
     def clear(self) -> int:
-        """Remove every entry; returns the number of entries removed."""
+        """Remove every entry (legacy JSON included); returns the count."""
         removed = 0
-        for path in self.root.glob("??/*.json"):
+        for path in list(self._entries()):
             try:
                 path.unlink()
                 removed += 1

@@ -79,12 +79,15 @@ def _install_contexts(contexts: Dict[str, object]) -> None:
 
 
 def _execute_cell(digest: str, context: Optional[object],
-                  spec: object) -> object:
+                  spec: object, encode: bool = False) -> object:
     """Run one cell in a worker process.
 
     ``context`` is ``None`` when the digest was installed via the pool
     initializer; otherwise the first task carrying a new digest installs
-    it for every later task in this process.
+    it for every later task in this process.  With ``encode`` the outcome
+    crosses back to the driver as the compact columnar wire format of
+    :mod:`repro.analysis.transport` instead of a pickled object graph —
+    one small bytes object per cell.
     """
     ctx = _CONTEXTS.get(digest)
     if ctx is None:
@@ -92,7 +95,11 @@ def _execute_cell(digest: str, context: Optional[object],
             raise RuntimeError(f"sweep context {digest} not installed")
         _CONTEXTS[digest] = ctx = context
     from repro.analysis.sweep import run_cell
-    return run_cell(ctx, spec)
+    outcome = run_cell(ctx, spec)
+    if encode:
+        from repro.analysis.transport import encode_cell
+        return encode_cell(outcome)
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -175,6 +182,9 @@ class CellExecutor:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._initializer_contexts: Dict[str, object] = {}
         self._shutdown = False
+        #: Total bytes of encoded cell outcomes received from workers
+        #: (0 on the inline path, which never serializes anything).
+        self.ipc_bytes = 0
 
     # -- lifecycle ----------------------------------------------------------
     def __enter__(self) -> "CellExecutor":
@@ -227,16 +237,20 @@ class CellExecutor:
                     progress.advance()
                 yield index, outcome
             return
+        from repro.analysis.transport import decode_cell
         pool = self._ensure_pool()
         ship = None if digest in self._initializer_contexts else context
         pending = {
-            pool.submit(_execute_cell, digest, ship, spec): index
+            pool.submit(_execute_cell, digest, ship, spec, True): index
             for index, spec in enumerate(specs)}
         while pending:
             finished, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
                 index = pending.pop(future)
                 outcome = future.result()
+                if isinstance(outcome, bytes):
+                    self.ipc_bytes += len(outcome)
+                    outcome = decode_cell(outcome)
                 if on_result is not None:
                     on_result(index, outcome)
                 if progress is not None:

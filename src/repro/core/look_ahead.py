@@ -108,15 +108,25 @@ class LookAheadEDF(DVSPolicy):
         self.incremental = incremental
         self.over_unity_events = 0
         # Maintained reverse-EDF order: ascending (-deadline, -index) keys
-        # with a parallel task list; tasks without a current job live in
-        # ``_no_job`` (they contribute nothing to the walk).
+        # with parallel task/deadline/utilization lists; tasks without a
+        # current job live in ``_no_job`` (they contribute nothing to the
+        # walk).  ``_deadlines``/``_utils`` are spliced in lock-step with
+        # ``_keys``/``_tasks`` so the deferral walk reads plain list slots
+        # instead of negating key tuples and chasing ``task.name`` through
+        # a dict on every iteration of every callback.
         self._keys: List[Tuple[float, int]] = []
         self._tasks: List[Task] = []
+        self._deadlines: List[float] = []
+        self._utils: List[float] = []
         self._key_of: Dict[str, Tuple[float, int]] = {}
         self._no_job: List[Task] = []
         self._index_of: Dict[str, int] = {}
         self._util_of: Dict[str, float] = {}
         self._total_util = 0.0
+        # Reused c_left scratch buffer for the batch view read; resized
+        # (rarely) when the walk length changes, filled in place otherwise
+        # so the per-callback deferral allocates nothing.
+        self._c_left: List[float] = []
 
     def setup(self, view) -> Optional[OperatingPoint]:
         if view.taskset.utilization > 1.0 + 1e-9:
@@ -188,6 +198,11 @@ class LookAheadEDF(DVSPolicy):
                        sorted(zip(self._keys, self._tasks),
                               key=lambda e: e[0])]
         self._keys.sort()
+        # Negating the stored key recovers the exact deadline bit pattern
+        # (float negation is sign-flip only), so the parallel lists read
+        # the identical values the key-based walk did.
+        self._deadlines = [-key[0] for key in self._keys]
+        self._utils = [self._util_of[task.name] for task in self._tasks]
 
     def _insert(self, task: Task, key: Tuple[float, int]) -> None:
         self._keys.append(key)
@@ -213,11 +228,15 @@ class LookAheadEDF(DVSPolicy):
             pos = bisect_left(self._keys, old)
             self._keys.pop(pos)
             self._tasks.pop(pos)
+            self._deadlines.pop(pos)
+            self._utils.pop(pos)
         else:
             self._no_job.remove(task)  # first release only
         pos = bisect_left(self._keys, key)
         self._keys.insert(pos, key)
         self._tasks.insert(pos, task)
+        self._deadlines.insert(pos, deadline)
+        self._utils.insert(pos, self._util_of[name])
         self._key_of[name] = key
 
     def _check_order(self, view) -> None:
@@ -245,12 +264,19 @@ class LookAheadEDF(DVSPolicy):
                 self._check_order(view)
             utilization = self._total_util
             must_run = 0.0
-            util_of = self._util_of
-            remaining = view.worst_case_remaining
-            for key, task in zip(self._keys, self._tasks):
-                deadline = -key[0]
-                c_left = remaining(task)
-                utilization -= util_of[task.name]
+            tasks = self._tasks
+            scratch = self._c_left
+            if len(scratch) != len(tasks):
+                scratch = self._c_left = [0.0] * len(tasks)
+            batch = getattr(view, "worst_case_remaining_each", None)
+            if batch is not None:
+                c_lefts = batch(tasks, scratch)
+            else:  # duck-typed view (stub/tick): same values, scalar reads
+                c_lefts = [view.worst_case_remaining(task)
+                           for task in tasks]
+            for deadline, util, c_left in zip(self._deadlines, self._utils,
+                                              c_lefts):
+                utilization -= util
                 span = deadline - earliest
                 if span <= 1e-12:
                     deferred = 0.0

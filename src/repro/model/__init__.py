@@ -22,6 +22,7 @@ from repro.model.schedulability import (
     rm_liu_layland_bound,
     rm_liu_layland_schedulable,
     rm_exact_schedulable,
+    rm_rta_schedulable,
     rm_scheduling_points,
     response_time_analysis,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "rm_liu_layland_bound",
     "rm_liu_layland_schedulable",
     "rm_exact_schedulable",
+    "rm_rta_schedulable",
     "rm_scheduling_points",
     "response_time_analysis",
 ]

@@ -85,7 +85,7 @@ from repro.model.job import Job
 from repro.model.task import Task, TaskSet
 from repro.sim.results import DeadlineMiss, EnergyBreakdown, SimResult
 from repro.sim.scheduler import PriorityPolicy, make_priority
-from repro.sim.trace import ExecutionTrace, Segment
+from repro.sim.timeline import make_trace
 
 _EPS = 1e-9
 
@@ -169,6 +169,26 @@ class SchedulerView:
     def worst_case_remaining(self, task: Task) -> float:
         raise NotImplementedError
 
+    def worst_case_remaining_each(self, tasks: Sequence[Task],
+                                  out: Optional[List[float]] = None
+                                  ) -> List[float]:
+        """Batch ``c_left`` lookup: one slot per task, the same values as
+        calling :meth:`worst_case_remaining` task by task.
+
+        Policies that walk the whole task set per callback (laEDF's
+        deferral loop fires on every release and completion) pay a
+        per-task method-call + property chain through the scalar API;
+        the batch form lets the simulator resolve its own state dict in
+        one tight loop.  ``out`` is an optional reused scratch list —
+        when it already has ``len(tasks)`` slots it is filled in place
+        and returned, so steady-state callbacks allocate nothing.
+        """
+        if out is not None and len(out) == len(tasks):
+            for index, task in enumerate(tasks):
+                out[index] = self.worst_case_remaining(task)
+            return out
+        return [self.worst_case_remaining(task) for task in tasks]
+
     def executed_in_invocation(self, task: Task) -> float:
         raise NotImplementedError
 
@@ -210,8 +230,14 @@ class Simulator(SchedulerView):
         policies never miss on schedulable sets, so the default is safe for
         all the paper's experiments.
     record_trace:
-        When True, keep a full :class:`~repro.sim.trace.ExecutionTrace`
-        (costs memory; off by default for large sweeps).
+        When True, keep a full execution trace (costs memory; off by
+        default for large sweeps).
+    trace_backend:
+        ``"array"`` (default) records into the columnar
+        :class:`~repro.sim.timeline.SimTimeline`; ``"segments"`` keeps the
+        legacy per-object :class:`~repro.sim.trace.ExecutionTrace`.  Both
+        produce bit-identical ``Segment`` views; the array backend is
+        faster and far smaller on long horizons.
     admissions:
         Tasks to add dynamically during the run (see :class:`Admission`).
     enforce_wcet:
@@ -236,6 +262,7 @@ class Simulator(SchedulerView):
                  scheduler: Optional[str] = None,
                  on_miss: str = "raise",
                  record_trace: bool = False,
+                 trace_backend: str = "array",
                  admissions: Sequence[Admission] = (),
                  enforce_wcet: bool = True,
                  instrument=None):
@@ -273,7 +300,11 @@ class Simulator(SchedulerView):
         self._energy = EnergyBreakdown()
         self._switches = 0
         self._point: OperatingPoint = machine.fastest
-        self._trace = ExecutionTrace() if record_trace else None
+        self._trace = make_trace(record_trace, trace_backend)
+        # Bound method cached once: the recording hot path pays a single
+        # None test per slice, and no dispatch on the backend type.
+        self._trace_record = (self._trace.record
+                              if self._trace is not None else None)
         self._busy_time = 0.0
         self._idle_time = 0.0
         self._finished = False
@@ -347,6 +378,30 @@ class Simulator(SchedulerView):
         if job is None:
             return 0.0
         return job.worst_case_remaining
+
+    def worst_case_remaining_each(self, tasks: Sequence[Task],
+                                  out: Optional[List[float]] = None
+                                  ) -> List[float]:
+        """Batch ``c_left``, resolving the state dict directly.
+
+        Inlines :attr:`Job.worst_case_remaining` (complete -> 0, else
+        ``max(0, C_i - executed)``) so an n-task walk costs one method
+        call plus n dict probes instead of 4n calls through the scalar
+        property chain — laEDF's deferral loop reads every task on every
+        release and completion.
+        """
+        states = self._states
+        fill = out is not None and len(out) == len(tasks)
+        if not fill:
+            out = [0.0] * len(tasks)
+        for index, task in enumerate(tasks):
+            state = states.get(task.name)
+            job = state.job if state is not None else None
+            if job is None or job.completion_time is not None:
+                out[index] = 0.0
+            else:
+                out[index] = max(0.0, job.task.wcet - job.executed)
+        return out
 
     def executed_in_invocation(self, task: Task) -> float:
         """Cycles executed by the current invocation so far."""
@@ -886,11 +941,9 @@ class Simulator(SchedulerView):
     def _record_segment(self, start: float, end: float, task: Optional[str],
                         cycles: float, energy: float,
                         kind: str = "run") -> None:
-        if self._trace is None:
-            return
-        self._trace.append(Segment(start=start, end=end, task=task,
-                                   point=self._point, cycles=cycles,
-                                   energy=energy, kind=kind))
+        record = self._trace_record
+        if record is not None:
+            record(start, end, task, self._point, cycles, energy, kind)
 
     # ------------------------------------------------------------------
     # deadline accounting

@@ -120,7 +120,35 @@ def _cumulative_energy_at(result, times):
 
 def _cumulative_at(result, times):
     """Cumulative (energy, executed cycles) at each requested time
-    (sorted), interpolating linearly inside the straddling segment."""
+    (sorted), interpolating linearly inside the straddling segment.
+
+    Columnar traces are scanned straight off their buffers (same
+    accumulation order, so bit-identical totals) without materializing
+    ``Segment`` objects.
+    """
+    columns = getattr(result.trace, "columns", None)
+    if columns is not None:
+        starts, ends, cycles, energies, _task, _op, _kind = columns()
+        n = len(result.trace)
+        out = []
+        energy_total = 0.0
+        cycle_total = 0.0
+        index = 0
+        for target in times:
+            while index < n and ends[index] <= target + 1e-9:
+                energy_total += energies[index]
+                cycle_total += cycles[index]
+                index += 1
+            energy_partial = 0.0
+            cycle_partial = 0.0
+            if index < n and starts[index] < target - 1e-9:
+                fraction = ((target - starts[index])
+                            / (ends[index] - starts[index]))
+                energy_partial = energies[index] * fraction
+                cycle_partial = cycles[index] * fraction
+            out.append((energy_total + energy_partial,
+                        cycle_total + cycle_partial))
+        return out
     out = []
     energy_total = 0.0
     cycle_total = 0.0

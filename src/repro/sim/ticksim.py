@@ -28,6 +28,7 @@ from repro.hw.operating_point import OperatingPoint
 from repro.model.demand import DemandModel, WorstCaseDemand, demand_from_spec
 from repro.model.job import Job
 from repro.model.task import Task, TaskSet
+from repro.sim.timeline import make_trace
 
 _EPS = 1e-9
 
@@ -39,6 +40,7 @@ class TickResult:
         self.energy = 0.0
         self.jobs: List[Job] = []
         self.missed: List[Job] = []
+        self.trace = None  # SimTimeline/ExecutionTrace when recording
 
     @property
     def executed_cycles(self) -> float:
@@ -62,6 +64,8 @@ class TickSimulator:
                  duration: float = 100.0, tick: float = 0.01,
                  energy_model: Optional[EnergyModel] = None,
                  scheduler: Optional[str] = None,
+                 record_trace: bool = False,
+                 trace_backend: str = "array",
                  instrument=None):
         if tick <= 0:
             raise SimulationError(f"tick must be positive, got {tick}")
@@ -92,6 +96,9 @@ class TickSimulator:
         self._invocation: Dict[str, int] = {t.name: 0 for t in taskset}
         self._point: OperatingPoint = machine.fastest
         self._result = TickResult()
+        self._result.trace = make_trace(record_trace, trace_backend)
+        self._trace_record = (self._result.trace.record
+                              if self._result.trace is not None else None)
 
         # -- instrumentation (see repro.obs); same caching scheme as the
         # event-driven engine: bound-method-or-None per hook.  The tick
@@ -170,24 +177,36 @@ class TickSimulator:
             self.time = step * self.tick
             self._release_due()
             job = self._pick()
+            record = self._trace_record
             if job is None:
                 idle_hook = getattr(self.policy, "on_idle", None)
                 if idle_hook is not None:
                     self._apply_point(idle_hook(self))
-                self._result.energy += self.energy_model.idle_energy(
-                    self._point, self.tick)
+                energy = self.energy_model.idle_energy(self._point,
+                                                       self.tick)
+                self._result.energy += energy
+                if record is not None:
+                    record(self.time, self.time + self.tick, None,
+                           self._point, 0.0, energy, "idle")
                 continue
             if self._obs_track_ctx and job is not self._last_exec_job:
                 self._note_context_switch(job)
             frequency = self._point.frequency
             cycles = min(self.tick * frequency, job.remaining)
             job.executed += cycles
-            self._result.energy += self.energy_model.execution_energy(
-                self._point, cycles)
+            energy = self.energy_model.execution_energy(self._point, cycles)
+            self._result.energy += energy
+            run_end = self.time + cycles / frequency
+            if record is not None:
+                record(self.time, run_end, job.task.name, self._point,
+                       cycles, energy, "run")
             leftover = self.tick - cycles / frequency
             if leftover > _EPS:
-                self._result.energy += self.energy_model.idle_energy(
-                    self._point, leftover)
+                energy = self.energy_model.idle_energy(self._point, leftover)
+                self._result.energy += energy
+                if record is not None:
+                    record(run_end, self.time + self.tick, None,
+                           self._point, 0.0, energy, "idle")
             if job.remaining <= _EPS:
                 job.executed = job.demand
                 job.completion_time = self.time + cycles / frequency

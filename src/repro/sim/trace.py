@@ -67,6 +67,15 @@ class ExecutionTrace:
     def __init__(self):
         self._segments: List[Segment] = []
 
+    def record(self, start: float, end: float, task: Optional[str],
+               point: OperatingPoint, cycles: float, energy: float,
+               kind: str = "run") -> None:
+        """Recorder entry point shared with
+        :class:`~repro.sim.timeline.SimTimeline`: box the slice into a
+        :class:`Segment` and append it."""
+        self.append(Segment(start=start, end=end, task=task, point=point,
+                            cycles=cycles, energy=energy, kind=kind))
+
     def append(self, segment: Segment) -> None:
         """Add a segment, merging with the previous one when homogeneous."""
         if segment.duration <= _MIN_SEGMENT:

@@ -35,6 +35,7 @@ comfortable at ``duration=100`` drowns in representation error at
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -45,6 +46,13 @@ from repro.sim.results import SimResult
 from repro.sim.trace import Segment
 
 _EPS = 1e-6
+
+#: All available checks, in execution order.  The segment-linear trio
+#: (tiling, cycles, energy) runs vectorized over the columns when the
+#: trace is a :class:`~repro.sim.timeline.SimTimeline`; budget and
+#: priority cross-reference the job list per segment and therefore scale
+#: with segments × jobs — select checks on very long traces accordingly.
+ALL_CHECKS = ("tiling", "cycles", "budget", "priority", "energy")
 
 
 @dataclass(frozen=True)
@@ -61,8 +69,10 @@ class Violation:
 
 def validate_schedule(result: SimResult,
                       energy_model: Optional[EnergyModel] = None,
-                      work_conserving: bool = True) -> List[Violation]:
-    """Run every check; returns the list of violations (empty = valid).
+                      work_conserving: bool = True,
+                      checks=ALL_CHECKS) -> List[Violation]:
+    """Run the selected checks; returns the list of violations (empty =
+    valid).
 
     Parameters
     ----------
@@ -75,27 +85,73 @@ def validate_schedule(result: SimResult,
         Check that the processor never idles with ready work.  True for
         every policy in this library (EDF/RM are work-conserving); turn
         off for policies that deliberately insert idle time.
+    checks:
+        Which checks to run (default: all of :data:`ALL_CHECKS`).
     """
     if result.trace is None:
         raise SimulationError(
             "validate_schedule needs a run with record_trace=True")
+    unknown = set(checks) - set(ALL_CHECKS)
+    if unknown:
+        raise SimulationError(
+            f"unknown validation checks {sorted(unknown)}; "
+            f"available: {ALL_CHECKS}")
     violations: List[Violation] = []
-    violations.extend(_check_tiling(result))
-    violations.extend(_check_cycle_rates(result))
-    violations.extend(_check_budgets(result))
-    violations.extend(_check_priorities(result, work_conserving))
-    violations.extend(_check_energy(result,
-                                    energy_model or EnergyModel()))
+    if "tiling" in checks:
+        violations.extend(_check_tiling(result))
+    if "cycles" in checks:
+        violations.extend(_check_cycle_rates(result))
+    if "budget" in checks:
+        violations.extend(_check_budgets(result))
+    if "priority" in checks:
+        violations.extend(_check_priorities(result, work_conserving))
+    if "energy" in checks:
+        violations.extend(_check_energy(result,
+                                        energy_model or EnergyModel()))
     return violations
+
+
+def _trace_columns(result: SimResult):
+    """(start, end, cycles, op, kind) as numpy views when the trace is
+    columnar, else ``None`` (legacy per-segment loops apply)."""
+    columns = getattr(result.trace, "columns", None)
+    if columns is None or len(result.trace) == 0:
+        return None
+    import numpy as np
+    start, end, cycles, _energy, _task, op, kind = columns()
+    return (np.frombuffer(start, dtype=np.float64),
+            np.frombuffer(end, dtype=np.float64),
+            np.frombuffer(cycles, dtype=np.float64),
+            np.frombuffer(op, dtype=np.dtype(f"i{op.itemsize}")),
+            np.frombuffer(kind, dtype=np.int8))
 
 
 # ---------------------------------------------------------------------------
 
 def _check_tiling(result: SimResult) -> List[Violation]:
+    if len(result.trace) == 0:
+        return [Violation("tiling", 0.0, "empty trace")]
+    cols = _trace_columns(result)
+    if cols is not None:
+        import numpy as np
+        start, end, _cycles, _op, _kind = cols
+        out = []
+        if abs(start[0]) > _EPS:
+            out.append(Violation("tiling", float(start[0]),
+                                 "trace does not start at 0"))
+        bad = np.nonzero(np.abs(start[1:] - end[:-1]) > _EPS)[0]
+        for i in bad:
+            out.append(Violation(
+                "tiling", float(start[i + 1]),
+                f"gap/overlap: previous segment ends at {end[i]:g}"))
+        if abs(end[-1] - result.duration) > 1e-3:
+            out.append(Violation(
+                "tiling", float(end[-1]),
+                f"trace ends at {end[-1]:g}, duration is "
+                f"{result.duration:g}"))
+        return out
     out = []
     segments = result.trace.segments
-    if not segments:
-        return [Violation("tiling", 0.0, "empty trace")]
     if abs(segments[0].start) > _EPS:
         out.append(Violation("tiling", segments[0].start,
                              "trace does not start at 0"))
@@ -113,6 +169,33 @@ def _check_tiling(result: SimResult) -> List[Violation]:
 
 
 def _check_cycle_rates(result: SimResult) -> List[Violation]:
+    cols = _trace_columns(result)
+    if cols is not None:
+        import numpy as np
+        start, end, cycles, op, kind = cols
+        points = result.trace.points
+        freq = np.array([p.frequency for p in points], dtype=np.float64)
+        run = kind == 0
+        duration = end - start
+        expected = duration * freq[op]
+        bad_rate = run & (np.abs(cycles - expected)
+                          > _EPS * np.maximum(1.0, expected))
+        bad_nonrun = (~run) & (cycles != 0.0)
+        out = []
+        for i in np.nonzero(bad_nonrun | bad_rate)[0]:
+            if run[i]:
+                out.append(Violation(
+                    "cycles", float(start[i]),
+                    f"segment of {duration[i]:g} at f="
+                    f"{freq[op[i]]:g} reports {cycles[i]:g} "
+                    f"cycles (expected {expected[i]:g})"))
+            else:
+                from repro.sim.timeline import KINDS
+                out.append(Violation(
+                    "cycles", float(start[i]),
+                    f"{KINDS[kind[i]]} segment reports {cycles[i]:g} "
+                    "executed cycles"))
+        return out
     out = []
     for segment in result.trace:
         if segment.kind != "run":
@@ -238,14 +321,24 @@ def _check_priorities(result: SimResult,
 
 def _check_energy(result: SimResult,
                   energy_model: EnergyModel) -> List[Violation]:
-    total = 0.0
-    for segment in result.trace:
-        if segment.kind == "run":
-            total += energy_model.execution_energy(segment.point,
-                                                   segment.cycles)
-        else:
-            total += energy_model.idle_energy(segment.point,
-                                              segment.duration)
+    cols = _trace_columns(result)
+    if cols is not None:
+        import numpy as np
+        start, end, cycles, op, kind = cols
+        points = result.trace.points
+        run = kind == 0
+        exec_e = energy_model.execution_energy_batch(points, op, cycles)
+        idle_e = energy_model.idle_energy_batch(points, op, end - start)
+        total = float(np.sum(np.where(run, exec_e, idle_e)))
+    else:
+        total = 0.0
+        for segment in result.trace:
+            if segment.kind == "run":
+                total += energy_model.execution_energy(segment.point,
+                                                       segment.cycles)
+            else:
+                total += energy_model.idle_energy(segment.point,
+                                                  segment.duration)
     if abs(total - result.total_energy) > 1e-6 * max(1.0, total):
         return [Violation(
             "energy", 0.0,
@@ -293,10 +386,14 @@ def rederive_counters(result: SimResult) -> Dict[str, int]:
         if job.demand > 1e-9:  # zero-demand jobs complete without running
             by_task.setdefault(job.task.name, []).append(job)
 
+    cursors: Dict[str, _TaskDispatchCursor] = {}
     dispatches: List[Tuple[Job, float]] = []  # (job, time it took over)
     for segment in result.trace.run_segments():
-        for job, when in _jobs_executed_in(by_task.get(segment.task, []),
-                                           segment, result.duration):
+        cursor = cursors.get(segment.task)
+        if cursor is None:
+            cursor = cursors[segment.task] = _TaskDispatchCursor(
+                by_task.get(segment.task, []), result.duration)
+        for job, when in cursor.executed_in(segment):
             if not dispatches or dispatches[-1][0] is not job:
                 dispatches.append((job, when))
 
@@ -305,12 +402,18 @@ def rederive_counters(result: SimResult) -> Dict[str, int]:
         if prev.completion_time is None or prev.completion_time > when:
             preemptions += 1
 
-    transitions = 0
-    previous = None
-    for segment in result.trace:
-        if previous is not None and segment.point != previous:
-            transitions += 1
-        previous = segment.point
+    cols = _trace_columns(result)
+    if cols is not None:
+        import numpy as np
+        _start, _end, _cycles, op, _kind = cols
+        transitions = int(np.count_nonzero(op[1:] != op[:-1]))
+    else:
+        transitions = 0
+        previous = None
+        for segment in result.trace:
+            if previous is not None and segment.point != previous:
+                transitions += 1
+            previous = segment.point
 
     misses = sum(1 for job in result.jobs
                  if job.outcome(result.duration) is JobOutcome.MISSED)
@@ -331,6 +434,59 @@ def _life_end(job: Job, duration: float) -> float:
     return float("inf")
 
 
+class _TaskDispatchCursor:
+    """Amortized-O(1)-per-segment job attribution for one task's segments.
+
+    Computes exactly what :func:`_jobs_executed_in` computes, but exploits
+    that :func:`rederive_counters` feeds it one task's run segments in
+    increasing time order: completions in ``(start, end]`` come from a
+    bisect over the completion-time-sorted job list, and the linear scan
+    for the still-running job keeps its position between calls.  Skipping
+    a job is permanent — both skip conditions (completed by ``end``, life
+    ended before ``end``) only become *more* true as ``end`` grows — so
+    the cursor never rewinds and every job is visited O(1) times total.
+    """
+
+    def __init__(self, jobs: List[Job], duration: float):
+        self._jobs = jobs  # sorted by release time
+        self._duration = duration
+        self._completed = sorted(
+            (job for job in jobs if job.completion_time is not None),
+            key=lambda j: j.completion_time)
+        self._completion_times = [job.completion_time
+                                  for job in self._completed]
+        self._scan = 0  # persistent index into self._jobs
+
+    def executed_in(self, segment: Segment) -> List[Tuple[Job, float]]:
+        lo = bisect_right(self._completion_times, segment.start)
+        hi = bisect_right(self._completion_times, segment.end)
+        completed = self._completed[lo:hi]
+        running = None
+        jobs = self._jobs
+        index = self._scan
+        while index < len(jobs):
+            job = jobs[index]
+            if job.release_time >= segment.end:
+                break  # not released yet; revisit when windows grow
+            completion = job.completion_time
+            if completion is not None and completion <= segment.end:
+                index += 1  # finished inside or before the window
+                continue
+            if _life_end(job, self._duration) >= segment.end:
+                running = job  # may still be running next window: stay put
+                break
+            index += 1
+        self._scan = index
+        sequence = completed + ([running] if running is not None else [])
+        out = []
+        start = segment.start
+        for job in sequence:
+            out.append((job, start))
+            if job.completion_time is not None:
+                start = job.completion_time
+        return out
+
+
 def _jobs_executed_in(jobs: List[Job], segment: Segment, duration: float
                       ) -> List[Tuple[Job, float]]:
     """The jobs that ran inside one (possibly merged) run segment.
@@ -339,6 +495,12 @@ def _jobs_executed_in(jobs: List[Job], segment: Segment, duration: float
     segment may span several completions.  Execution order within the
     window is completion order, then the job still running at the end.
     Returns ``(job, dispatch_time)`` pairs.
+
+    Reference implementation: rescans the job list per segment, making no
+    assumption about segment ordering.  :func:`rederive_counters` uses the
+    equivalent :class:`_TaskDispatchCursor` instead, which is amortized
+    O(1) per segment when segments arrive in time order; the test suite
+    pins their agreement.
     """
     completed = [j for j in jobs
                  if j.completion_time is not None

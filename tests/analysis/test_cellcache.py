@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis.cellcache import (
     CACHE_ENV_VAR,
+    CACHE_SCHEMA,
     CellCache,
     cell_key,
     decode_outcome,
@@ -14,6 +15,7 @@ from repro.analysis.cellcache import (
     encode_outcome,
     open_cache,
 )
+from repro.analysis.transport import decode_cell, encode_cell
 
 OUTCOME = {
     "EDF": 123.456789012345,
@@ -68,7 +70,7 @@ class TestCellCache:
         key = cell_key({"cell": 2})
         cache.put(key, OUTCOME)
         path = cache.path_for(key)
-        path.write_text("{not json", encoding="utf-8")
+        path.write_bytes(b"CTR1 torn mid-write")
         assert cache.get(key) is None
         assert not path.exists()
 
@@ -77,10 +79,41 @@ class TestCellCache:
         key = cell_key({"cell": 3})
         cache.put(key, OUTCOME)
         path = cache.path_for(key)
-        entry = json.loads(path.read_text(encoding="utf-8"))
-        entry["schema"] = -1
-        path.write_text(json.dumps(entry), encoding="utf-8")
+        outcome, meta = decode_cell(path.read_bytes(), with_meta=True)
+        assert meta["schema"] == CACHE_SCHEMA
+        path.write_bytes(encode_cell(outcome, meta={**meta, "schema": -1}))
         assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_legacy_schema2_json_self_evicts(self, tmp_path):
+        """A pre-schema-3 ``.json`` entry is a miss, and the miss removes
+        the file — the schema bump drains the old format for free."""
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 4})
+        legacy = cache._legacy_path_for(key)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_text(json.dumps(
+            {"schema": 2, "key": key, "outcome": encode_outcome(OUTCOME)}),
+            encoding="utf-8")
+        assert len(cache) == 1  # counted until evicted
+        assert cache.get(key) is None
+        assert not legacy.exists()
+        assert len(cache) == 0
+        # A fresh put lands in the binary slot and hits thereafter.
+        cache.put(key, OUTCOME)
+        assert cache.path_for(key).suffix == ".bin"
+        assert cache.get(key) == OUTCOME
+
+    def test_get_prunes_stale_legacy_twin(self, tmp_path):
+        """When both a current ``.bin`` and a leftover ``.json`` exist for
+        one key, a hit on the binary entry removes the stale twin."""
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 5})
+        cache.put(key, OUTCOME)
+        legacy = cache._legacy_path_for(key)
+        legacy.write_text("{}", encoding="utf-8")
+        assert cache.get(key) == OUTCOME
+        assert not legacy.exists()
 
     def test_clear(self, tmp_path):
         cache = CellCache(str(tmp_path))

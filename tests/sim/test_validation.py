@@ -24,14 +24,22 @@ from tests.conftest import fractions, tasksets
 
 
 def run_traced(policy_name, ts=None, demand=0.7, duration=112.0,
-               idle_level=0.0):
+               idle_level=0.0, trace_backend="array"):
     ts = ts or example_taskset()
     model = EnergyModel(idle_level=idle_level)
     result = simulate(ts, machine0(), make_policy(policy_name),
                       demand=demand, duration=duration,
                       energy_model=model, record_trace=True,
-                      on_miss="drop")
+                      trace_backend=trace_backend, on_miss="drop")
     return result, model
+
+
+def doctor(trace, index, segment):
+    """Overwrite one trace row, whichever backend recorded it."""
+    if hasattr(trace, "replace"):
+        trace.replace(index, segment)
+    else:
+        trace._segments[index] = segment
 
 
 class TestValidSchedules:
@@ -53,11 +61,12 @@ class TestValidSchedules:
 
 
 class TestViolationDetection:
-    """Corrupt valid results and check the validator notices."""
+    """Corrupt valid results and check the validator notices — for both
+    trace backends (the columnar checks are vectorized)."""
 
-    @pytest.fixture
-    def valid(self):
-        return run_traced("ccEDF")
+    @pytest.fixture(params=["array", "segments"])
+    def valid(self, request):
+        return run_traced("ccEDF", trace_backend=request.param)
 
     def _kinds(self, result, model):
         return {v.kind for v in validate_schedule(result, model)}
@@ -69,23 +78,23 @@ class TestViolationDetection:
 
     def test_detects_tiling_gap(self, valid):
         result, model = valid
-        segment = result.trace._segments[1]
-        result.trace._segments[1] = Segment(
+        segment = result.trace[1]
+        doctor(result.trace, 1, Segment(
             start=segment.start + 0.5, end=segment.end + 0.5,
             task=segment.task, point=segment.point,
             cycles=segment.cycles, energy=segment.energy,
-            kind=segment.kind)
+            kind=segment.kind))
         assert "tiling" in self._kinds(result, model)
 
     def test_detects_wrong_cycle_rate(self, valid):
         result, model = valid
-        for index, segment in enumerate(result.trace._segments):
+        for index, segment in enumerate(result.trace.segments):
             if segment.kind == "run":
-                result.trace._segments[index] = Segment(
+                doctor(result.trace, index, Segment(
                     start=segment.start, end=segment.end,
                     task=segment.task, point=segment.point,
                     cycles=segment.cycles * 2.0, energy=segment.energy,
-                    kind=segment.kind)
+                    kind=segment.kind))
                 break
         kinds = self._kinds(result, model)
         assert "cycles" in kinds
@@ -94,37 +103,37 @@ class TestViolationDetection:
         result, model = valid
         # Swap the executing task of an early segment to the lowest-
         # priority task (T3, longest deadline), faking an inversion.
-        for index, segment in enumerate(result.trace._segments):
+        for index, segment in enumerate(result.trace.segments):
             if segment.kind == "run" and segment.task == "T1" \
                     and segment.start < 1.0:
-                result.trace._segments[index] = Segment(
+                doctor(result.trace, index, Segment(
                     start=segment.start, end=segment.end, task="T3",
                     point=segment.point, cycles=segment.cycles,
-                    energy=segment.energy, kind=segment.kind)
+                    energy=segment.energy, kind=segment.kind))
                 break
         kinds = self._kinds(result, model)
         assert "priority" in kinds or "budget" in kinds
 
     def test_detects_idle_with_ready_work(self, valid):
         result, model = valid
-        for index, segment in enumerate(result.trace._segments):
+        for index, segment in enumerate(result.trace.segments):
             if segment.kind == "run" and segment.start < 1.0:
-                result.trace._segments[index] = Segment(
+                doctor(result.trace, index, Segment(
                     start=segment.start, end=segment.end, task=None,
                     point=segment.point, cycles=0.0,
-                    energy=segment.energy, kind="idle")
+                    energy=segment.energy, kind="idle"))
                 break
         kinds = self._kinds(result, model)
         assert "work-conservation" in kinds or "energy" in kinds
 
     def test_detects_phantom_execution(self, valid):
         result, model = valid
-        last = result.trace._segments[-1]
-        result.trace._segments[-1] = Segment(
+        last = result.trace[-1]
+        doctor(result.trace, len(result.trace) - 1, Segment(
             start=last.start, end=last.end, task="ghost",
             point=last.point,
             cycles=last.duration * last.point.frequency,
-            energy=last.energy, kind="run")
+            energy=last.energy, kind="run"))
         kinds = self._kinds(result, model)
         assert "budget" in kinds
 
@@ -253,3 +262,34 @@ class TestRederiveCounters:
                           make_policy("EDF"), duration=28.0)
         with pytest.raises(SimulationError):
             rederive_counters(result)
+
+    @pytest.mark.parametrize("policy_name", ("EDF", "ccEDF", "laEDF"))
+    def test_cursor_matches_reference_attribution(self, policy_name):
+        """The amortized :class:`_TaskDispatchCursor` must reproduce the
+        reference per-segment rescan (:func:`_jobs_executed_in`) pair for
+        pair — same jobs, same dispatch times — including under overload
+        with dropped jobs."""
+        from repro.sim.validation import (_TaskDispatchCursor,
+                                          _jobs_executed_in)
+        ts = TaskSetGenerator(n_tasks=10, utilization=0.9,
+                              seed=77).generate()
+        result, _m = self._run(ts, policy_name, demand=0.9, duration=400.0)
+        by_task = {}
+        for job in sorted(result.jobs, key=lambda j: j.release_time):
+            if job.demand > 1e-9:
+                by_task.setdefault(job.task.name, []).append(job)
+        cursors = {}
+        checked = 0
+        for segment in result.trace.run_segments():
+            jobs = by_task.get(segment.task, [])
+            reference = _jobs_executed_in(jobs, segment, result.duration)
+            cursor = cursors.get(segment.task)
+            if cursor is None:
+                cursor = cursors[segment.task] = _TaskDispatchCursor(
+                    jobs, result.duration)
+            fast = cursor.executed_in(segment)
+            assert len(fast) == len(reference)
+            for (ja, wa), (jb, wb) in zip(fast, reference):
+                assert ja is jb and wa == wb
+            checked += len(reference)
+        assert checked > 0
