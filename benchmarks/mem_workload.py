@@ -14,7 +14,8 @@ never shrinks back after the first backend's allocations, so measuring
 both in one process would credit whichever ran second.  The child also
 refuses to import numpy — the record path needs none of it, and a stray
 30 MB numpy import would drown the very delta being measured (the
-``numpy_imported`` flag in the child report guards this invariant).
+``numpy_imported`` flag in the child report feeds the shared
+:mod:`benchmarks.numpy_guard` invariant check).
 
 Usage::
 
@@ -37,6 +38,9 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.numpy_guard import numpy_imported, numpy_violation  # noqa: E402
 
 #: Canonical memory workload: the largest paper-scale task count over a
 #: long horizon, under the policy with the densest switching (ccEDF), so
@@ -126,7 +130,7 @@ def _child(args) -> int:
         "ship_seconds": round(ship_seconds, 6),
         "blob_bytes": len(blob),
         "peak_rss_kb": _peak_rss_kb(),
-        "numpy_imported": "numpy" in sys.modules,
+        "numpy_imported": numpy_imported(),
     }
     json.dump(report, sys.stdout)
     print()
@@ -210,8 +214,10 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     if args.gate:
         for backend, report in pair["backends"].items():
-            if report["numpy_imported"]:
-                print(f"FAIL: numpy crept into the {backend} record path")
+            violation = numpy_violation(f"{backend} record path",
+                                        imported=report["numpy_imported"])
+            if violation:
+                print(f"FAIL: {violation}")
                 return 1
         if pair["rss_reduction_pct"] < RSS_TARGET_REDUCTION_PCT:
             print(f"FAIL: peak-RSS reduction {pair['rss_reduction_pct']}% "

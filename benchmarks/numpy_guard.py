@@ -1,0 +1,49 @@
+"""Single source of truth for the numpy-laziness invariant.
+
+The scalar simulation path must never pull numpy into the process: the
+memory benchmark's record-path children measure a delta that a stray
+~30 MB numpy import would drown, and cold-sweep startup pays the import
+latency for nothing.  The only execution paths sanctioned to import numpy
+are
+
+* the **batch engine** (``repro.sim.batch_kernels.numpy_backend``, lazily
+  and only for blocks past its size threshold), and
+* the vectorized RTA in ``repro.model.schedulability``, which only
+  static-RM admission reaches (so RM-free workloads stay numpy-free).
+
+This helper used to live as two diverging copies in ``mem_workload.py``
+and ``write_bench_json.py``; both now call here, as does the
+``fig9_sweep_batch`` benchmark's scalar-subprocess check, so the
+invariant cannot rot silently in one copy while the other still passes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+#: The one engine name allowed to import numpy on the simulation path.
+BATCH_ENGINE = "batch"
+
+
+def numpy_imported() -> bool:
+    """Whether numpy is resident in this process right now."""
+    return "numpy" in sys.modules
+
+
+def numpy_violation(label: str, imported: Optional[bool] = None,
+                    engine: str = "scalar") -> Optional[str]:
+    """A failure string when the laziness invariant is broken, else None.
+
+    ``imported`` defaults to this process's live state; pass a child
+    report's recorded flag when checking a subprocess measurement.
+    ``engine`` names the execution path that produced the measurement —
+    only :data:`BATCH_ENGINE` is allowed to have imported numpy.
+    """
+    if imported is None:
+        imported = numpy_imported()
+    if not imported or engine == BATCH_ENGINE:
+        return None
+    return (f"{label}: numpy crept into a scalar path — only the batch "
+            "engine may import numpy (a stray ~30 MB import skews memory "
+            "deltas and slows every scalar startup)")

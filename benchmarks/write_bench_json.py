@@ -73,7 +73,11 @@ Regression gates (non-zero exit on violation):
   parallel speedup is physically available);
 * ``fig9_sweep`` serial throughput must not regress below 70 % of the
   previous recording *when the previous recording came from the same
-  machine fingerprint* (cross-machine wall-clock comparisons are noise).
+  machine fingerprint* (cross-machine wall-clock comparisons are noise);
+* ``fig9_sweep_batch`` batch-engine cold throughput must reach 3x the
+  scalar engine on a 1000-cell column workload with bit-identical curves,
+  and a fresh scalar subprocess must finish an RTA-free sweep without
+  numpy in ``sys.modules`` (the :mod:`numpy_guard` laziness invariant).
 """
 
 from __future__ import annotations
@@ -93,6 +97,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from mem_workload import RSS_TARGET_REDUCTION_PCT, measure_pair  # noqa: E402
+from numpy_guard import numpy_violation  # noqa: E402
 
 from repro.analysis.sweep import SweepConfig, utilization_sweep  # noqa: E402
 from repro.core import make_policy  # noqa: E402
@@ -145,6 +150,16 @@ PARALLEL_TARGET_CPUS = 4
 #: Serial sweep throughput must stay above this fraction of the previous
 #: same-machine recording.
 SERIAL_REGRESSION_FLOOR = 0.7
+
+#: Cold-sweep throughput floor of the batch engine over the scalar engine
+#: on the 1000-cell column workload.
+BATCH_TARGET_SPEEDUP = 3.0
+
+#: Policies for the batch workload: four paper policies whose runs sit
+#: fully inside the batch-kernel envelope (laEDF's deferral loop and
+#: ccRM's RTA-heavy setup dilute the ratio without exercising anything
+#: the other four do not).
+BATCH_WORKLOAD_POLICIES = ("EDF", "staticEDF", "staticRM", "ccEDF")
 
 #: Incremental-vs-from-scratch per-callback speedup floor at 200 tasks.
 POLICY_CALLBACK_TARGET_SPEEDUP = 2.0
@@ -661,11 +676,12 @@ def bench_memory():
     """Subprocess peak-RSS comparison (see ``benchmarks/mem_workload.py``)."""
     entry = measure_pair()
     for backend, report in entry["backends"].items():
-        if report["numpy_imported"]:
+        violation = numpy_violation(f"memory ({backend} record path)",
+                                    imported=report["numpy_imported"])
+        if violation:
             raise SystemExit(
-                f"memory: numpy crept into the {backend} record path — "
-                "the RSS comparison is meaningless with a ~30 MB import "
-                "on one side")
+                f"{violation} — the RSS comparison is meaningless with a "
+                "~30 MB import on one side")
     return entry
 
 
@@ -746,6 +762,91 @@ def bench_fig9_sweep(parallel_workers=4):
             "cache_hits": warm.cache_hits,
         },
     }
+
+
+#: Child snippet for the scalar-laziness probe: a fresh interpreter runs
+#: a small sweep with RTA-free policies (staticRM/ccRM admission is the
+#: one sanctioned numpy importer outside the batch kernels) and prints
+#: whether numpy ended up in ``sys.modules`` — it must not.
+_SCALAR_LAZINESS_SNIPPET = """
+import sys
+from repro.analysis.sweep import SweepConfig, utilization_sweep
+utilization_sweep(SweepConfig(policies=("EDF", "staticEDF", "ccEDF"),
+                              n_tasks=4, n_sets=1, utilizations=(0.5,),
+                              duration=50.0, seed=2001))
+print("numpy" in sys.modules)
+"""
+
+
+def _scalar_numpy_lazy() -> bool:
+    """Whether a fresh scalar-sweep subprocess stays numpy-free."""
+    import subprocess
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCALAR_LAZINESS_SNIPPET],
+        capture_output=True, text=True, check=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    return proc.stdout.strip() == "False"
+
+
+def bench_fig9_sweep_batch():
+    """Column-scale cold sweep, scalar engine vs batch engine.
+
+    1000 cells (the paper's 10 utilization steps x 100 task sets) under
+    the four kernel-envelope policies, both engines serial and cacheless,
+    so the ratio is pure simulation throughput: the batch engine's
+    column-blocked materialization plus the flat-array kernel against the
+    discrete-event engine.  Both runs must produce bit-identical curves —
+    the batch engine is an execution mode, never a semantic fork.  The
+    entry also records the scalar-laziness probe (see
+    :data:`_SCALAR_LAZINESS_SNIPPET`).
+    """
+    base = dict(policies=BATCH_WORKLOAD_POLICIES, n_tasks=8, n_sets=100,
+                duration=400.0, seed=SEED)
+    start = time.perf_counter()
+    scalar = utilization_sweep(SweepConfig(**base))
+    scalar_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batch = utilization_sweep(SweepConfig(**base, engine="batch"))
+    batch_s = time.perf_counter() - start
+    if scalar.raw.rows() != batch.raw.rows():
+        raise SystemExit(
+            "fig9_sweep_batch: batch-engine curves diverged from scalar")
+    config = SweepConfig(**base)
+    cells = len(config.utilizations) * config.n_sets
+    return {
+        "policies": list(BATCH_WORKLOAD_POLICIES),
+        "n_tasks": base["n_tasks"],
+        "n_sets": base["n_sets"],
+        "utilizations": list(config.utilizations),
+        "duration": base["duration"],
+        "cells": cells,
+        "scalar": {
+            "wall_seconds": round(scalar_s, 6),
+            "cells_per_sec": round(cells / scalar_s, 2),
+        },
+        "batch": {
+            "wall_seconds": round(batch_s, 6),
+            "cells_per_sec": round(cells / batch_s, 2),
+        },
+        "speedup": round(scalar_s / batch_s, 2),
+        "rm_fallbacks": batch.rm_fallbacks,
+        "scalar_numpy_lazy": _scalar_numpy_lazy(),
+    }
+
+
+def check_batch_gates(entry):
+    """fig9_sweep_batch regression gates; returns failure strings."""
+    failures = []
+    if entry["speedup"] < BATCH_TARGET_SPEEDUP:
+        failures.append(
+            f"fig9_sweep_batch: batch engine {entry['speedup']}x below "
+            f"the {BATCH_TARGET_SPEEDUP:g}x cold-sweep floor at "
+            f"{entry['cells']} cells")
+    violation = numpy_violation("fig9_sweep_batch (scalar subprocess)",
+                                imported=not entry["scalar_numpy_lazy"])
+    if violation:
+        failures.append(violation)
+    return failures
 
 
 def _machine_fingerprint():
@@ -896,6 +997,14 @@ def main(argv=None) -> int:
           f"warm cache {sweep_entry['warm_cache']['cells_per_sec']:.1f} "
           f"cells/s with {sweep_entry['warm_cache']['simulated_cells']} "
           "simulations", flush=True)
+    print("[bench] fig9_sweep_batch ...", flush=True)
+    batch_entry = bench_fig9_sweep_batch()
+    report["workloads"]["fig9_sweep_batch"] = batch_entry
+    print(f"[bench]   {batch_entry['cells']} cells: scalar "
+          f"{batch_entry['scalar']['cells_per_sec']:.1f} cells/s vs batch "
+          f"{batch_entry['batch']['cells_per_sec']:.1f} cells/s -> "
+          f"{batch_entry['speedup']:.2f}x, scalar subprocess numpy-free: "
+          f"{batch_entry['scalar_numpy_lazy']}", flush=True)
     report["peak_rss_kb"] = _peak_rss_kb()
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -920,6 +1029,7 @@ def main(argv=None) -> int:
                                        previous_rss_fingerprint))
     failures.extend(check_sweep_gates(sweep_entry, previous_rate,
                                       previous_fingerprint))
+    failures.extend(check_batch_gates(batch_entry))
     for failure in failures:
         print(f"[bench] FAIL: {failure}")
     return 1 if failures else 0

@@ -1,0 +1,199 @@
+"""Batch execution backend for sweep cells (``--engine batch``).
+
+The scalar sweep path hands every cell to the discrete-event engine one
+policy run at a time.  This module is the third execution mode: it walks
+the sweep's cell stream *column by column* — a column being the run of
+consecutive cells that share one task-set recipe ``(utilization, gen_seed,
+n_tasks, bands, demand)`` — materializes each column once into a
+structure-of-arrays :class:`ColumnBlock` (task parameters with the cell
+index as the leading axis, per-cell hyperperiods, per-cell
+frequency-selection state), and runs every cell through the flat-array
+:class:`~repro.sim.batch_kernels.CellKernel` instead of the engine.
+
+Two invariants anchor the design:
+
+* **Bit identity.**  A batch cell produces the *same outcome dict* as the
+  scalar path: :func:`run_cell_batch` is
+  :func:`repro.analysis.sweep.run_cell` itself, parameterized with
+  :func:`batch_simulate` as its simulation entry point, so the RM
+  fallback logic, the bound, residency instrumentation, and the
+  hyperperiod short-circuit compose identically (the short-circuit's
+  warmup windows run on the batch kernel too, then extrapolate per cell
+  exactly as before).  Runs outside the kernel envelope — instrumented
+  policies, exotic miss modes — silently fall back to the engine, cell by
+  cell.
+* **Scalar-path laziness.**  Within the simulation layer, numpy only
+  ever loads through :func:`repro.sim.batch_kernels.numpy_backend`,
+  which nothing on the scalar path calls; the memory benchmark's record
+  path keeps ``numpy`` out of ``sys.modules`` entirely (asserted by
+  :mod:`benchmarks.numpy_guard`; the one sanctioned importer outside the
+  batch kernels is the vectorized RTA in
+  :mod:`repro.model.schedulability`, which only static-RM admission
+  reaches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import groupby
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import (CellSpec, SweepContext, materialize_cell,
+                                  run_cell)
+from repro.model.demand import TraceDemand
+from repro.model.task import TaskSet
+from repro.sim.batch_kernels import (kernel_simulate, kernel_supported,
+                                     lowest_at_least_indices)
+from repro.sim.engine import simulate
+
+#: Engine names accepted by the sweep layer.
+ENGINES = ("scalar", "batch")
+
+#: Keyword arguments the engine accepts but :class:`CellKernel` does not
+#: spell out; they reach the kernel only with their default (supported)
+#: values, so they are dropped rather than forwarded.
+_ENGINE_ONLY_KWARGS = ("admissions", "enforce_wcet", "switching")
+
+
+def batch_simulate(taskset: TaskSet, machine, policy,
+                   params: Optional[tuple] = None, **kwargs):
+    """Simulate one run on the batch kernel, or fall back to the engine.
+
+    Drop-in compatible with :func:`repro.sim.engine.simulate` (including
+    the ``instrument`` keyword); ``params`` optionally supplies the
+    pre-flattened ``(periods, wcets)`` row of a :class:`ColumnBlock`.
+    Anything the kernel envelope does not cover — instrumented runs,
+    ``on_miss="continue"``, wakeup-timer policies, dynamic admissions —
+    runs on the engine and returns its (identical) result.
+    """
+    if not kernel_supported(policy, **kwargs):
+        return simulate(taskset, machine, policy, **kwargs)
+    kernel_kwargs = {key: value for key, value in kwargs.items()
+                     if key not in _ENGINE_ONLY_KWARGS}
+    kernel_kwargs.pop("instrument", None)
+    return kernel_simulate(taskset, machine, policy, params=params,
+                           **kernel_kwargs)
+
+
+def _batch_simulate_fn(params: Optional[tuple]):
+    """A ``simulate``-shaped callable binding one cell's SoA row."""
+    def sim(taskset, machine, policy, **kwargs):
+        return batch_simulate(taskset, machine, policy, params=params,
+                              **kwargs)
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# column blocks
+# ---------------------------------------------------------------------------
+
+def _column_key(spec: CellSpec) -> tuple:
+    """The task-set recipe a sweep column shares.
+
+    Cells with equal keys draw from the same seeded generator stream, so
+    one materialization pass serves the whole run of them.
+    """
+    return (spec.utilization, spec.gen_seed, spec.n_tasks, spec.bands,
+            spec.demand)
+
+
+@dataclass
+class ColumnBlock:
+    """One sweep column, materialized as structure-of-arrays state.
+
+    Every array is laid out with the **cell index as the leading axis**:
+    ``periods[c][i]`` is task ``i`` of cell ``c``.  The block carries the
+    release/deadline state seed (flattened task parameters consumed by
+    :class:`~repro.sim.batch_kernels.CellKernel`), the per-cell
+    hyperperiod at the context's pinned ``steady_resolution`` (so cache
+    keys and batch-column grouping agree on fast-path eligibility), and
+    the per-cell initial frequency-selection state (the operating-point
+    index a utilization-proportional policy starts from, computed with
+    the vectorized ``lowest_at_least`` kernel — diagnostic block stats,
+    never result-bearing).
+    """
+
+    context: SweepContext
+    specs: List[CellSpec]
+    tasksets: List[TaskSet]
+    demands: List[TraceDemand]
+    periods: List[List[float]]
+    wcets: List[List[float]]
+    hyperperiods: List[Optional[float]]
+    initial_point_index: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def build_column_block(context: SweepContext,
+                       specs: Sequence[CellSpec]) -> ColumnBlock:
+    """Materialize one column of cells into a :class:`ColumnBlock`."""
+    tasksets: List[TaskSet] = []
+    demands: List[TraceDemand] = []
+    periods: List[List[float]] = []
+    wcets: List[List[float]] = []
+    hyperperiods: List[Optional[float]] = []
+    utilizations: List[float] = []
+    resolution = getattr(context, "steady_resolution", 1e-6)
+    for spec in specs:
+        taskset, demand = materialize_cell(context, spec)
+        tasksets.append(taskset)
+        demands.append(demand)
+        periods.append([t.period for t in taskset])
+        wcets.append([t.wcet for t in taskset])
+        hyperperiods.append(taskset.hyperperiod(resolution=resolution))
+        total = 0.0
+        for task in taskset:
+            total += task.wcet / task.period
+        utilizations.append(total if total <= 1.0 else 1.0)
+    initial = lowest_at_least_indices(context.machine, utilizations)
+    return ColumnBlock(context=context, specs=list(specs),
+                       tasksets=tasksets, demands=demands,
+                       periods=periods, wcets=wcets,
+                       hyperperiods=hyperperiods,
+                       initial_point_index=initial)
+
+
+def run_block_cell(block: ColumnBlock, index: int) -> Dict[str, object]:
+    """Run one cell of a materialized block.
+
+    Delegates to the scalar :func:`~repro.analysis.sweep.run_cell` with
+    the batch kernel as its simulation entry point, so the outcome dict —
+    keys, insertion order, RM fallbacks, bound, fast-path accounting — is
+    the scalar path's own.
+    """
+    spec = block.specs[index]
+    params = (block.periods[index], block.wcets[index])
+    return run_cell(block.context, spec,
+                    simulate_fn=_batch_simulate_fn(params),
+                    materialized=(block.tasksets[index],
+                                  block.demands[index]))
+
+
+def run_cell_batch(context: SweepContext,
+                   spec: CellSpec) -> Dict[str, object]:
+    """Batch-engine twin of :func:`~repro.analysis.sweep.run_cell`.
+
+    The per-cell entry point used by worker processes (each worker cell
+    is its own single-cell block; worker fan-out already parallelizes
+    across the column).
+    """
+    return run_block_cell(build_column_block(context, [spec]), 0)
+
+
+def iter_cells_batch(context: SweepContext, specs: Sequence[CellSpec],
+                     ) -> Iterator[Tuple[int, Dict[str, object]]]:
+    """Yield ``(index, outcome)`` for every spec, in submission order.
+
+    The inline (single-process) batch path: consecutive specs sharing a
+    task-set recipe become one :class:`ColumnBlock`, materialized once
+    and executed cell by cell on the kernel.
+    """
+    position = 0
+    for _, group in groupby(specs, key=_column_key):
+        column = list(group)
+        block = build_column_block(context, column)
+        for offset in range(len(column)):
+            yield position, run_block_cell(block, offset)
+            position += 1

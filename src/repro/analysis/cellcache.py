@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.analysis.transport import decode_cell, encode_cell
+from repro.errors import ReproError
 
 #: Bump whenever simulator/policy/energy semantics change in a way that
 #: alters cell outcomes without changing the sweep parameters themselves.
@@ -142,8 +143,46 @@ class CellCache:
     #: legacy JSON format kept only so old entries can self-evict.
     _ENTRY_GLOBS = ("??/*.bin", "??/*.json")
 
+    #: Errors a cache probe may legitimately treat as a miss: corrupt or
+    #: torn payloads (the codec wraps json/codec/struct failures in
+    #: :class:`~repro.errors.ReproError`), our own schema-mismatch
+    #: ``ValueError``, and I/O failures reading the entry.  Anything else
+    #: is a bug, never a miss.
+    _EXPECTED_ENTRY_ERRORS = (ReproError, ValueError, OSError)
+
+    #: Sidecar file (under the cache root) recording swallowed
+    #: unexpected errors, one line each, so ``repro cache info`` can
+    #: surface problems from past runs and other processes.
+    SWALLOWED_LOG = "swallowed.log"
+
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        #: Unexpected exceptions swallowed by this instance (each one is
+        #: also appended to :attr:`SWALLOWED_LOG`).  Expected misses —
+        #: absent entries, torn payloads, schema mismatches — never
+        #: count.
+        self.swallowed_errors = 0
+
+    def _swallow(self, where: str, exc: BaseException) -> None:
+        """Count (and best-effort log) one unexpected, swallowed error."""
+        self.swallowed_errors += 1
+        line = f"{where}: {type(exc).__name__}: {exc}\n"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.root / self.SWALLOWED_LOG, "a",
+                      encoding="utf-8") as handle:
+                handle.write(line)
+        except OSError:
+            pass  # logging the swallow must never break the sweep
+
+    def swallowed_log_lines(self) -> list:
+        """Recorded swallow lines from this and previous runs."""
+        try:
+            with open(self.root / self.SWALLOWED_LOG,
+                      encoding="utf-8") as handle:
+                return handle.read().splitlines()
+        except OSError:
+            return []
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.bin"
@@ -158,6 +197,10 @@ class CellCache:
         legacy (or torn, or wrong-schema) file is unlinked on sight so
         stale entries drain away instead of being re-parsed on every
         sweep forever.
+
+        A :class:`PermissionError` propagates: an unreadable shard means
+        the cache directory is misconfigured, and reporting every entry
+        as a miss would silently resimulate the whole sweep.
         """
         path = self.path_for(key)
         try:
@@ -169,20 +212,32 @@ class CellCache:
             return outcome
         except FileNotFoundError:
             pass
-        except Exception:
+        except PermissionError:
+            raise
+        except self._EXPECTED_ENTRY_ERRORS:
             # Torn, corrupt, or stale-schema entry: drop it and resimulate.
+            self._evict(path)
+            return None
+        except Exception as exc:
+            # A decode bug is not a miss; count it so `repro cache info`
+            # surfaces the problem instead of the sweep resimulating
+            # silently forever.
+            self._swallow(f"get {key[:12]}", exc)
             self._evict(path)
             return None
         # No binary entry; a JSON file here is by definition pre-schema-3.
         self._evict(self._legacy_path_for(key))
         return None
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
         try:
             path.unlink()
-        except OSError:
-            pass
+        except FileNotFoundError:
+            pass  # racing writer already replaced/removed it
+        except OSError as exc:
+            # Undeletable entry (permissions, read-only mount): the cache
+            # still works, but a stale file is now pinned — record it.
+            self._swallow(f"evict {path.name}", exc)
 
     def put(self, key: str, outcome: Dict[str, object]) -> None:
         """Store ``outcome`` under ``key`` (atomic; last writer wins)."""
@@ -198,8 +253,10 @@ class CellCache:
         except BaseException:
             try:
                 os.unlink(tmp)
-            except OSError:
+            except FileNotFoundError:
                 pass
+            except OSError as exc:
+                self._swallow(f"put-cleanup {path.name}", exc)
             raise
 
     def _entries(self):
@@ -220,13 +277,21 @@ class CellCache:
             try:
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
+            except FileNotFoundError:
+                pass  # concurrent clear/eviction got there first
+            except OSError as exc:
+                self._swallow(f"clear {path.name}", exc)
         for shard in self.root.glob("??"):
             try:
                 shard.rmdir()
             except OSError:
-                pass
+                pass  # shard not empty (undeletable entry) — expected
+        try:
+            (self.root / self.SWALLOWED_LOG).unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            self._swallow("clear swallowed.log", exc)
         return removed
 
 

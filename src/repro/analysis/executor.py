@@ -79,7 +79,8 @@ def _install_contexts(contexts: Dict[str, object]) -> None:
 
 
 def _execute_cell(digest: str, context: Optional[object],
-                  spec: object, encode: bool = False) -> object:
+                  spec: object, encode: bool = False,
+                  engine: str = "scalar") -> object:
     """Run one cell in a worker process.
 
     ``context`` is ``None`` when the digest was installed via the pool
@@ -87,14 +88,19 @@ def _execute_cell(digest: str, context: Optional[object],
     it for every later task in this process.  With ``encode`` the outcome
     crosses back to the driver as the compact columnar wire format of
     :mod:`repro.analysis.transport` instead of a pickled object graph —
-    one small bytes object per cell.
+    one small bytes object per cell.  ``engine`` picks the cell backend
+    (``"scalar"`` = event engine, ``"batch"`` = array kernels; identical
+    outcomes).
     """
     ctx = _CONTEXTS.get(digest)
     if ctx is None:
         if context is None:  # pragma: no cover - defensive
             raise RuntimeError(f"sweep context {digest} not installed")
         _CONTEXTS[digest] = ctx = context
-    from repro.analysis.sweep import run_cell
+    if engine == "batch":
+        from repro.analysis.batch import run_cell_batch as run_cell
+    else:
+        from repro.analysis.sweep import run_cell
     outcome = run_cell(ctx, spec)
     if encode:
         from repro.analysis.transport import encode_cell
@@ -216,21 +222,32 @@ class CellExecutor:
     def run_cells(self, context, specs: Sequence,
                   progress: Optional[SweepProgress] = None,
                   on_result: Optional[Callable[[int, object], None]] = None,
+                  engine: str = "scalar",
                   ) -> Iterator[Tuple[int, object]]:
         """Yield ``(index, outcome)`` for every spec, unordered.
 
         All specs are submitted immediately (no per-utilization barrier);
         results stream back as workers finish.  With one worker the cells
         run inline, in submission order.  ``on_result`` fires for every
-        outcome before it is yielded (used for cache writes).
+        outcome before it is yielded (used for cache writes).  ``engine``
+        selects the cell backend: the inline batch path materializes one
+        column block per run of same-recipe specs; the parallel batch
+        path ships the engine choice with each cell (workers build
+        single-cell blocks — the fan-out already parallelizes the
+        column).
         """
         if self._shutdown:
             raise RuntimeError("executor already shut down")
         digest = self.register(context)
         if self.workers <= 1 or len(specs) <= 1:
-            from repro.analysis.sweep import run_cell
-            for index, spec in enumerate(specs):
-                outcome = run_cell(context, spec)
+            if engine == "batch":
+                from repro.analysis.batch import iter_cells_batch
+                stream = iter_cells_batch(context, specs)
+            else:
+                from repro.analysis.sweep import run_cell
+                stream = ((index, run_cell(context, spec))
+                          for index, spec in enumerate(specs))
+            for index, outcome in stream:
                 if on_result is not None:
                     on_result(index, outcome)
                 if progress is not None:
@@ -241,7 +258,8 @@ class CellExecutor:
         pool = self._ensure_pool()
         ship = None if digest in self._initializer_contexts else context
         pending = {
-            pool.submit(_execute_cell, digest, ship, spec, True): index
+            pool.submit(_execute_cell, digest, ship, spec, True,
+                        engine): index
             for index, spec in enumerate(specs)}
         while pending:
             finished, _ = wait(pending, return_when=FIRST_COMPLETED)

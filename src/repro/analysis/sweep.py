@@ -142,6 +142,18 @@ class SweepConfig:
     #: defaults.  Narrow or degenerate bands produce commensurable
     #: periods, making cells eligible for the steady fast path.
     period_bands: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: Cell execution backend: ``"scalar"`` (the discrete-event engine,
+    #: one cell at a time — the default) or ``"batch"`` (column-blocked
+    #: :mod:`repro.analysis.batch` kernels; bit-identical results).  The
+    #: engine choice is *not* part of the cell identity — both engines
+    #: share one cache namespace because their outcomes are
+    #: indistinguishable.
+    engine: str = "scalar"
+    #: Hyperperiod detection grid for the steady fast path, pinned once
+    #: per sweep so cache keys, fast-path eligibility, and batch-column
+    #: grouping all agree on each cell's hyperperiod.  Non-default values
+    #: enter the cell fingerprint.
+    steady_resolution: float = 1e-6
 
     def energy_model(self) -> EnergyModel:
         return EnergyModel(idle_level=self.idle_level,
@@ -217,10 +229,13 @@ class SweepContext:
     cycle_energy_scale: float
     residency_policies: Tuple[str, ...] = ()
     steady_fast_path: bool = False
+    #: Pinned hyperperiod detection grid (see
+    #: :attr:`SweepConfig.steady_resolution`).
+    steady_resolution: float = 1e-6
 
     def description(self) -> Dict[str, object]:
         """JSON-safe canonical description (cache-key material)."""
-        return {
+        description: Dict[str, object] = {
             "machine": [[p.frequency, p.voltage]
                         for p in self.machine.points],
             "policies": list(self.policies),
@@ -230,6 +245,11 @@ class SweepContext:
             "residency_policies": list(self.residency_policies),
             "steady_fast_path": self.steady_fast_path,
         }
+        if self.steady_resolution != 1e-6:
+            # Only non-default resolutions enter the key, so every
+            # pre-existing cell key is unchanged (the bands idiom).
+            description["steady_resolution"] = self.steady_resolution
+        return description
 
     def digest(self) -> str:
         return cell_key(self.description())
@@ -310,6 +330,10 @@ def utilization_sweep(config: SweepConfig,
     lines on stderr (or pass a :class:`SweepProgress` to customize).
     """
     labels = _result_labels(config)
+    if config.engine not in ("scalar", "batch"):
+        raise ReproError(
+            f"unknown sweep engine {config.engine!r}; "
+            f"expected 'scalar' or 'batch'")
     context = SweepContext(
         machine=config.machine,
         policies=tuple(labels[:-1]),
@@ -317,7 +341,8 @@ def utilization_sweep(config: SweepConfig,
         idle_level=config.idle_level,
         cycle_energy_scale=config.cycle_energy_scale,
         residency_policies=tuple(config.residency_policies),
-        steady_fast_path=config.steady_fast_path)
+        steady_fast_path=config.steady_fast_path,
+        steady_resolution=config.steady_resolution)
     specs = _build_cell_specs(config)
     cache = open_cache(config.cache_dir)
 
@@ -360,7 +385,7 @@ def utilization_sweep(config: SweepConfig,
 
         # Drain the barrier-free stream; `store` fills `outcomes`.
         for _ in runner.run_cells(context, pending_specs, progress=meter,
-                                  on_result=store):
+                                  on_result=store, engine=config.engine):
             pass
         workers_used = runner.workers
     finally:
@@ -466,11 +491,26 @@ def materialize_cell(context: SweepContext,
     return taskset, materialize_demand(model, taskset, context.duration)
 
 
-def run_cell(context: SweepContext, spec: CellSpec) -> Dict[str, object]:
+def run_cell(context: SweepContext, spec: CellSpec,
+             simulate_fn=None,
+             materialized: Optional[Tuple[TaskSet, TraceDemand]] = None,
+             ) -> Dict[str, object]:
     """Simulate every policy on one cell; returns label -> energy
     (plus ``_rm_fallbacks``, ``_fast_path`` when the short-circuit is on,
-    and, when requested, ``_residency``)."""
-    taskset, demand = materialize_cell(context, spec)
+    and, when requested, ``_residency``).
+
+    ``simulate_fn`` swaps the simulation entry point (the batch engine
+    passes its kernel dispatcher; must be drop-in compatible with
+    :func:`repro.sim.engine.simulate`) and is threaded through the
+    hyperperiod short-circuit too, so fast-path warmup windows run on the
+    same backend.  ``materialized`` supplies a pre-built
+    ``(taskset, demand)`` pair — the batch path materializes whole
+    columns at once — and must match what :func:`materialize_cell` would
+    rebuild, since cache keys are derived from the spec alone.
+    """
+    taskset, demand = materialized if materialized is not None \
+        else materialize_cell(context, spec)
+    sim = simulate if simulate_fn is None else simulate_fn
     energy_model = context.energy_model()
     out: Dict[str, object] = {"_rm_fallbacks": 0}
     residency: Dict[str, Dict[float, float]] = {}
@@ -492,15 +532,17 @@ def run_cell(context: SweepContext, spec: CellSpec) -> Dict[str, object]:
                 fast, reason = try_steady_fast_path(
                     taskset, context.machine, policy, demand=demand,
                     duration=context.duration, energy_model=energy_model,
-                    on_miss=on_miss)
+                    on_miss=on_miss,
+                    resolution=context.steady_resolution,
+                    simulate_fn=simulate_fn)
                 if fast is not None:
                     fast_used += 1
                     return fast.total_energy, fast.executed_cycles
                 fast_fallbacks[reason] = fast_fallbacks.get(reason, 0) + 1
-        result = simulate(taskset, context.machine, policy,
-                          demand=demand, duration=context.duration,
-                          energy_model=energy_model, on_miss=on_miss,
-                          instrument=collector)
+        result = sim(taskset, context.machine, policy,
+                     demand=demand, duration=context.duration,
+                     energy_model=energy_model, on_miss=on_miss,
+                     instrument=collector)
         return result.total_energy, result.executed_cycles
 
     for name in context.policies:

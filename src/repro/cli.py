@@ -72,6 +72,12 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "periodic demand simulate warmup + two "
                              "hyperperiods and extrapolate (fallback to "
                              "full simulation whenever verification fails)")
+    parser.add_argument("--engine", choices=("scalar", "batch"),
+                        default="scalar",
+                        help="cell execution backend: 'scalar' simulates "
+                             "each cell on the event engine; 'batch' runs "
+                             "column-blocked array kernels (bit-identical "
+                             "results, faster cold sweeps)")
 
 
 def _cache_dir_from(args: argparse.Namespace):
@@ -225,7 +231,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             workers=args.workers,
                             cache_dir=_cache_dir_from(args),
                             progress=args.progress,
-                            steady_fast_path=args.steady_fast_path)
+                            steady_fast_path=args.steady_fast_path,
+                            engine=args.engine)
     print(result.render(charts=not args.no_charts))
     if args.csv:
         for path in result.write_csvs(args.csv):
@@ -238,7 +245,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
                       output_dir=args.out,
                       cache_dir=_cache_dir_from(args),
                       progress=args.progress,
-                      steady_fast_path=args.steady_fast_path)
+                      steady_fast_path=args.steady_fast_path,
+                      engine=args.engine)
     print(summary_table(results))
     return 0 if all(r.all_checks_pass for r in results) else 1
 
@@ -395,6 +403,12 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
     print(f"cell cache: {cache.root}")
     print(f"entries:    {entries}")
     print(f"size:       {size_kb:.1f} KiB")
+    swallowed = cache.swallowed_log_lines()
+    print(f"swallowed:  {len(swallowed)} unexpected error(s) recorded")
+    if swallowed:
+        print(f"  last: {swallowed[-1]}")
+        print("  (cache operations hit unexpected errors; see "
+              f"{cache.root / cache.SWALLOWED_LOG})")
     return 0
 
 

@@ -25,7 +25,8 @@ N_TASKS = 8
 
 def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
-              steady_fast_path=False) -> SweepResult:
+              steady_fast_path=False,
+              engine="scalar") -> SweepResult:
     """The Fig. 10 sweep for one idle level."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -36,11 +37,13 @@ def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
         workers=workers,
         cache_dir=cache_dir,
         steady_fast_path=steady_fast_path,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False, steady_fast_path=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False,
+        engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 10 (three panels, one per idle level)."""
     result = ExperimentResult(
         experiment_id="fig10",
@@ -52,7 +55,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[float, SweepResult] = {}
     for idle in IDLE_LEVELS:
         sweep = sweep_for(idle, quick, workers, executor, cache_dir,
-                          progress, steady_fast_path)
+                          progress, steady_fast_path, engine)
         sweeps[idle] = sweep
         table = sweep.normalized
         table.title = f"Fig. 10 panel: idle level {idle} (normalized)"

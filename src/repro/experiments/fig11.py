@@ -29,7 +29,8 @@ RESIDENCY_POLICIES = ("ccEDF", "laEDF")
 
 def sweep_for(machine: Machine, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
-              steady_fast_path=False) -> SweepResult:
+              steady_fast_path=False,
+              engine="scalar") -> SweepResult:
     """The Fig. 11 sweep for one machine specification."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -41,11 +42,13 @@ def sweep_for(machine: Machine, quick: bool, workers=1, executor=None,
         residency_policies=RESIDENCY_POLICIES,
         cache_dir=cache_dir,
         steady_fast_path=steady_fast_path,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False, steady_fast_path=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False,
+        engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 11 (three panels, one per machine)."""
     result = ExperimentResult(
         experiment_id="fig11",
@@ -57,7 +60,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[str, SweepResult] = {}
     for name, machine in machines.items():
         sweep = sweep_for(machine, quick, workers, executor, cache_dir,
-                          progress, steady_fast_path)
+                          progress, steady_fast_path, engine)
         sweeps[name] = sweep
         table = sweep.normalized
         table.title = f"Fig. 11 panel: {name} (normalized energy)"

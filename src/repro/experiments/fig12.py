@@ -22,7 +22,8 @@ N_TASKS = 8
 
 def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
-              steady_fast_path=False) -> SweepResult:
+              steady_fast_path=False,
+              engine="scalar") -> SweepResult:
     """The Fig. 12 sweep for one demand fraction."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -33,11 +34,13 @@ def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
         workers=workers,
         cache_dir=cache_dir,
         steady_fast_path=steady_fast_path,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False, steady_fast_path=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False,
+        engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 12 (three panels, one per fraction)."""
     result = ExperimentResult(
         experiment_id="fig12",
@@ -48,7 +51,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[float, SweepResult] = {}
     for fraction in FRACTIONS:
         sweep = sweep_for(fraction, quick, workers, executor, cache_dir,
-                          progress, steady_fast_path)
+                          progress, steady_fast_path, engine)
         sweeps[fraction] = sweep
         table = sweep.normalized
         table.title = f"Fig. 12 panel: c = {fraction} (normalized energy)"

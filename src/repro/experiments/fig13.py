@@ -16,7 +16,7 @@ N_TASKS = 8
 
 
 def sweep_uniform(quick: bool, workers=1, executor=None, cache_dir=None,
-                  progress=False) -> SweepResult:
+                  progress=False, engine="scalar") -> SweepResult:
     """The Fig. 13 sweep (uniform demand)."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -24,13 +24,14 @@ def sweep_uniform(quick: bool, workers=1, executor=None, cache_dir=None,
         duration=1000.0 if quick else 2000.0,
         demand="uniform",
         seed=130,
+        engine=engine,
         workers=workers,
         cache_dir=cache_dir,
     ), executor=executor, progress=progress)
 
 
 def sweep_half(quick: bool, workers=1, executor=None, cache_dir=None,
-               progress=False) -> SweepResult:
+               progress=False, engine="scalar") -> SweepResult:
     """The comparison sweep at constant c = 0.5 (same task sets)."""
     return utilization_sweep(SweepConfig(
         n_tasks=N_TASKS,
@@ -38,13 +39,14 @@ def sweep_half(quick: bool, workers=1, executor=None, cache_dir=None,
         duration=1000.0 if quick else 2000.0,
         demand=0.5,
         seed=130,
+        engine=engine,
         workers=workers,
         cache_dir=cache_dir,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 13 plus its comparison against c = 0.5."""
     result = ExperimentResult(
         experiment_id="fig13",
@@ -52,8 +54,10 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
         description=__doc__ or "",
         quick=quick,
     )
-    uniform = sweep_uniform(quick, workers, executor, cache_dir, progress)
-    half = sweep_half(quick, workers, executor, cache_dir, progress)
+    uniform = sweep_uniform(quick, workers, executor, cache_dir,
+                            progress, engine)
+    half = sweep_half(quick, workers, executor, cache_dir, progress,
+                      engine)
     uniform.normalized.title = "Fig. 13: uniform demand (normalized energy)"
     half.normalized.title = "comparison: constant c = 0.5 (normalized energy)"
     result.tables.append(uniform.normalized)

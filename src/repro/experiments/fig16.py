@@ -31,7 +31,7 @@ DEMAND = 0.9
 def sweep_platform(quick: bool, workers=1,
                    laptop: LaptopPowerModel = LaptopPowerModel(),
                    executor=None, cache_dir=None,
-                   progress=False) -> SweepResult:
+                   progress=False, engine="scalar") -> SweepResult:
     """The underlying sweep, with energy calibrated to CPU watts."""
     machine = k6_2_plus()
     return utilization_sweep(SweepConfig(
@@ -45,6 +45,7 @@ def sweep_platform(quick: bool, workers=1,
         workers=workers,
         cycle_energy_scale=laptop.cycle_energy_scale_for(machine),
         cache_dir=cache_dir,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
@@ -65,7 +66,7 @@ def power_table(sweep: SweepResult, laptop: LaptopPowerModel,
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 16 (system power on the laptop model)."""
     laptop = LaptopPowerModel()
     result = ExperimentResult(
@@ -75,7 +76,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
         quick=quick,
     )
     sweep = sweep_platform(quick, workers, laptop, executor, cache_dir,
-                           progress)
+                           progress, engine)
     table = power_table(sweep, laptop, include_overhead=True)
     result.tables.append(table)
 

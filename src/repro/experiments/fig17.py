@@ -21,7 +21,7 @@ from repro.measure.laptop import LaptopPowerModel
 
 
 def sweep_simulated(quick: bool, workers=1, executor=None, cache_dir=None,
-                    progress=False) -> SweepResult:
+                    progress=False, engine="scalar") -> SweepResult:
     """The pure-simulation sweep (unit energy scale)."""
     return utilization_sweep(SweepConfig(
         policies=POLICIES,
@@ -33,11 +33,12 @@ def sweep_simulated(quick: bool, workers=1, executor=None, cache_dir=None,
         seed=160,  # same seed as fig16 -> same task sets and demands
         workers=workers,
         cache_dir=cache_dir,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False) -> ExperimentResult:
+        progress=False, engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 17 and validate it against the Fig. 16 emulation."""
     result = ExperimentResult(
         experiment_id="fig17",
@@ -45,7 +46,8 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
         description=__doc__ or "",
         quick=quick,
     )
-    sim = sweep_simulated(quick, workers, executor, cache_dir, progress)
+    sim = sweep_simulated(quick, workers, executor, cache_dir, progress,
+                          engine)
     duration = sim.config.duration
     table = SweepTable(
         title="Fig. 17: simulated CPU power (arbitrary units)",
@@ -60,7 +62,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     # Identical parameters to fig16's sweep — with a shared cache this
     # re-validation costs zero simulations after fig16 has run.
     measured = sweep_platform(quick, workers, laptop, executor, cache_dir,
-                              progress)
+                              progress, engine)
     scale = laptop.cycle_energy_scale_for(k6_2_plus())
     worst_gap = 0.0
     for label in POLICIES:

@@ -26,7 +26,8 @@ RESIDENCY_TABLE_POLICIES: Tuple[str, ...] = ("ccEDF", "laEDF")
 
 def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
-              steady_fast_path=False) -> SweepResult:
+              steady_fast_path=False,
+              engine="scalar") -> SweepResult:
     """The Fig. 9 sweep for one task count."""
     return utilization_sweep(SweepConfig(
         n_tasks=n_tasks,
@@ -37,11 +38,13 @@ def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
         residency_policies=PAPER_POLICIES,
         cache_dir=cache_dir,
         steady_fast_path=steady_fast_path,
+        engine=engine,
     ), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
-        progress=False, steady_fast_path=False) -> ExperimentResult:
+        progress=False, steady_fast_path=False,
+        engine="scalar") -> ExperimentResult:
     """Reproduce Fig. 9 (three panels, one per task count)."""
     result = ExperimentResult(
         experiment_id="fig9",
@@ -52,7 +55,7 @@ def run(quick: bool = True, workers=1, executor=None, cache_dir=None,
     sweeps: Dict[int, SweepResult] = {}
     for n_tasks in TASK_COUNTS:
         sweep = sweep_for(n_tasks, quick, workers, executor, cache_dir,
-                          progress, steady_fast_path)
+                          progress, steady_fast_path, engine)
         sweeps[n_tasks] = sweep
         # The paper's Fig. 9 y-axis is *absolute* energy; include both
         # views (the shape checks run on the normalized one).

@@ -69,7 +69,8 @@ def run_all(quick: bool = True, workers=1,
             output_dir: Optional[str] = None,
             cache_dir: Optional[str] = None,
             progress: bool = False,
-            steady_fast_path: bool = False) -> List[ExperimentResult]:
+            steady_fast_path: bool = False,
+            engine: str = "scalar") -> List[ExperimentResult]:
     """Run every experiment; optionally write reports and CSVs.
 
     With an ``output_dir``, each experiment gets ``<id>.md`` plus CSVs for
@@ -85,6 +86,7 @@ def run_all(quick: bool = True, workers=1,
         "cache_dir": cache_dir,
         "progress": progress,
         "steady_fast_path": steady_fast_path,
+        "engine": engine,
     }
     results = []
     try:

@@ -257,6 +257,7 @@ def try_steady_fast_path(taskset: TaskSet, machine: Machine, policy,
                          on_miss: str = "raise",
                          warmup_hyperperiods: int = 1,
                          resolution: float = 1e-6,
+                         simulate_fn=None,
                          ) -> Tuple[Optional[FastPathOutcome], str]:
     """Attempt the hyperperiod short-circuit for one simulation.
 
@@ -267,6 +268,13 @@ def try_steady_fast_path(taskset: TaskSet, machine: Machine, policy,
     the horizon), ``"aperiodic-demand"`` (demand model cannot be proven
     periodic), or ``"not-periodic"`` (the two measured windows disagreed —
     e.g. a policy carrying aperiodic state).
+
+    ``resolution`` is the hyperperiod detection grid — callers that cache
+    or group cells by hyperperiod must pass the same pinned value here,
+    or eligibility and grouping can disagree.  ``simulate_fn`` swaps the
+    warmup-window simulation entry point (the batch engine substitutes
+    its kernel); it must be drop-in compatible with
+    :func:`repro.sim.engine.simulate`.
 
     Schedulability and deadline-miss errors propagate exactly as they
     would from a full simulation (they surface within the first
@@ -282,9 +290,10 @@ def try_steady_fast_path(taskset: TaskSet, machine: Machine, policy,
                                          duration)
     if not ok:
         return None, reason
-    result = simulate(taskset, machine, policy, demand=demand,
-                      duration=simulated, energy_model=energy_model,
-                      on_miss=on_miss, record_trace=True)
+    sim = simulate if simulate_fn is None else simulate_fn
+    result = sim(taskset, machine, policy, demand=demand,
+                 duration=simulated, energy_model=energy_model,
+                 on_miss=on_miss, record_trace=True)
     warmup = warmup_hyperperiods * hyperperiod
     boundaries = _cumulative_at(
         result, [warmup, warmup + hyperperiod, simulated])

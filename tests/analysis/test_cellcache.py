@@ -115,6 +115,61 @@ class TestCellCache:
         assert cache.get(key) == OUTCOME
         assert not legacy.exists()
 
+    def test_permission_denied_shard_raises(self, tmp_path, monkeypatch):
+        """Regression: an unreadable shard means a misconfigured cache
+        directory, not a miss — silently resimulating the whole sweep
+        was the old (wrong) behavior.  The denial is injected because
+        the suite may run as root, where chmod 000 does not deny."""
+        from pathlib import Path
+
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 6})
+        cache.put(key, OUTCOME)
+        monkeypatch.setattr(Path, "read_bytes",
+                            lambda self: (_ for _ in ()).throw(
+                                PermissionError(f"denied: {self}")))
+        with pytest.raises(PermissionError):
+            cache.get(key)
+        assert cache.swallowed_errors == 0  # raised, not swallowed
+
+    def test_expected_misses_are_not_counted(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 7})
+        assert cache.get(key) is None  # absent entry
+        cache.put(key, OUTCOME)
+        cache.path_for(key).write_bytes(b"torn")
+        assert cache.get(key) is None  # corrupt entry
+        assert cache.swallowed_errors == 0
+        assert cache.swallowed_log_lines() == []
+
+    def test_unexpected_error_is_counted_and_logged(self, tmp_path,
+                                                    monkeypatch):
+        """A decode *bug* still reads as a miss (the sweep must finish),
+        but it is counted and recorded so ``repro cache info`` surfaces
+        it instead of the cache resimulating silently forever."""
+        import repro.analysis.cellcache as cellcache_module
+
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": 8})
+        cache.put(key, OUTCOME)
+        monkeypatch.setattr(
+            cellcache_module, "decode_cell",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("bug")))
+        assert cache.get(key) is None
+        assert cache.swallowed_errors == 1
+        lines = cache.swallowed_log_lines()
+        assert len(lines) == 1 and "RuntimeError: bug" in lines[0]
+        # The broken entry was also evicted, so the next run resimulates
+        # once instead of tripping on it every sweep.
+        assert not cache.path_for(key).exists()
+
+    def test_clear_removes_swallowed_log(self, tmp_path):
+        cache = CellCache(str(tmp_path))
+        cache._swallow("test", RuntimeError("x"))
+        assert (tmp_path / CellCache.SWALLOWED_LOG).exists()
+        cache.clear()
+        assert not (tmp_path / CellCache.SWALLOWED_LOG).exists()
+
     def test_clear(self, tmp_path):
         cache = CellCache(str(tmp_path))
         for n in range(3):
