@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-mem bench-figures check test-fast-path experiments experiments-full sweep-cache-clean clean
+.PHONY: install test cov bench bench-mem bench-figures check test-fast-path catalog-audit experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -34,11 +34,13 @@ bench-mem:
 bench-figures:
 	pytest benchmarks/ --benchmark-only
 
-# What CI runs: tier-1 tests plus a smoke pass of the engine benchmarks
-# (so the perf harness itself cannot rot) plus the peak-RSS gate of the
-# memory workload (array trace backend must cut peak RSS >= 30%).
+# What CI runs: tier-1 tests plus the full-catalog trace audit, a smoke
+# pass of the engine benchmarks (so the perf harness itself cannot rot)
+# and the peak-RSS gate of the memory workload (array trace backend must
+# cut peak RSS >= 30%).
 check:
 	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) catalog-audit
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
 	PYTHONPATH=src python benchmarks/mem_workload.py --gate
 
@@ -50,6 +52,14 @@ test-fast-path:
 	  tests/core/test_incremental_state.py \
 	  tests/sim/test_steady_fast_path.py \
 	  tests/analysis/test_sweep_fast_path.py
+
+# Full-catalog trace audit at the small-N CI profile: every scenario's
+# cells are replayed with traces, counters/energy re-derived, aggregates
+# and declared invariants cross-checked.  Shares the sweep cell cache
+# (warm cache => cheap re-audit) and exits non-zero on any violation.
+catalog-audit:
+	PYTHONPATH=src python -m repro catalog audit \
+	  --report audit-report.json
 
 experiments:
 	python -m repro run-all --out results_quick

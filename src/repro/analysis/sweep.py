@@ -403,6 +403,32 @@ def utilization_sweep(config: SweepConfig,
 # cell construction (driver side)
 # ---------------------------------------------------------------------------
 
+def sweep_context(config: SweepConfig) -> SweepContext:
+    """The shared :class:`SweepContext` a sweep run derives from its
+    config — exposed so independent consumers (the catalog audit engine)
+    reconstruct *exactly* the context :func:`utilization_sweep` uses,
+    including the EDF-reference label insertion."""
+    labels = _result_labels(config)
+    return SweepContext(
+        machine=config.machine,
+        policies=tuple(labels[:-1]),
+        duration=config.duration,
+        idle_level=config.idle_level,
+        cycle_energy_scale=config.cycle_energy_scale,
+        residency_policies=tuple(config.residency_policies),
+        steady_fast_path=config.steady_fast_path,
+        steady_resolution=config.steady_resolution)
+
+
+def sweep_cell_specs(config: SweepConfig) -> List[CellSpec]:
+    """Every cell of the sweep ``config`` describes, in result order.
+
+    Public alias of the internal builder so the audit layer can replay
+    the same cells the sweep ran, from the same seed derivation.
+    """
+    return _build_cell_specs(config)
+
+
 def _build_cell_specs(config: SweepConfig) -> List[CellSpec]:
     """All cells of the sweep, ordered ``(u_index, set_index)``.
 

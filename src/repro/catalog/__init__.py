@@ -1,0 +1,58 @@
+"""Declarative scenario catalog and trace-audit engine.
+
+Three layers:
+
+* :mod:`repro.catalog.schema` — the versioned, strictly-validated
+  :class:`Scenario`/:class:`PanelSpec`/:class:`Invariant` dataclasses
+  with canonical-JSON serialization and content fingerprints;
+* :mod:`repro.catalog.catalog` — the named entries (one JSON file per
+  scenario under ``data/``) covering every paper figure/table plus the
+  extension experiments, each resolvable to a runnable
+  :class:`~repro.analysis.sweep.SweepConfig`;
+* :mod:`repro.catalog.audit` — the independent audit pass that replays
+  cells with traces, re-derives counters/energy via
+  :mod:`repro.sim.validation`, cross-checks sweep aggregates, and
+  evaluates each scenario's declared invariants into an
+  :class:`AuditReport`.
+
+``rtdvs catalog list|show|run|audit`` is the CLI surface.
+"""
+
+from repro.catalog.audit import (AuditCheck, AuditProfile, AuditReport,
+                                 audit_catalog, audit_scenario,
+                                 render_reports, reports_to_json)
+from repro.catalog.catalog import (catalog_markdown_table, catalog_summary,
+                                   get_scenario, load_catalog,
+                                   panel_sweep_config, run_scenario,
+                                   scenario_names, write_scenario)
+from repro.catalog.schema import (CATALOG_SCHEMA, CatalogError, Invariant,
+                                  KNOWN_INVARIANTS, NAMED_ENERGY_SCALES,
+                                  PanelSpec, Scenario, resolve_energy_scale,
+                                  resolve_machine)
+
+__all__ = [
+    "AuditCheck",
+    "AuditProfile",
+    "AuditReport",
+    "CATALOG_SCHEMA",
+    "CatalogError",
+    "Invariant",
+    "KNOWN_INVARIANTS",
+    "NAMED_ENERGY_SCALES",
+    "PanelSpec",
+    "Scenario",
+    "audit_catalog",
+    "audit_scenario",
+    "catalog_markdown_table",
+    "catalog_summary",
+    "get_scenario",
+    "load_catalog",
+    "panel_sweep_config",
+    "render_reports",
+    "reports_to_json",
+    "resolve_energy_scale",
+    "resolve_machine",
+    "run_scenario",
+    "scenario_names",
+    "write_scenario",
+]

@@ -20,6 +20,12 @@ Subcommands
     --metrics``) as a text report; optionally re-export as CSV.
 ``cache [info|clean] [--dir PATH]``
     Inspect or empty the content-addressed sweep cell cache.
+``catalog [list|show|run|audit]``
+    The declarative scenario catalog: list the named entries, show one
+    entry's canonical JSON, run the experiment a scenario describes
+    (identical to ``run`` — the drivers resolve their parameters from
+    the catalog), or audit entries by replaying cells with traces and
+    re-deriving energies/counters/aggregates independently.
 
 Sweep-driven commands accept ``--workers auto`` (CPU-count derived), show
 per-sweep progress/ETA lines with ``--progress``, and reuse cached cell
@@ -127,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_sweep_options(p_all)
     p_all.add_argument("--out", metavar="DIR",
                        help="write reports and CSVs into DIR")
+    p_all.add_argument("--audit", action="store_true",
+                       help="after the experiments, audit the whole "
+                            "scenario catalog (small-N replay profile); "
+                            "non-zero exit on any violation; with --out, "
+                            "writes audit-report.json there")
     p_all.set_defaults(handler=_cmd_run_all)
 
     p_sim = sub.add_parser("simulate", help="simulate an ad-hoc task set")
@@ -210,6 +221,46 @@ def _build_parser() -> argparse.ArgumentParser:
                            default=default_cache_dir(),
                            help="cache directory (default: %(default)s)")
         p_sub.set_defaults(handler=handler)
+
+    p_cat = sub.add_parser(
+        "catalog", help="list, show, run, or audit catalog scenarios")
+    cat_sub = p_cat.add_subparsers(dest="catalog_command")
+    p_cat.set_defaults(handler=_cmd_catalog_help, catalog_parser=p_cat)
+    p_cat_list = cat_sub.add_parser(
+        "list", help="list the named scenario entries")
+    p_cat_list.set_defaults(handler=_cmd_catalog_list)
+    p_cat_show = cat_sub.add_parser(
+        "show", help="print one scenario's canonical JSON + fingerprint")
+    p_cat_show.add_argument("scenario")
+    p_cat_show.set_defaults(handler=_cmd_catalog_show)
+    p_cat_run = cat_sub.add_parser(
+        "run", help="run the experiment a scenario describes")
+    p_cat_run.add_argument("scenario")
+    p_cat_run.add_argument("--full", action="store_true",
+                           help="paper-scale parameters (slow)")
+    _add_sweep_options(p_cat_run)
+    p_cat_run.add_argument("--no-charts", action="store_true",
+                           help="omit ASCII charts from the report")
+    p_cat_run.set_defaults(handler=_cmd_catalog_run)
+    p_cat_audit = cat_sub.add_parser(
+        "audit", help="replay scenarios with traces and audit the "
+                      "results against their declared invariants")
+    p_cat_audit.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                             help="entries to audit (default: all)")
+    _add_sweep_options(p_cat_audit)
+    p_cat_audit.add_argument("--sets", type=int, default=2, metavar="N",
+                             help="task sets per utilization point "
+                                  "(default: %(default)s)")
+    p_cat_audit.add_argument("--points", type=int, default=4, metavar="N",
+                             help="utilization points per panel "
+                                  "(default: %(default)s)")
+    p_cat_audit.add_argument("--audit-duration", type=float, default=300.0,
+                             metavar="MS",
+                             help="replay horizon in ms "
+                                  "(default: %(default)s)")
+    p_cat_audit.add_argument("--report", metavar="FILE",
+                             help="also write the JSON audit report here")
+    p_cat_audit.set_defaults(handler=_cmd_catalog_audit)
     return parser
 
 
@@ -248,7 +299,22 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
                       steady_fast_path=args.steady_fast_path,
                       engine=args.engine)
     print(summary_table(results))
-    return 0 if all(r.all_checks_pass for r in results) else 1
+    code = 0 if all(r.all_checks_pass for r in results) else 1
+    if args.audit:
+        from repro.catalog import (audit_catalog, render_reports,
+                                   reports_to_json)
+        reports = audit_catalog(cache_dir=_cache_dir_from(args),
+                                workers=args.workers, engine=args.engine)
+        print(render_reports(reports))
+        if args.out:
+            import os
+            path = os.path.join(args.out, "audit-report.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(reports_to_json(reports))
+            print(f"wrote {path}")
+        if not all(r.ok for r in reports):
+            code = 1
+    return code
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -389,6 +455,53 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_obs_help(args: argparse.Namespace) -> int:
     args.obs_parser.print_help()
     return 2
+
+
+def _cmd_catalog_help(args: argparse.Namespace) -> int:
+    args.catalog_parser.print_help()
+    return 2
+
+
+def _cmd_catalog_list(args: argparse.Namespace) -> int:
+    from repro.catalog import catalog_summary
+    print(catalog_summary())
+    return 0
+
+
+def _cmd_catalog_show(args: argparse.Namespace) -> int:
+    from repro.catalog import get_scenario
+    scenario = get_scenario(args.scenario)
+    print(scenario.to_json(indent=2))
+    print(f"fingerprint: {scenario.fingerprint()}")
+    return 0
+
+
+def _cmd_catalog_run(args: argparse.Namespace) -> int:
+    from repro.catalog import run_scenario
+    result = run_scenario(args.scenario, quick=not args.full,
+                          workers=args.workers,
+                          cache_dir=_cache_dir_from(args),
+                          progress=args.progress,
+                          steady_fast_path=args.steady_fast_path,
+                          engine=args.engine)
+    print(result.render(charts=not args.no_charts))
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_catalog_audit(args: argparse.Namespace) -> int:
+    from repro.catalog import (AuditProfile, audit_catalog,
+                               render_reports, reports_to_json)
+    profile = AuditProfile(n_sets=args.sets, max_points=args.points,
+                           duration=args.audit_duration)
+    reports = audit_catalog(args.scenarios or None, profile=profile,
+                            cache_dir=_cache_dir_from(args),
+                            workers=args.workers, engine=args.engine)
+    print(render_reports(reports))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(reports_to_json(reports, profile=profile))
+        print(f"wrote {args.report}")
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _cmd_cache_help(args: argparse.Namespace) -> int:

@@ -33,6 +33,7 @@ from repro.core.governors import (AgedAveragesGovernor, FlatGovernor,
 from repro.core.registry import (
     PAPER_POLICIES,
     available_policies,
+    canonical_policy_name,
     make_policy,
 )
 
@@ -54,5 +55,6 @@ __all__ = [
     "AgedAveragesGovernor",
     "PAPER_POLICIES",
     "available_policies",
+    "canonical_policy_name",
     "make_policy",
 ]

@@ -67,18 +67,27 @@ def available_policies() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def canonical_policy_name(name: str) -> str:
+    """Resolve any accepted spelling/alias to its canonical registry key.
+
+    Raises :class:`ValueError` for unknown names — the validation entry
+    point for layers (e.g. the scenario catalog) that need to check a
+    policy name without instantiating the policy.
+    """
+    key = name.strip().lower().replace("_", "-")
+    key = _ALIASES.get(key, key)
+    key = key.replace("-", "")
+    key = _ALIASES.get(key, key)
+    if key not in _FACTORIES:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}")
+    return key
+
+
 def make_policy(name: str, **kwargs) -> DVSPolicy:
     """Instantiate a policy by (case-insensitive) name.
 
     Accepts the paper's names ("ccEDF", "laEDF", "staticRM", ...) plus a
     few aliases; extra keyword arguments go to the policy constructor.
     """
-    key = name.strip().lower().replace("_", "-")
-    key = _ALIASES.get(key, key)
-    key = key.replace("-", "")
-    key = _ALIASES.get(key, key)
-    factory = _FACTORIES.get(key)
-    if factory is None:
-        raise ValueError(
-            f"unknown policy {name!r}; available: {available_policies()}")
-    return factory(**kwargs)
+    return _FACTORIES[canonical_policy_name(name)](**kwargs)

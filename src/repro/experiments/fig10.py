@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 
 IDLE_LEVELS: Tuple[float, ...] = (0.01, 0.1, 1.0)
@@ -27,18 +28,12 @@ def sweep_for(idle_level: float, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
               steady_fast_path=False,
               engine="scalar") -> SweepResult:
-    """The Fig. 10 sweep for one idle level."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        idle_level=idle_level,
-        seed=100,
-        workers=workers,
-        cache_dir=cache_dir,
-        steady_fast_path=steady_fast_path,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The Fig. 10 sweep for one idle level (catalog panel
+    ``fig10/idle-<level>``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig10", f"idle-{idle_level}", quick=quick, workers=workers,
+        cache_dir=cache_dir, steady_fast_path=steady_fast_path,
+        engine=engine), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 from repro.hw.machine import Machine, machine0, machine1, machine2
 
@@ -31,19 +32,12 @@ def sweep_for(machine: Machine, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
               steady_fast_path=False,
               engine="scalar") -> SweepResult:
-    """The Fig. 11 sweep for one machine specification."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        machine=machine,
-        seed=110,
-        workers=workers,
-        residency_policies=RESIDENCY_POLICIES,
-        cache_dir=cache_dir,
-        steady_fast_path=steady_fast_path,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The Fig. 11 sweep for one machine specification (catalog panel
+    ``fig11/<machine name>``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig11", machine.name, quick=quick, workers=workers,
+        cache_dir=cache_dir, steady_fast_path=steady_fast_path,
+        engine=engine), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

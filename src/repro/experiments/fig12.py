@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 
 FRACTIONS: Tuple[float, ...] = (0.9, 0.7, 0.5)
@@ -24,18 +25,12 @@ def sweep_for(fraction: float, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
               steady_fast_path=False,
               engine="scalar") -> SweepResult:
-    """The Fig. 12 sweep for one demand fraction."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        demand=fraction,
-        seed=120,
-        workers=workers,
-        cache_dir=cache_dir,
-        steady_fast_path=steady_fast_path,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The Fig. 12 sweep for one demand fraction (catalog panel
+    ``fig12/c-<fraction>``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig12", f"c-{fraction}", quick=quick, workers=workers,
+        cache_dir=cache_dir, steady_fast_path=steady_fast_path,
+        engine=engine), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

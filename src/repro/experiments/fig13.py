@@ -9,7 +9,8 @@ static ones depend only on the worst case (and ccRM mostly does too).
 
 from __future__ import annotations
 
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 
 N_TASKS = 8
@@ -17,32 +18,21 @@ N_TASKS = 8
 
 def sweep_uniform(quick: bool, workers=1, executor=None, cache_dir=None,
                   progress=False, engine="scalar") -> SweepResult:
-    """The Fig. 13 sweep (uniform demand)."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        demand="uniform",
-        seed=130,
-        engine=engine,
-        workers=workers,
-        cache_dir=cache_dir,
-    ), executor=executor, progress=progress)
+    """The Fig. 13 sweep (catalog panel ``fig13/uniform``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig13", "uniform", quick=quick, workers=workers,
+        cache_dir=cache_dir, engine=engine),
+        executor=executor, progress=progress)
 
 
 def sweep_half(quick: bool, workers=1, executor=None, cache_dir=None,
                progress=False, engine="scalar") -> SweepResult:
-    """The comparison sweep at constant c = 0.5 (same task sets)."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        demand=0.5,
-        seed=130,
-        engine=engine,
-        workers=workers,
-        cache_dir=cache_dir,
-    ), executor=executor, progress=progress)
+    """The comparison sweep at constant c = 0.5, same task sets
+    (catalog panel ``fig13/half``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig13", "half", quick=quick, workers=workers,
+        cache_dir=cache_dir, engine=engine),
+        executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

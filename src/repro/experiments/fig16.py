@@ -16,8 +16,11 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from dataclasses import replace
+
 from repro.analysis.series import SweepTable
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 from repro.hw.machine import k6_2_plus
 from repro.measure.laptop import LaptopPowerModel
@@ -32,21 +35,21 @@ def sweep_platform(quick: bool, workers=1,
                    laptop: LaptopPowerModel = LaptopPowerModel(),
                    executor=None, cache_dir=None,
                    progress=False, engine="scalar") -> SweepResult:
-    """The underlying sweep, with energy calibrated to CPU watts."""
-    machine = k6_2_plus()
-    return utilization_sweep(SweepConfig(
-        policies=POLICIES,
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 50,
-        duration=1000.0 if quick else 2000.0,
-        machine=machine,
-        demand=DEMAND,
-        seed=160,
-        workers=workers,
-        cycle_energy_scale=laptop.cycle_energy_scale_for(machine),
-        cache_dir=cache_dir,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The underlying sweep, with energy calibrated to CPU watts
+    (catalog panel ``fig16/k6-laptop``).
+
+    The catalog's ``"k6-laptop"`` named scale is the default
+    :class:`LaptopPowerModel` calibration; a custom ``laptop`` model
+    overrides the scale (the legacy extension point) and is otherwise
+    identical.
+    """
+    config = panel_sweep_config(
+        "fig16", "k6-laptop", quick=quick, workers=workers,
+        cache_dir=cache_dir, engine=engine)
+    config = replace(config, cycle_energy_scale=laptop.
+                     cycle_energy_scale_for(config.machine))
+    return utilization_sweep(config, executor=executor,
+                             progress=progress)
 
 
 def power_table(sweep: SweepResult, laptop: LaptopPowerModel,

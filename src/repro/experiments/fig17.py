@@ -13,7 +13,8 @@ scale) with these CPU-only curves.
 from __future__ import annotations
 
 from repro.analysis.series import SweepTable
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig16 import DEMAND, N_TASKS, POLICIES, sweep_platform
 from repro.hw.machine import k6_2_plus
@@ -22,19 +23,13 @@ from repro.measure.laptop import LaptopPowerModel
 
 def sweep_simulated(quick: bool, workers=1, executor=None, cache_dir=None,
                     progress=False, engine="scalar") -> SweepResult:
-    """The pure-simulation sweep (unit energy scale)."""
-    return utilization_sweep(SweepConfig(
-        policies=POLICIES,
-        n_tasks=N_TASKS,
-        n_sets=8 if quick else 50,
-        duration=1000.0 if quick else 2000.0,
-        machine=k6_2_plus(),
-        demand=DEMAND,
-        seed=160,  # same seed as fig16 -> same task sets and demands
-        workers=workers,
-        cache_dir=cache_dir,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The pure-simulation sweep, unit energy scale (catalog panel
+    ``fig17/k6-simulated``; shares fig16's seed, so the task sets and
+    demands are identical)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig17", "k6-simulated", quick=quick, workers=workers,
+        cache_dir=cache_dir, engine=engine),
+        executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.analysis.sweep import SweepConfig, SweepResult, utilization_sweep
-from repro.core import PAPER_POLICIES
+from repro.analysis.sweep import SweepResult, utilization_sweep
+from repro.catalog import panel_sweep_config
 from repro.experiments.common import ExperimentResult
 
 TASK_COUNTS: Tuple[int, ...] = (5, 10, 15)
@@ -28,18 +28,12 @@ def sweep_for(n_tasks: int, quick: bool, workers=1, executor=None,
               cache_dir=None, progress=False,
               steady_fast_path=False,
               engine="scalar") -> SweepResult:
-    """The Fig. 9 sweep for one task count."""
-    return utilization_sweep(SweepConfig(
-        n_tasks=n_tasks,
-        n_sets=8 if quick else 100,
-        duration=1000.0 if quick else 2000.0,
-        seed=90 + n_tasks,
-        workers=workers,
-        residency_policies=PAPER_POLICIES,
-        cache_dir=cache_dir,
-        steady_fast_path=steady_fast_path,
-        engine=engine,
-    ), executor=executor, progress=progress)
+    """The Fig. 9 sweep for one task count (catalog panel
+    ``fig9/<n>-tasks``)."""
+    return utilization_sweep(panel_sweep_config(
+        "fig9", f"{n_tasks}-tasks", quick=quick, workers=workers,
+        cache_dir=cache_dir, steady_fast_path=steady_fast_path,
+        engine=engine), executor=executor, progress=progress)
 
 
 def run(quick: bool = True, workers=1, executor=None, cache_dir=None,

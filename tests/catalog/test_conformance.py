@@ -1,0 +1,198 @@
+"""Differential conformance: catalog entries vs the historical drivers.
+
+The per-figure drivers used to build their :class:`SweepConfig` objects
+inline; they now resolve them from the catalog.  These tests pin the
+catalog-resolved configs to frozen copies of the *pre-catalog*
+constructors, field for field — same configs means same cell specs,
+same cache keys, and therefore bit-identical sweeps by construction.
+One reduced sweep is actually executed both ways to close the loop end
+to end.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.sweep import (SweepConfig, cell_cache_key,
+                                  sweep_cell_specs, sweep_context,
+                                  utilization_sweep)
+from repro.catalog import panel_sweep_config
+from repro.core import PAPER_POLICIES
+from repro.hw.machine import k6_2_plus, machine0, machine1, machine2
+from repro.measure.laptop import LaptopPowerModel
+
+# ---------------------------------------------------------------------------
+# frozen copies of the drivers' historical SweepConfig constructors
+# (verbatim from the pre-catalog fig*.py modules — do not "fix" these;
+# they are the reference the catalog must keep matching)
+# ---------------------------------------------------------------------------
+
+
+def legacy_fig9(n_tasks, quick):
+    return SweepConfig(
+        n_tasks=n_tasks,
+        n_sets=8 if quick else 100,
+        duration=1000.0 if quick else 2000.0,
+        seed=90 + n_tasks,
+        residency_policies=PAPER_POLICIES,
+    )
+
+
+def legacy_fig10(idle_level, quick):
+    return SweepConfig(
+        n_tasks=8,
+        n_sets=8 if quick else 100,
+        duration=1000.0 if quick else 2000.0,
+        idle_level=idle_level,
+        seed=100,
+    )
+
+
+def legacy_fig11(machine, quick):
+    return SweepConfig(
+        n_tasks=8,
+        n_sets=8 if quick else 100,
+        duration=1000.0 if quick else 2000.0,
+        machine=machine,
+        seed=110,
+        residency_policies=("ccEDF", "laEDF"),
+    )
+
+
+def legacy_fig12(fraction, quick):
+    return SweepConfig(
+        n_tasks=8,
+        n_sets=8 if quick else 100,
+        duration=1000.0 if quick else 2000.0,
+        demand=fraction,
+        seed=120,
+    )
+
+
+def legacy_fig13(demand, quick):
+    return SweepConfig(
+        n_tasks=8,
+        n_sets=8 if quick else 100,
+        duration=1000.0 if quick else 2000.0,
+        demand=demand,
+        seed=130,
+    )
+
+
+def legacy_fig16(quick):
+    machine = k6_2_plus()
+    return SweepConfig(
+        policies=("EDF", "staticRM", "ccEDF", "laEDF"),
+        n_tasks=5,
+        n_sets=8 if quick else 50,
+        duration=1000.0 if quick else 2000.0,
+        machine=machine,
+        demand=0.9,
+        seed=160,
+        cycle_energy_scale=LaptopPowerModel().cycle_energy_scale_for(
+            machine),
+    )
+
+
+def legacy_fig17(quick):
+    return SweepConfig(
+        policies=("EDF", "staticRM", "ccEDF", "laEDF"),
+        n_tasks=5,
+        n_sets=8 if quick else 50,
+        duration=1000.0 if quick else 2000.0,
+        machine=k6_2_plus(),
+        demand=0.9,
+        seed=160,
+    )
+
+
+CASES = [
+    ("fig9", "5-tasks", lambda quick: legacy_fig9(5, quick)),
+    ("fig9", "10-tasks", lambda quick: legacy_fig9(10, quick)),
+    ("fig9", "15-tasks", lambda quick: legacy_fig9(15, quick)),
+    ("fig10", "idle-0.01", lambda quick: legacy_fig10(0.01, quick)),
+    ("fig10", "idle-0.1", lambda quick: legacy_fig10(0.1, quick)),
+    ("fig10", "idle-1.0", lambda quick: legacy_fig10(1.0, quick)),
+    ("fig11", "machine0", lambda quick: legacy_fig11(machine0(), quick)),
+    ("fig11", "machine1", lambda quick: legacy_fig11(machine1(), quick)),
+    ("fig11", "machine2", lambda quick: legacy_fig11(machine2(), quick)),
+    ("fig12", "c-0.9", lambda quick: legacy_fig12(0.9, quick)),
+    ("fig12", "c-0.7", lambda quick: legacy_fig12(0.7, quick)),
+    ("fig12", "c-0.5", lambda quick: legacy_fig12(0.5, quick)),
+    ("fig13", "uniform", lambda quick: legacy_fig13("uniform", quick)),
+    ("fig13", "half", lambda quick: legacy_fig13(0.5, quick)),
+    ("fig16", "k6-laptop", lambda quick: legacy_fig16(quick)),
+    ("fig17", "k6-simulated", lambda quick: legacy_fig17(quick)),
+]
+
+IDS = [f"{scenario}/{panel}" for scenario, panel, _ in CASES]
+
+
+@pytest.mark.parametrize("scenario,panel,legacy", CASES, ids=IDS)
+@pytest.mark.parametrize("quick", [True, False],
+                         ids=["quick", "full"])
+class TestConfigConformance:
+    def test_config_identical(self, scenario, panel, legacy, quick):
+        assert panel_sweep_config(scenario, panel, quick=quick) \
+            == legacy(quick)
+
+    def test_cell_specs_and_cache_keys_identical(self, scenario, panel,
+                                                 legacy, quick):
+        from_catalog = panel_sweep_config(scenario, panel, quick=quick)
+        reference = legacy(quick)
+        specs_a = sweep_cell_specs(from_catalog)
+        specs_b = sweep_cell_specs(reference)
+        assert specs_a == specs_b
+        context_a = sweep_context(from_catalog)
+        context_b = sweep_context(reference)
+        assert context_a == context_b
+        # Cache keys are the sweep's bit-identity currency: same key,
+        # same cached cell outcome.  Spot-check the corners.
+        for index in (0, len(specs_a) // 2, len(specs_a) - 1):
+            assert cell_cache_key(context_a, specs_a[index]) \
+                == cell_cache_key(context_b, specs_b[index])
+
+
+class TestExecutionConformance:
+    """Run one (reduced) sweep both ways; results must match exactly."""
+
+    def _shrink(self, config):
+        return replace(config, n_sets=2, duration=150.0,
+                       utilizations=(0.5, 0.9))
+
+    def test_reduced_sweep_bit_identical(self):
+        catalog_cfg = self._shrink(
+            panel_sweep_config("fig13", "half", quick=True))
+        legacy_cfg = self._shrink(legacy_fig13(0.5, True))
+        a = utilization_sweep(catalog_cfg)
+        b = utilization_sweep(legacy_cfg)
+        for label in a.raw.labels():
+            assert a.raw.get(label).ys == b.raw.get(label).ys
+            assert a.normalized.get(label).ys == b.normalized.get(label).ys
+        assert a.rm_fallbacks == b.rm_fallbacks
+
+    def test_reduced_sweep_with_named_scale_bit_identical(self):
+        catalog_cfg = self._shrink(
+            panel_sweep_config("fig16", "k6-laptop", quick=True))
+        legacy_cfg = self._shrink(legacy_fig16(True))
+        assert catalog_cfg.cycle_energy_scale \
+            == legacy_cfg.cycle_energy_scale
+        a = utilization_sweep(catalog_cfg)
+        b = utilization_sweep(legacy_cfg)
+        for label in a.raw.labels():
+            assert a.raw.get(label).ys == b.raw.get(label).ys
+
+
+class TestScenarioDriverConformance:
+    """``rtdvs catalog run`` is the registered driver, not a rival
+    implementation."""
+
+    def test_run_scenario_delegates_to_the_driver(self):
+        from repro.catalog import run_scenario
+        from repro.experiments.runall import run_experiment
+        via_catalog = run_scenario("table1", quick=True)
+        direct = run_experiment("table1", quick=True)
+        assert via_catalog.experiment_id == direct.experiment_id
+        assert [(c.description, c.passed) for c in via_catalog.checks] \
+            == [(c.description, c.passed) for c in direct.checks]
+        assert via_catalog.all_checks_pass

@@ -1,0 +1,288 @@
+"""Property and validation tests for the scenario schema.
+
+The schema's job is to make a catalog entry mean exactly one thing:
+round-tripping through canonical JSON must be the identity, typoed or
+stale fields must be rejected loudly at every nesting level, and the
+fingerprint must depend on content, never on formatting or key order.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import (CATALOG_SCHEMA, CatalogError, Invariant,
+                           KNOWN_INVARIANTS, NAMED_ENERGY_SCALES,
+                           PanelSpec, Scenario, get_scenario, load_catalog,
+                           resolve_energy_scale, resolve_machine,
+                           scenario_names)
+from repro.core import PAPER_POLICIES
+from repro.hw.machine import MACHINE_PRESETS
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies over valid scenarios
+# ---------------------------------------------------------------------------
+
+_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                 min_size=1, max_size=20)
+
+_policy_subsets = st.one_of(
+    st.none(),
+    st.lists(st.sampled_from(PAPER_POLICIES), min_size=1, max_size=6,
+             unique=True).map(tuple))
+
+_panels = st.builds(
+    PanelSpec,
+    label=_names,
+    n_tasks=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=10**6),
+    demand=st.sampled_from(["worst", "uniform", 0.25, 0.5, 0.9]),
+    idle_level=st.sampled_from([0.0, 0.01, 0.1, 1.0]),
+    machine=st.sampled_from(sorted(MACHINE_PRESETS)),
+    utilizations=st.one_of(
+        st.none(),
+        st.lists(st.floats(min_value=0.05, max_value=1.0,
+                           allow_nan=False, allow_infinity=False),
+                 min_size=1, max_size=6).map(tuple)),
+    policies=_policy_subsets,
+    residency_policies=st.lists(st.sampled_from(PAPER_POLICIES),
+                                max_size=3, unique=True).map(tuple),
+    cycle_energy_scale=st.one_of(
+        st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+        st.sampled_from(NAMED_ENERGY_SCALES)),
+    n_sets_quick=st.integers(min_value=1, max_value=16),
+    n_sets_full=st.integers(min_value=1, max_value=200),
+    duration_quick=st.sampled_from([500.0, 1000.0]),
+    duration_full=st.sampled_from([2000.0, 4000.0]),
+)
+
+_invariants = st.builds(
+    Invariant,
+    name=st.sampled_from(sorted(KNOWN_INVARIANTS)),
+    tolerance=st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+
+
+def _unique_labels(panels):
+    return len({p.label for p in panels}) == len(panels)
+
+
+def _unique_invariants(invariants):
+    return len({i.name for i in invariants}) == len(invariants)
+
+
+_scenarios = st.builds(
+    Scenario,
+    name=_names,
+    title=st.text(min_size=1, max_size=40),
+    figure=st.sampled_from(["Fig. 9", "Fig. 12", "Table 4", "extension"]),
+    description=st.text(max_size=60),
+    experiment_id=st.sampled_from(["fig9", "fig12", "table4", "traces"]),
+    panels=st.lists(_panels, max_size=3).filter(_unique_labels).map(tuple),
+    invariants=st.lists(_invariants, max_size=4)
+    .filter(_unique_invariants).map(tuple),
+)
+
+_relaxed = settings(max_examples=50, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow,
+                                           HealthCheck.filter_too_much])
+
+
+class TestRoundTrip:
+    @_relaxed
+    @given(scenario=_scenarios)
+    def test_json_round_trip_is_identity(self, scenario):
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        assert Scenario.from_json(scenario.to_json(indent=2)) == scenario
+
+    @_relaxed
+    @given(scenario=_scenarios)
+    def test_fingerprint_ignores_key_order_and_whitespace(self, scenario):
+        data = json.loads(scenario.to_json())
+        shuffled = json.dumps(
+            {key: data[key] for key in reversed(sorted(data))}, indent=7)
+        assert Scenario.from_json(shuffled).fingerprint() \
+            == scenario.fingerprint()
+
+    @_relaxed
+    @given(scenario=_scenarios)
+    def test_fingerprint_tracks_content(self, scenario):
+        import dataclasses
+        bumped = dataclasses.replace(scenario,
+                                     experiment_id=scenario.experiment_id
+                                     + "-x")
+        assert bumped.fingerprint() != scenario.fingerprint()
+
+    @_relaxed
+    @given(scenario=_scenarios)
+    def test_canonical_json_is_sorted_and_stable(self, scenario):
+        text = scenario.to_json()
+        assert text == scenario.to_json()
+        assert list(json.loads(text)) == sorted(json.loads(text))
+
+
+class TestStrictParsing:
+    def _base(self):
+        return get_scenario("fig9").to_dict()
+
+    def test_unknown_top_level_key_rejected(self):
+        data = self._base()
+        data["n_taks"] = 5
+        with pytest.raises(CatalogError, match="unknown key"):
+            Scenario.from_dict(data)
+
+    def test_unknown_panel_key_rejected(self):
+        data = self._base()
+        data["panels"][0]["n_taks"] = 5
+        with pytest.raises(CatalogError, match="unknown key"):
+            Scenario.from_dict(data)
+
+    def test_unknown_invariant_key_rejected(self):
+        data = self._base()
+        data["invariants"][0]["tolerence"] = 0.1
+        with pytest.raises(CatalogError, match="unknown key"):
+            Scenario.from_dict(data)
+
+    def test_missing_required_key_rejected(self):
+        data = self._base()
+        del data["experiment_id"]
+        with pytest.raises(CatalogError, match="missing required key"):
+            Scenario.from_dict(data)
+
+    @pytest.mark.parametrize("bad", [0, 2, "1", None])
+    def test_wrong_schema_version_rejected(self, bad):
+        data = self._base()
+        data["schema"] = bad
+        with pytest.raises(CatalogError, match="schema"):
+            Scenario.from_dict(data)
+
+    def test_current_schema_version_accepted(self):
+        data = self._base()
+        assert Scenario.from_dict(data).schema == CATALOG_SCHEMA
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(CatalogError, match="object"):
+            Scenario.from_json("[1, 2]")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(CatalogError, match="not valid JSON"):
+            Scenario.from_json("{nope")
+
+
+class TestFieldValidation:
+    def test_unknown_invariant_name_rejected(self):
+        with pytest.raises(CatalogError, match="unknown invariant"):
+            Invariant("definitely-not-a-check")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(CatalogError, match="tolerance"):
+            Invariant("engine-parity", tolerance=-1e-9)
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(CatalogError, match="unknown machine"):
+            PanelSpec(label="p", machine="machine99")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CatalogError, match="unknown policy"):
+            PanelSpec(label="p", policies=("EDF", "turboEDF"))
+
+    def test_unknown_residency_policy_rejected(self):
+        with pytest.raises(CatalogError, match="unknown policy"):
+            PanelSpec(label="p", residency_policies=("rrRM",))
+
+    def test_unknown_energy_scale_rejected(self):
+        with pytest.raises(CatalogError, match="energy scale"):
+            PanelSpec(label="p", cycle_energy_scale="k7-laptop")
+
+    def test_out_of_range_demand_rejected(self):
+        with pytest.raises(CatalogError, match="demand"):
+            PanelSpec(label="p", demand=1.5)
+
+    def test_empty_panel_label_rejected(self):
+        with pytest.raises(CatalogError, match="label"):
+            PanelSpec(label="")
+
+    def test_duplicate_panel_labels_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate panel"):
+            Scenario(name="s", title="t", figure="f", description="d",
+                     experiment_id="fig9",
+                     panels=(PanelSpec(label="p"), PanelSpec(label="p")))
+
+    def test_empty_scenario_name_rejected(self):
+        with pytest.raises(CatalogError, match="name"):
+            Scenario(name="", title="t", figure="f", description="d",
+                     experiment_id="fig9")
+
+
+class TestResolvers:
+    def test_float_scale_passthrough(self):
+        assert resolve_energy_scale(2.5) == 2.5
+
+    def test_named_scale_resolves(self):
+        from repro.hw.machine import k6_2_plus
+        from repro.measure.laptop import LaptopPowerModel
+        want = LaptopPowerModel().cycle_energy_scale_for(k6_2_plus())
+        assert resolve_energy_scale("k6-laptop") == want
+
+    def test_unknown_named_scale_rejected(self):
+        with pytest.raises(CatalogError, match="unknown named"):
+            resolve_energy_scale("vax-780")
+
+    def test_machine_presets_resolve(self):
+        for name in MACHINE_PRESETS:
+            assert resolve_machine(name).points
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(CatalogError, match="unknown machine"):
+            resolve_machine("machine99")
+
+
+class TestCatalogIntegrity:
+    """The shipped data/ entries are complete and well-formed."""
+
+    EXPECTED = ("ext-battery", "ext-future", "ext-governors", "ext-mp",
+                "ext-server", "fig10", "fig11", "fig12", "fig13", "fig16",
+                "fig17", "fig9", "table1", "table4", "traces")
+
+    def test_every_figure_and_table_has_an_entry(self):
+        assert tuple(scenario_names()) == self.EXPECTED
+
+    def test_experiment_ids_resolve_to_drivers(self):
+        from repro.experiments.runall import ALL_EXPERIMENTS
+        for name in scenario_names():
+            assert get_scenario(name).experiment_id in ALL_EXPERIMENTS
+
+    def test_every_entry_round_trips_through_its_file(self):
+        from repro.catalog.catalog import DATA_DIR
+        for name in scenario_names():
+            text = (DATA_DIR / f"{name}.json").read_text(encoding="utf-8")
+            assert Scenario.from_json(text) == get_scenario(name)
+
+    def test_every_panel_resolves_to_a_sweep_config(self):
+        for name in scenario_names():
+            for panel in get_scenario(name).panels:
+                for quick in (True, False):
+                    config = panel.sweep_config(quick=quick)
+                    assert config.n_sets >= 1 and config.duration > 0
+
+    def test_sweep_scenarios_declare_core_invariants(self):
+        for name in ("fig9", "fig10", "fig11", "fig12", "fig13",
+                     "fig16", "fig17"):
+            scenario = get_scenario(name)
+            assert scenario.panels
+            for core in ("reference-normalized-unity",
+                         "zero-misses-schedulable-edf",
+                         "bound-not-above-policies"):
+                assert scenario.invariant(core) is not None, \
+                    f"{name} is missing {core}"
+
+    def test_panel_less_scenarios_audit_via_shape_checks(self):
+        for name in ("table1", "table4", "traces", "ext-battery",
+                     "ext-future", "ext-governors", "ext-mp",
+                     "ext-server"):
+            scenario = get_scenario(name)
+            assert not scenario.panels
+            assert scenario.invariant("shape-checks") is not None
+
+    def test_load_catalog_is_memoized(self):
+        assert load_catalog() is load_catalog()

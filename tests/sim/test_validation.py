@@ -293,3 +293,123 @@ class TestRederiveCounters:
                 assert ja is jb and wa == wb
             checked += len(reference)
         assert checked > 0
+
+
+class TestEngineMatrixValidation:
+    """The validator's coverage extends beyond the scalar engine: batch-
+    kernel results and the hyperperiod fast path's verified windows must
+    satisfy exactly the same trace checks and counter re-derivations."""
+
+    @pytest.mark.parametrize("policy_name", PAPER_POLICIES)
+    def test_kernel_results_validate(self, policy_name):
+        from repro.sim.batch_kernels import (kernel_simulate,
+                                             kernel_supported)
+        ts = TaskSetGenerator(n_tasks=6, utilization=0.8,
+                              seed=321).generate()
+        policy = make_policy(policy_name)
+        if policy_name in ("staticRM", "ccRM") \
+                and not rm_exact_schedulable(ts, 1.0):
+            pytest.skip("set not RM-schedulable")
+        assert kernel_supported(policy)
+        model = EnergyModel(idle_level=0.3)
+        result = kernel_simulate(ts, machine0(), policy, demand=0.7,
+                                 duration=200.0, energy_model=model,
+                                 record_trace=True)
+        violations = validate_schedule(result, model)
+        assert violations == [], [str(v) for v in violations]
+        rc = rederive_counters(result)
+        assert rc["deadline_misses"] == len(result.misses) == 0
+        assert rc["frequency_transitions"] <= result.switches
+
+    def test_kernel_counters_match_scalar_engine(self):
+        from repro.sim.batch_kernels import kernel_simulate
+        ts = TaskSetGenerator(n_tasks=5, utilization=0.9,
+                              seed=654).generate()
+        model = EnergyModel(idle_level=0.1)
+        kwargs = dict(demand=0.8, duration=180.0, energy_model=model,
+                      record_trace=True)
+        kernel = kernel_simulate(ts, machine0(), make_policy("ccEDF"),
+                                 **kwargs)
+        scalar = simulate(ts, machine0(), make_policy("ccEDF"), **kwargs)
+        assert rederive_counters(kernel) == rederive_counters(scalar)
+
+    def test_kernel_trace_corruption_is_still_caught(self):
+        """The validator must stay sharp on kernel-recorded traces, not
+        just pass them: the same doctored-segment mutations fire."""
+        from repro.sim.batch_kernels import kernel_simulate
+        model = EnergyModel(idle_level=0.2)
+        result = kernel_simulate(example_taskset(), machine0(),
+                                 make_policy("ccEDF"), demand=0.7,
+                                 duration=112.0, energy_model=model,
+                                 record_trace=True)
+        segment = result.trace[1]
+        doctor(result.trace, 1, Segment(
+            start=segment.start + 0.5, end=segment.end + 0.5,
+            task=segment.task, point=segment.point,
+            cycles=segment.cycles, energy=segment.energy,
+            kind=segment.kind))
+        kinds = {v.kind for v in validate_schedule(result, model)}
+        assert "tiling" in kinds
+
+    def _harmonic_ts(self):
+        return TaskSet([Task(1.0, 4.0, name="A"),
+                        Task(2.0, 8.0, name="B"),
+                        Task(4.0, 16.0, name="C")])
+
+    @pytest.mark.parametrize("policy_name", ("EDF", "ccEDF", "laEDF"))
+    def test_fast_path_warmup_window_validates(self, policy_name):
+        """The fast path extrapolates from a short traced simulation;
+        that window must itself pass full schedule validation and miss
+        re-derivation, and the extrapolated totals must match a full
+        traced run of the whole horizon."""
+        from repro.sim.steady import try_steady_fast_path
+        ts = self._harmonic_ts()
+        model = EnergyModel(idle_level=0.25)
+        captured = {}
+
+        def capturing(*args, **kwargs):
+            result = simulate(*args, **kwargs)
+            captured["run"] = result
+            return result
+
+        outcome, reason = try_steady_fast_path(
+            ts, machine0(), make_policy(policy_name), demand=0.7,
+            duration=2000.0, energy_model=model, simulate_fn=capturing)
+        assert reason == "ok" and outcome is not None
+        window = captured["run"]
+        violations = validate_schedule(window, model)
+        assert violations == [], [str(v) for v in violations]
+        counters = rederive_counters(window)
+        assert counters["deadline_misses"] == len(window.misses) == 0
+        assert counters["frequency_transitions"] <= window.switches
+
+        full = simulate(ts, machine0(), make_policy(policy_name),
+                        demand=0.7, duration=2000.0, energy_model=model,
+                        record_trace=True)
+        assert validate_schedule(full, model) == []
+        assert outcome.total_energy \
+            == pytest.approx(full.total_energy, rel=1e-9)
+        assert outcome.executed_cycles \
+            == pytest.approx(full.executed_cycles, rel=1e-9)
+
+    def test_fast_path_window_corruption_is_caught(self):
+        """A doctored warmup window cannot silently extrapolate: the
+        trace checks that guard the fast path's inputs fire on it."""
+        from repro.sim.steady import try_steady_fast_path
+        model = EnergyModel(idle_level=0.25)
+        captured = {}
+
+        def capturing(*args, **kwargs):
+            result = simulate(*args, **kwargs)
+            captured["run"] = result
+            return result
+
+        _outcome, reason = try_steady_fast_path(
+            self._harmonic_ts(), machine0(), make_policy("ccEDF"),
+            demand=0.7, duration=2000.0, energy_model=model,
+            simulate_fn=capturing)
+        assert reason == "ok"
+        window = captured["run"]
+        window.energy.idle += 10.0
+        kinds = {v.kind for v in validate_schedule(window, model)}
+        assert "energy" in kinds

@@ -72,6 +72,13 @@ def test_examples_listed_in_readme_all_exist():
             os.path.join(REPO_ROOT, "examples", match)), match
 
 
+def test_experiments_catalog_table_in_sync():
+    """The EXPERIMENTS.md catalog table is the generated one, verbatim —
+    adding or changing a scenario must update the doc."""
+    from repro.catalog import catalog_markdown_table
+    assert catalog_markdown_table() in _read("EXPERIMENTS.md")
+
+
 def test_tutorial_snippets_execute():
     """Every ```python block in docs/tutorial.md must run, in order,
     sharing one namespace (it is written as a REPL session)."""
