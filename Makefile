@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-mem bench-figures check test-fast-path catalog-audit experiments experiments-full sweep-cache-clean clean
+.PHONY: install test cov bench bench-mem bench-service service-smoke bench-figures check test-fast-path catalog-audit experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -31,6 +31,17 @@ bench:
 bench-mem:
 	PYTHONPATH=src python benchmarks/mem_workload.py
 
+# Service trajectory: warm HTTP serving floor, single-flight dedup and
+# served-vs-in-process bit parity -> BENCH_service.json.
+bench-service:
+	PYTHONPATH=src python benchmarks/service_workload.py
+
+# Blocking service smoke: a real `rtdvs serve` subprocess, fig9 quick
+# submitted twice, second response must be all cache hits and
+# byte-identical to the first.
+service-smoke:
+	PYTHONPATH=src python benchmarks/service_smoke.py
+
 bench-figures:
 	pytest benchmarks/ --benchmark-only
 
@@ -43,6 +54,7 @@ check:
 	$(MAKE) catalog-audit
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
 	PYTHONPATH=src python benchmarks/mem_workload.py --gate
+	$(MAKE) service-smoke
 
 # The fast-path differential suites: incremental-vs-from-scratch policy
 # state must produce bit-identical SimResults, and the hyperperiod

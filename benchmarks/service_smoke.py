@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI smoke for the sweep service: real ``rtdvs serve`` subprocess.
+
+Starts ``python -m repro serve`` on an ephemeral port (``--port 0``),
+parses the machine-readable ready line it prints
+(``rtdvs-serve ready host=... port=N``), submits the full ``fig9``
+scenario at quick scale twice through the blocking client, and asserts
+the cache-first contract end to end:
+
+* the first submission simulates every cell (cold cache);
+* the second submission simulates **zero** cells — all three panels are
+  served from the CTR1 cell cache;
+* the streamed aggregate tables of the two submissions are
+  byte-identical (JSON round-trips doubles exactly, so ``==`` on the
+  decoded rows is a bit-identity check).
+
+Exit status is 0 on success, 1 on any violation — CI runs this as a
+blocking step.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+    make service-smoke
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import SweepServiceClient  # noqa: E402
+
+SCENARIO = "fig9"
+READY_RE = re.compile(r"rtdvs-serve ready host=(?P<host>\S+) "
+                      r"port=(?P<port>\d+)")
+READY_TIMEOUT_S = 30.0
+
+
+def start_server(cache_dir):
+    """Launch ``rtdvs serve`` and return (process, host, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    deadline = time.monotonic() + READY_TIMEOUT_S
+    while True:
+        if time.monotonic() > deadline:
+            process.terminate()
+            raise SystemExit("server never printed its ready line")
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before ready (rc={process.poll()})")
+        match = READY_RE.search(line)
+        if match:
+            return process, match["host"], int(match["port"])
+
+
+def tables(events):
+    """Deterministic slice of a response: per-panel aggregate tables."""
+    return [{key: event[key]
+             for key in ("scenario", "panel", "xs", "labels",
+                         "raw", "normalized", "rm_fallbacks")}
+            for event in events if event.get("event") == "result"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        process, host, port = start_server(os.path.join(tmp, "cells"))
+        try:
+            client = SweepServiceClient(host=host, port=port)
+            print(f"[smoke] server ready on {host}:{port}", flush=True)
+
+            first = client.submit_collect({"scenario": SCENARIO})
+            done = first["done"]
+            print(f"[smoke] cold: simulated {done['simulated_cells']} "
+                  f"cells in {done['elapsed_s']:.2f}s", flush=True)
+            if done["simulated_cells"] == 0:
+                print("[smoke] FAIL: cold submission simulated nothing")
+                return 1
+
+            second = client.submit_collect({"scenario": SCENARIO})
+            done = second["done"]
+            print(f"[smoke] warm: simulated {done['simulated_cells']} "
+                  f"cells, {done['cache_hits']} cache hits in "
+                  f"{done['elapsed_s']:.2f}s", flush=True)
+            if done["simulated_cells"] != 0:
+                print(f"[smoke] FAIL: warm submission simulated "
+                      f"{done['simulated_cells']} cells (expected 0)")
+                return 1
+            if done["cache_hits"] != first["done"]["simulated_cells"]:
+                print(f"[smoke] FAIL: warm hit {done['cache_hits']} cells, "
+                      f"cold simulated {first['done']['simulated_cells']}")
+                return 1
+
+            if tables(second["events"]) != tables(first["events"]):
+                print("[smoke] FAIL: warm aggregates diverged from cold")
+                return 1
+            print(f"[smoke] PASS: {len(tables(first['events']))} panels "
+                  "byte-identical across cold and warm submissions",
+                  flush=True)
+            return 0
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

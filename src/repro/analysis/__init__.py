@@ -7,12 +7,12 @@ experiment shape; the other modules turn the results into the tables and
 (ASCII) figures the experiment drivers print.
 """
 
-from repro.analysis.cellcache import (CellCache, cell_key,
+from repro.analysis.cellcache import (CellCache, EvictionStats, cell_key,
                                       default_cache_dir, open_cache)
 from repro.analysis.compare import (PolicyComparison, compare_policies,
                                     comparison_table)
 from repro.analysis.executor import (CellExecutor, SweepProgress,
-                                     resolve_workers)
+                                     effective_cpu_count, resolve_workers)
 from repro.analysis.report import combined_report, write_combined_report
 from repro.analysis.series import Series, SweepTable
 from repro.analysis.sweep import (CellSpec, SweepConfig, SweepContext,
@@ -25,10 +25,12 @@ __all__ = [
     "CellCache",
     "CellExecutor",
     "CellSpec",
+    "EvictionStats",
     "SweepContext",
     "SweepProgress",
     "cell_key",
     "default_cache_dir",
+    "effective_cpu_count",
     "open_cache",
     "resolve_workers",
     "PolicyComparison",

@@ -30,7 +30,9 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
 from typing import (Callable, Dict, Iterable, Iterator, Optional, Sequence,
                     Tuple, Union)
 
@@ -38,18 +40,38 @@ from typing import (Callable, Dict, Iterable, Iterator, Optional, Sequence,
 AUTO_TOKENS = ("auto", "max", "0")
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process can actually run on.
+
+    :func:`os.cpu_count` reports the *machine's* CPUs, which oversells a
+    containerized or affinity-pinned process: a pool sized to 4 on a
+    1-CPU cgroup just context-switches four workers over one core
+    (BENCH_engine.json once recorded a 0.82x parallel "speedup" exactly
+    this way).  :func:`os.sched_getaffinity` reflects the real
+    allowance where available (Linux); elsewhere fall back to the
+    machine count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
 def resolve_workers(workers: Union[int, str, None]) -> int:
     """Normalize a worker-count request to a concrete positive integer.
 
-    ``"auto"`` (and ``0`` / ``None``) resolve to :func:`os.cpu_count`;
-    explicit integers pass through.  Negative counts are rejected.
+    ``"auto"`` (and ``0`` / ``None``) resolve to
+    :func:`effective_cpu_count` — the CPUs the process is *allowed* to
+    use, so an auto-sized pool never oversubscribes a container quota.
+    Explicit integers pass through unclamped (a deliberate request to
+    oversubscribe is honored); negative counts are rejected.
     """
     if workers is None:
-        return max(1, os.cpu_count() or 1)
+        return effective_cpu_count()
     if isinstance(workers, str):
         token = workers.strip().lower()
         if token in AUTO_TOKENS:
-            return max(1, os.cpu_count() or 1)
+            return effective_cpu_count()
         try:
             workers = int(token)
         except ValueError:
@@ -57,7 +79,7 @@ def resolve_workers(workers: Union[int, str, None]) -> int:
                 f"workers must be an integer or 'auto', got {workers!r}"
             ) from None
     if workers == 0:
-        return max(1, os.cpu_count() or 1)
+        return effective_cpu_count()
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
@@ -186,6 +208,7 @@ class CellExecutor:
     def __init__(self, workers: Union[int, str, None] = 1):
         self.workers = resolve_workers(workers)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._inline_thread: Optional[ThreadPoolExecutor] = None
         self._initializer_contexts: Dict[str, object] = {}
         self._shutdown = False
         #: Total bytes of encoded cell outcomes received from workers
@@ -203,6 +226,9 @@ class CellExecutor:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._inline_thread is not None:
+            self._inline_thread.shutdown()
+            self._inline_thread = None
         self._shutdown = True
 
     # -- context registration ----------------------------------------------
@@ -274,6 +300,55 @@ class CellExecutor:
                 if progress is not None:
                     progress.advance()
                 yield index, outcome
+
+    def submit_cell(self, context, spec, engine: str = "scalar") -> Future:
+        """Schedule one cell; returns a :class:`~concurrent.futures.Future`
+        resolving to its outcome dict.
+
+        The service tier's entry point: :meth:`run_cells` is a generator
+        that *drives* a whole sweep from the calling thread, which an
+        asyncio event loop cannot afford.  ``submit_cell`` never blocks
+        the caller — with ``workers <= 1`` the cell runs on a single
+        lazily created worker thread (serial semantics, exactly one cell
+        simulating at a time), otherwise it rides the process pool like
+        any sweep cell, with the columnar wire decode and
+        :attr:`ipc_bytes` accounting applied before the future resolves.
+        """
+        if self._shutdown:
+            raise RuntimeError("executor already shut down")
+        digest = self.register(context)
+        if self.workers <= 1:
+            if self._inline_thread is None:
+                self._inline_thread = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="cell-inline")
+            return self._inline_thread.submit(
+                _execute_cell, digest, context, spec, False, engine)
+        pool = self._ensure_pool()
+        ship = None if digest in self._initializer_contexts else context
+        inner = pool.submit(_execute_cell, digest, ship, spec, True, engine)
+        outer: Future = Future()
+
+        def _relay(done: Future) -> None:
+            if done.cancelled():  # pragma: no cover - we never cancel
+                outer.cancel()
+                return
+            exc = done.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            outcome = done.result()
+            if isinstance(outcome, bytes):
+                self.ipc_bytes += len(outcome)
+                from repro.analysis.transport import decode_cell
+                try:
+                    outcome = decode_cell(outcome)
+                except Exception as decode_exc:  # pragma: no cover - bug
+                    outer.set_exception(decode_exc)
+                    return
+            outer.set_result(outcome)
+
+        inner.add_done_callback(_relay)
+        return outer
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:

@@ -429,6 +429,26 @@ def sweep_cell_specs(config: SweepConfig) -> List[CellSpec]:
     return _build_cell_specs(config)
 
 
+def sweep_result_labels(config: SweepConfig) -> List[str]:
+    """Result-order labels for ``config``: configured policies with the
+    EDF reference inserted, plus the lower-bound curve — exactly the
+    labels :func:`utilization_sweep` aggregates."""
+    return _result_labels(config)
+
+
+def aggregate_outcomes(config: SweepConfig,
+                       outcomes: List[Dict[str, object]]) -> SweepResult:
+    """Fold a complete, ordered outcome list into a :class:`SweepResult`.
+
+    ``outcomes`` must be in :func:`sweep_cell_specs` order (one entry per
+    cell, ``(u_index, set_index)``-major).  This is the exact aggregation
+    :func:`utilization_sweep` applies to its own cells, exposed so
+    out-of-process executors (the service tier) produce bit-identical
+    tables from the same outcome dicts by construction.
+    """
+    return _aggregate(config, _result_labels(config), outcomes)
+
+
 def _build_cell_specs(config: SweepConfig) -> List[CellSpec]:
     """All cells of the sweep, ordered ``(u_index, set_index)``.
 

@@ -18,8 +18,18 @@ Subcommands
 ``obs summarize FILE [--csv PATH] [--residency-csv PATH]``
     Render a metrics JSON-lines archive (written by ``simulate
     --metrics``) as a text report; optionally re-export as CSV.
-``cache [info|clean] [--dir PATH]``
-    Inspect or empty the content-addressed sweep cell cache.
+``cache [info|clean] [--dir PATH] [--max-bytes N] [--max-age S]``
+    Inspect or trim the content-addressed sweep cell cache.  ``info``
+    reports entry count, total bytes and the entry-age spread (for
+    sizing eviction bounds); ``clean`` with ``--max-bytes``/``--max-age``
+    runs one LRU eviction sweep instead of emptying everything.
+``serve [--port N] [--workers N] [--max-bytes N] [--max-age S] ...``
+    Run the sweep service: an HTTP/JSON server answering declarative
+    sweep requests cache-first, with single-flight dedup of concurrent
+    identical cells and per-tenant admission quotas (429 + Retry-After).
+``submit [SCENARIO] [--spec JSON] [--panel NAME] [--port N] ...``
+    Submit one sweep request to a running service and stream its NDJSON
+    events (``--json``) or a human summary.
 ``catalog [list|show|run|audit]``
     The declarative scenario catalog: list the named entries, show one
     entry's canonical JSON, run the experiment a scenario describes
@@ -213,14 +223,93 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_sub = p_cache.add_subparsers(dest="cache_command")
     p_cache.set_defaults(handler=_cmd_cache_help, cache_parser=p_cache)
     for name, help_text, handler in (
-            ("info", "show cache location, entry count and size",
+            ("info", "show cache location, entry count, size and ages",
              _cmd_cache_info),
-            ("clean", "remove every cached cell result", _cmd_cache_clean)):
+            ("clean", "remove cached cell results (all of them, or an "
+                      "LRU sweep with --max-bytes/--max-age)",
+             _cmd_cache_clean)):
         p_sub = cache_sub.add_parser(name, help=help_text)
         p_sub.add_argument("--dir", metavar="DIR", dest="cache_dir",
                            default=default_cache_dir(),
                            help="cache directory (default: %(default)s)")
+        if name == "clean":
+            p_sub.add_argument("--max-bytes", type=int, default=None,
+                               metavar="N",
+                               help="evict least-recently-used entries "
+                                    "until the cache fits in N bytes")
+            p_sub.add_argument("--max-age", type=float, default=None,
+                               metavar="SECONDS",
+                               help="evict entries unused for more than "
+                                    "SECONDS")
         p_sub.set_defaults(handler=handler)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sweep service (HTTP/JSON, NDJSON streams)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="listen port; 0 binds an ephemeral port "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--workers", type=_workers_arg, default="auto",
+                         metavar="N|auto",
+                         help="cell executor workers (default: auto = "
+                              "effective CPUs)")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         default=default_cache_dir(),
+                         help="cell cache directory (default: %(default)s)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the warm path (every cell "
+                              "simulates)")
+    p_serve.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                         help="bound the cache to N bytes (LRU eviction)")
+    p_serve.add_argument("--max-age", type=float, default=None,
+                         metavar="SECONDS",
+                         help="evict cache entries unused for SECONDS")
+    p_serve.add_argument("--sweep-interval", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="period of the background eviction sweep "
+                              "when bounds are set (default: %(default)s)")
+    p_serve.add_argument("--tenant-inflight", type=int, default=4,
+                         metavar="N",
+                         help="per-tenant concurrent request budget "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--retry-after", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="back-off hint sent with HTTP 429 "
+                              "(default: %(default)s)")
+    p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
+                         help="bounded admission queue: cells admitted to "
+                              "the executor at once (default: %(default)s)")
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep request to a running service")
+    p_submit.add_argument("scenario", nargs="?",
+                          help="catalog scenario name (or use --spec)")
+    p_submit.add_argument("--spec", metavar="JSON",
+                          help="inline panel-shaped sweep spec as a JSON "
+                               "object ('@FILE' reads it from FILE)")
+    p_submit.add_argument("--panel", metavar="NAME",
+                          help="restrict a scenario to one panel "
+                               "(default: all panels)")
+    p_submit.add_argument("--full", action="store_true",
+                          help="paper-scale parameters (slow)")
+    p_submit.add_argument("--engine", choices=("scalar", "batch"),
+                          default="scalar",
+                          help="cell execution backend on the server")
+    p_submit.add_argument("--tenant", default="default",
+                          help="tenant identity for quota accounting")
+    p_submit.add_argument("--stream-every", type=int, default=0,
+                          metavar="N",
+                          help="request a partial aggregate event every "
+                               "N completed cells (0 = none)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8787)
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          metavar="SECONDS")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the raw NDJSON events instead of a "
+                               "summary")
+    p_submit.set_defaults(handler=_cmd_submit)
 
     p_cat = sub.add_parser(
         "catalog", help="list, show, run, or audit catalog scenarios")
@@ -509,13 +598,30 @@ def _cmd_cache_help(args: argparse.Namespace) -> int:
     return 2
 
 
+def _format_age(seconds: float) -> str:
+    if seconds >= 86400:
+        return f"{seconds / 86400:.1f}d"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
 def _cmd_cache_info(args: argparse.Namespace) -> int:
     cache = CellCache(args.cache_dir)
-    entries = len(cache)
-    size_kb = cache.size_bytes() / 1024.0 if entries else 0.0
+    summary = cache.age_summary()
     print(f"cell cache: {cache.root}")
-    print(f"entries:    {entries}")
-    print(f"size:       {size_kb:.1f} KiB")
+    if summary is None:
+        print("entries:    0")
+        print("size:       0 bytes")
+    else:
+        entries, total_bytes, newest_age, oldest_age = summary
+        print(f"entries:    {entries}")
+        print(f"size:       {total_bytes} bytes "
+              f"({total_bytes / 1024.0:.1f} KiB)")
+        print(f"entry age:  newest {_format_age(newest_age)}, "
+              f"oldest {_format_age(oldest_age)} (since last use)")
     swallowed = cache.swallowed_log_lines()
     print(f"swallowed:  {len(swallowed)} unexpected error(s) recorded")
     if swallowed:
@@ -527,9 +633,132 @@ def _cmd_cache_info(args: argparse.Namespace) -> int:
 
 def _cmd_cache_clean(args: argparse.Namespace) -> int:
     cache = CellCache(args.cache_dir)
+    if args.max_bytes is not None or args.max_age is not None:
+        stats = cache.sweep(max_bytes=args.max_bytes, max_age=args.max_age)
+        print(f"swept {cache.root}: scanned {stats.scanned}, "
+              f"expired {stats.expired}, evicted {stats.evicted}, "
+              f"reclaimed {stats.reclaimed_bytes} bytes")
+        print(f"remaining: {stats.remaining_entries} entr(ies), "
+              f"{stats.remaining_bytes} bytes")
+        return 0
     removed = cache.clear()
     print(f"removed {removed} cached cell result(s) from {cache.root}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import AdmissionQueue, SweepService, TenantQuotas
+
+    cache = None
+    if not args.no_cache:
+        cache = CellCache(args.cache_dir, max_bytes=args.max_bytes,
+                          max_age=args.max_age)
+    service = SweepService(
+        cache=cache,
+        workers=args.workers,
+        quotas=TenantQuotas(max_inflight=args.tenant_inflight,
+                            retry_after=args.retry_after),
+        admission=AdmissionQueue(max_pending=args.max_pending),
+        host=args.host, port=args.port,
+        sweep_interval=args.sweep_interval)
+
+    async def _main() -> None:
+        await service.start()
+        # Machine-parseable ready line (the smoke harness reads the
+        # ephemeral port from it).
+        print(f"rtdvs-serve ready host={service.host} port={service.port}",
+              flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceError, SweepServiceClient
+
+    if (args.scenario is None) == (args.spec is None):
+        print("submit needs exactly one of SCENARIO or --spec",
+              file=sys.stderr)
+        return 2
+    request: dict = {"quick": not args.full}
+    if args.spec is not None:
+        text = args.spec
+        if text.startswith("@"):
+            try:
+                with open(text[1:], "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+        try:
+            request["spec"] = json.loads(text)
+        except ValueError as exc:
+            print(f"bad --spec JSON: {exc}", file=sys.stderr)
+            return 2
+    else:
+        request["scenario"] = args.scenario
+        if args.panel:
+            request["panel"] = args.panel
+    if args.tenant != "default":
+        request["tenant"] = args.tenant
+    if args.engine != "scalar":
+        request["engine"] = args.engine
+    if args.stream_every:
+        request["stream_every"] = args.stream_every
+
+    client = SweepServiceClient(host=args.host, port=args.port,
+                                timeout=args.timeout)
+    saw_done = False
+    try:
+        for event in client.submit(request):
+            if args.json:
+                print(json.dumps(event), flush=True)
+                if event.get("event") == "done":
+                    saw_done = True
+                continue
+            kind = event.get("event")
+            if kind == "started":
+                print(f"accepted: {event['total_cells']} cell(s) across "
+                      f"{len(event['jobs'])} panel(s)")
+            elif kind == "job":
+                print(f"[{event['scenario']}/{event['panel']}] "
+                      f"{event['warm']}/{event['cells']} warm")
+            elif kind == "partial":
+                print(f"[{event['scenario']}/{event['panel']}] "
+                      f"{event['done']}/{event['total']} cells",
+                      flush=True)
+            elif kind == "result":
+                print(f"[{event['scenario']}/{event['panel']}] result: "
+                      f"cache_hits={event['cache_hits']} "
+                      f"simulated={event['simulated_cells']} "
+                      f"coalesced={event['coalesced_cells']}")
+            elif kind == "done":
+                saw_done = True
+                print(f"done in {event['elapsed_s']:.2f}s: "
+                      f"cache_hits={event['cache_hits']} "
+                      f"simulated={event['simulated_cells']} "
+                      f"coalesced={event['coalesced_cells']}")
+    except ServiceError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach service at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0 if saw_done else 1
 
 
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:

@@ -1,0 +1,128 @@
+"""Thin blocking client for the sweep service (`rtdvs submit`).
+
+Stdlib :mod:`http.client` over the close-delimited NDJSON stream: the
+response has no ``Content-Length``, so events are read line-by-line
+until the server closes the connection.  HTTP 429 responses are
+retried after honoring the server's ``Retry-After`` hint, up to
+``max_retries`` attempts — the cooperative half of the quota contract.
+"""
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The service rejected or aborted a request."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class SweepServiceClient:
+    """One service endpoint, with 429-aware submission.
+
+    ``sleep`` is injectable so tests can observe the Retry-After
+    back-off without actually waiting.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 300.0, max_retries: int = 8,
+                 retry_cap: float = 5.0,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_cap = retry_cap
+        self._sleep = sleep
+        #: 429 responses absorbed by retrying (observability for the
+        #: backpressure differential tests).
+        self.retries_429 = 0
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, request: Dict[str, object]) -> Iterator[Dict[str, object]]:
+        """POST a sweep request; yield its NDJSON events as dicts.
+
+        Raises :class:`ServiceError` on non-200 responses (after
+        exhausting 429 retries) and on a terminal ``error`` event.
+        """
+        body = json.dumps(request).encode("utf-8")
+        attempts = 0
+        while True:
+            connection = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout)
+            try:
+                connection.request(
+                    "POST", "/v1/sweep", body=body,
+                    headers={"Content-Type": "application/json"})
+                response = connection.getresponse()
+                if response.status == 429:
+                    retry_after = float(
+                        response.getheader("Retry-After") or 1.0)
+                    response.read()
+                    if attempts >= self.max_retries:
+                        raise ServiceError(
+                            f"quota exhausted after {attempts} retries",
+                            status=429)
+                    attempts += 1
+                    self.retries_429 += 1
+                    self._sleep(min(retry_after, self.retry_cap))
+                    continue
+                if response.status != 200:
+                    detail = response.read().decode("utf-8", "replace")
+                    raise ServiceError(
+                        f"HTTP {response.status}: {detail}",
+                        status=response.status)
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if event.get("event") == "error":
+                        raise ServiceError(
+                            f"server error: {event.get('message')}")
+                    yield event
+                return
+            finally:
+                connection.close()
+
+    def submit_collect(self, request: Dict[str, object],
+                       ) -> Dict[str, object]:
+        """Submit and drain the stream; returns events grouped by kind.
+
+        ``results`` holds the per-panel ``result`` events in order;
+        ``done`` the terminal totals (``None`` if the stream ended
+        early, which callers should treat as a failure).
+        """
+        events: List[Dict[str, object]] = list(self.submit(request))
+        results = [e for e in events if e.get("event") == "result"]
+        done = next((e for e in events if e.get("event") == "done"), None)
+        return {"events": events, "results": results, "done": done}
+
+    # -- introspection ------------------------------------------------------
+    def _get(self, path: str) -> Dict[str, object]:
+        connection = HTTPConnection(self.host, self.port,
+                                    timeout=self.timeout)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status != 200:
+                raise ServiceError(
+                    f"HTTP {response.status} for {path}: "
+                    f"{payload.decode('utf-8', 'replace')}",
+                    status=response.status)
+            return json.loads(payload)
+        finally:
+            connection.close()
+
+    def healthz(self) -> Dict[str, object]:
+        return self._get("/v1/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._get("/v1/stats")

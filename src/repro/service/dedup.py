@@ -1,0 +1,71 @@
+"""Single-flight request coalescing.
+
+The serving tier's second perf layer: when N concurrent requests need
+the same cell (identical content fingerprint), exactly one simulation
+runs — the *leader* — and its outcome fans back out to every waiter.
+Combined with the cache-first read path this turns a thundering herd of
+identical sweep submissions into one sweep's worth of work.
+
+The table is keyed by the cell cache key, i.e. the same content hash
+that addresses outcomes on disk, so "identical" here is exactly
+"would produce a bit-identical outcome".
+
+Single-threaded by design: all access happens on the server's event
+loop, so a plain dict needs no locking.  The leader's work runs as an
+independent :class:`asyncio.Task`; waiters await it through
+:func:`asyncio.shield`, so one cancelled request (client disconnect)
+never cancels the simulation out from under the other waiters — or the
+cache write that follows it.
+"""
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+class SingleFlight:
+    """Coalesce concurrent identical work under one in-flight task."""
+
+    def __init__(self):
+        self._inflight: Dict[str, asyncio.Task] = {}
+        #: Calls that started new work (one simulated cell each).
+        self.leads = 0
+        #: Calls that joined an already-in-flight computation.
+        self.joins = 0
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str,
+                  factory: Callable[[], Awaitable[object]],
+                  ) -> Tuple[bool, object]:
+        """Run ``factory`` under ``key``, coalescing with any in-flight
+        computation of the same key.
+
+        Returns ``(led, outcome)`` — ``led`` is True iff this call
+        started the work (its caller owns the simulated-cell count; a
+        joiner accounts the cell as coalesced instead).  If the leader's
+        factory raises, every waiter sees the same exception.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.leads += 1
+            led = True
+            task = asyncio.ensure_future(factory())
+            self._inflight[key] = task
+
+            def _cleanup(done: asyncio.Task, key: str = key) -> None:
+                # Guard against a newer task having replaced this entry
+                # (possible if cleanup is delayed past a re-lead).
+                if self._inflight.get(key) is done:
+                    del self._inflight[key]
+
+            task.add_done_callback(_cleanup)
+        else:
+            self.joins += 1
+            led = False
+        return led, await asyncio.shield(task)
+
+    def stats(self) -> Dict[str, int]:
+        return {"leads": self.leads, "joins": self.joins,
+                "inflight": self.inflight}

@@ -1,0 +1,446 @@
+"""The sweep service: an asyncio, stdlib-only HTTP/JSON server.
+
+Three perf layers front the existing cell machinery:
+
+1. **Cache-first reads** — every request's cells are probed against the
+   content-addressed :class:`~repro.analysis.cellcache.CellCache`
+   (off-loop, in a worker thread) before anything is scheduled; warm
+   cells never touch the executor.
+2. **Single-flight dedup** (:mod:`repro.service.dedup`) — cold cells
+   are keyed by their cache fingerprint, so N concurrent identical
+   requests coalesce into one simulation whose outcome fans back out.
+3. **Bounded admission with per-tenant quotas**
+   (:mod:`repro.service.quotas`) — an over-budget tenant gets HTTP 429
+   + ``Retry-After`` up front; admitted cells flow through a bounded
+   queue into the shared :class:`~repro.analysis.executor.CellExecutor`
+   (never blocking the event loop: cells resolve via
+   :meth:`~repro.analysis.executor.CellExecutor.submit_cell` futures).
+
+Responses stream NDJSON (:mod:`repro.service.protocol`), close-delimited
+(``Connection: close``): partial aggregates render incrementally, the
+final per-panel tables are bit-identical to an in-process
+:func:`~repro.analysis.sweep.utilization_sweep` because they are
+produced by the same aggregation over the same outcome dicts.
+
+HTTP support is deliberately minimal — HTTP/1.1, ``Content-Length``
+bodies, no keep-alive, no TLS — because the clients are `rtdvs submit`,
+`curl`, and the benchmarks, all on a trusted network.
+"""
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.analysis.cellcache import CellCache
+from repro.analysis.executor import CellExecutor
+from repro.analysis.sweep import aggregate_outcomes
+from repro.service.dedup import SingleFlight
+from repro.service.protocol import (ProtocolError, SweepJob, SweepRequest,
+                                    done_event, error_event, job_event,
+                                    parse_request, partial_event,
+                                    resolve_jobs, result_event,
+                                    started_event)
+from repro.service.quotas import AdmissionQueue, QuotaExceeded, TenantQuotas
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+#: Hard caps on request framing; anything larger is hostile or broken.
+_MAX_HEADER_LINES = 64
+_MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters, surfaced by ``GET /v1/stats``."""
+
+    requests: int = 0
+    errors: int = 0
+    cells_served: int = 0
+    cache_hits: int = 0
+    simulated_cells: int = 0
+    coalesced_cells: int = 0
+    bytes_streamed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"requests": self.requests, "errors": self.errors,
+                "cells_served": self.cells_served,
+                "cache_hits": self.cache_hits,
+                "simulated_cells": self.simulated_cells,
+                "coalesced_cells": self.coalesced_cells,
+                "bytes_streamed": self.bytes_streamed}
+
+
+class SweepService:
+    """One serving instance: HTTP front end over cache + executor.
+
+    Parameters
+    ----------
+    cache:
+        Shared :class:`CellCache` (``None`` disables the warm path —
+        every cell simulates).  Give it ``max_bytes``/``max_age`` and a
+        positive ``sweep_interval`` to bound growth for server-lifetime
+        workloads.
+    executor:
+        Shared :class:`CellExecutor`; when omitted one is created from
+        ``workers`` and owned (shut down by :meth:`stop`).
+    port:
+        ``0`` binds an ephemeral port; :attr:`port` holds the real one
+        after :meth:`start`.
+    """
+
+    def __init__(self, cache: Optional[CellCache] = None,
+                 executor: Optional[CellExecutor] = None,
+                 workers=1,
+                 quotas: Optional[TenantQuotas] = None,
+                 admission: Optional[AdmissionQueue] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 sweep_interval: float = 0.0):
+        self.cache = cache
+        self._own_executor = executor is None
+        self.executor = executor if executor is not None \
+            else CellExecutor(workers)
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.admission = admission if admission is not None \
+            else AdmissionQueue()
+        self.single_flight = SingleFlight()
+        self.stats = ServiceStats()
+        self.host = host
+        self.port = port
+        self.sweep_interval = sweep_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> "SweepService":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if (self.cache is not None and self.sweep_interval > 0
+                and (self.cache.max_bytes is not None
+                     or self.cache.max_age is not None)):
+            self._sweeper = asyncio.create_task(self._sweeper_loop())
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._own_executor:
+            await asyncio.to_thread(self.executor.shutdown)
+
+    async def _sweeper_loop(self) -> None:
+        # Periodic backstop for read-mostly servers: puts already trigger
+        # maybe_sweep, but a warm server can go hours without one.
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            await asyncio.to_thread(self.cache.maybe_sweep)
+
+    # -- HTTP plumbing ------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    UnicodeDecodeError, ValueError) as exc:
+                await self._send_json(writer, 400,
+                                      {"error": f"malformed request: {exc}"})
+                return
+            if target == "/v1/healthz":
+                if method != "GET":
+                    await self._send_json(writer, 405,
+                                          {"error": "use GET"})
+                    return
+                await self._send_json(writer, 200,
+                                      {"ok": True, "version": __version__})
+            elif target == "/v1/stats":
+                if method != "GET":
+                    await self._send_json(writer, 405,
+                                          {"error": "use GET"})
+                    return
+                payload = await asyncio.to_thread(self.stats_payload)
+                await self._send_json(writer, 200, payload)
+            elif target == "/v1/sweep":
+                if method != "POST":
+                    await self._send_json(writer, 405,
+                                          {"error": "use POST"})
+                    return
+                await self._handle_sweep(writer, body)
+            else:
+                await self._send_json(writer, 404,
+                                      {"error": f"no route {target!r}"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; in-flight leaders finish regardless
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader,
+                            ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("ascii")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"bad request line {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        else:
+            raise ValueError("too many header lines")
+        if content_length > _MAX_BODY_BYTES:
+            raise ValueError(f"body too large ({content_length} bytes)")
+        body = await reader.readexactly(content_length) \
+            if content_length else b""
+        return method, target, body
+
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: Dict[str, object],
+                         extra_headers: Tuple[Tuple[str, str], ...] = (),
+                         ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n")
+        for name, value in extra_headers:
+            head += f"{name}: {value}\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+    async def _start_stream(self, writer: asyncio.StreamWriter) -> None:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+
+    async def _send_event(self, writer: asyncio.StreamWriter,
+                          payload: Dict[str, object]) -> None:
+        data = (json.dumps(payload, separators=(",", ":")) + "\n") \
+            .encode("utf-8")
+        self.stats.bytes_streamed += len(data)
+        writer.write(data)
+        await writer.drain()
+
+    # -- the sweep endpoint -------------------------------------------------
+    async def _handle_sweep(self, writer: asyncio.StreamWriter,
+                            body: bytes) -> None:
+        self.stats.requests += 1
+        try:
+            request = parse_request(json.loads(body.decode("utf-8")))
+            jobs = resolve_jobs(request)
+        except (ValueError, ProtocolError) as exc:
+            await self._send_json(writer, 400, {"error": str(exc)})
+            return
+        try:
+            self.quotas.acquire(request.tenant)
+        except QuotaExceeded as exc:
+            await self._send_json(
+                writer, 429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers=(("Retry-After", f"{exc.retry_after:g}"),))
+            return
+        started_at = time.monotonic()
+        try:
+            await self._start_stream(writer)
+            await self._send_event(writer, started_event(request, jobs))
+            totals = {"cache_hits": 0, "simulated": 0, "coalesced": 0}
+            for job in jobs:
+                await self._run_job(writer, request, job, totals)
+            await self._send_event(writer, done_event(
+                totals["cache_hits"], totals["simulated"],
+                totals["coalesced"], time.monotonic() - started_at))
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            with contextlib.suppress(Exception):
+                await self._send_event(writer, error_event(str(exc)))
+        finally:
+            self.quotas.release(request.tenant)
+
+    async def _run_job(self, writer: asyncio.StreamWriter,
+                       request: SweepRequest, job: SweepJob,
+                       totals: Dict[str, int]) -> None:
+        outcomes: List[Optional[Dict[str, object]]] = [None] * job.cells
+        warm = 0
+        if self.cache is not None:
+            hits = await asyncio.to_thread(self._probe, job.keys)
+            for index, outcome in hits:
+                outcomes[index] = outcome
+            warm = len(hits)
+        await self._send_event(writer, job_event(job, warm))
+
+        pending = [i for i in range(job.cells) if outcomes[i] is None]
+        cache_hits = warm
+        simulated = coalesced = 0
+        done = warm
+        tasks = [asyncio.create_task(self._run_cell(request, job, index))
+                 for index in pending]
+        try:
+            for future in asyncio.as_completed(tasks):
+                index, source, outcome = await future
+                outcomes[index] = outcome
+                done += 1
+                if source == "simulated":
+                    simulated += 1
+                elif source == "coalesced":
+                    coalesced += 1
+                else:  # a leader that found the cell freshly cached
+                    cache_hits += 1
+                if request.stream_every and done < job.cells \
+                        and (done - warm) % request.stream_every == 0:
+                    await self._send_event(
+                        writer, partial_event(job, done, outcomes))
+        except BaseException:
+            # Drop *our* waiters; shielded leaders keep running so other
+            # requests coalesced onto them still get their outcomes.
+            for task in tasks:
+                task.cancel()
+            raise
+
+        self.stats.cache_hits += cache_hits
+        self.stats.simulated_cells += simulated
+        self.stats.coalesced_cells += coalesced
+        self.stats.cells_served += job.cells
+        totals["cache_hits"] += cache_hits
+        totals["simulated"] += simulated
+        totals["coalesced"] += coalesced
+
+        result = aggregate_outcomes(job.config, outcomes)
+        await self._send_event(writer, result_event(
+            job, result, cache_hits, simulated, coalesced))
+
+    def _probe(self, keys: List[Optional[str]],
+               ) -> List[Tuple[int, Dict[str, object]]]:
+        """Warm-path batch read (runs on a worker thread)."""
+        hits = []
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            outcome = self.cache.get(key)
+            if outcome is not None:
+                hits.append((index, outcome))
+        return hits
+
+    async def _run_cell(self, request: SweepRequest, job: SweepJob,
+                        index: int) -> Tuple[int, str, Dict[str, object]]:
+        """Resolve one cold cell; returns ``(index, source, outcome)``
+        with ``source`` in ``{"simulated", "coalesced", "cached"}``."""
+        key = job.keys[index]
+        spec = job.specs[index]
+
+        async def factory() -> Tuple[str, Dict[str, object]]:
+            if self.cache is not None and key is not None:
+                # Re-probe under the single-flight lock: a previous
+                # leader may have cached this cell after our batch probe
+                # missed it.
+                cached = await asyncio.to_thread(self.cache.get, key)
+                if cached is not None:
+                    return "cached", cached
+            async with self.admission:
+                outcome = await asyncio.wrap_future(
+                    self.executor.submit_cell(job.context, spec,
+                                              engine=request.engine))
+            if self.cache is not None and key is not None:
+                await asyncio.to_thread(self.cache.put, key, outcome)
+            return "simulated", outcome
+
+        if key is None:  # uncacheable: nothing to coalesce on
+            source, outcome = await factory()
+            return index, source, outcome
+        led, (source, outcome) = await self.single_flight.run(key, factory)
+        return index, (source if led else "coalesced"), outcome
+
+    # -- introspection ------------------------------------------------------
+    def stats_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "version": __version__,
+            "workers": self.executor.workers,
+        }
+        payload.update(self.stats.to_dict())
+        payload["single_flight"] = self.single_flight.stats()
+        payload["quotas"] = self.quotas.snapshot()
+        payload["admission"] = self.admission.snapshot()
+        if self.cache is not None:
+            payload["cache"] = {"entries": len(self.cache),
+                                "bytes": self.cache.size_bytes()}
+        return payload
+
+
+class ServiceThread:
+    """Run a :class:`SweepService` on a dedicated event-loop thread.
+
+    The synchronous harness for tests, benchmarks, and anything else
+    that wants to drive the server with a blocking client from the same
+    process::
+
+        with ServiceThread(SweepService(cache=cache)) as handle:
+            client = SweepServiceClient(port=handle.port)
+            ...
+    """
+
+    def __init__(self, service: SweepService):
+        self.service = service
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._loop = asyncio.new_event_loop()
+        started = threading.Event()
+        failure: List[BaseException] = []
+
+        def main() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.service.start())
+            except BaseException as exc:  # surface bind errors to caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.run_until_complete(self.service.stop())
+                self._loop.close()
+
+        self._thread = threading.Thread(target=main, name="sweep-service",
+                                        daemon=True)
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)

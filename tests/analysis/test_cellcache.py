@@ -74,6 +74,22 @@ class TestCellCache:
         assert cache.get(key) is None
         assert not path.exists()
 
+    def test_corrupt_entry_counts_exactly_once(self, tmp_path):
+        """A torn/bit-rotted ``.bin`` payload self-evicts on first sight
+        and lands in ``swallowed_errors`` exactly once — the next probe
+        is a plain absent-entry miss, not another count."""
+        cache = CellCache(str(tmp_path))
+        key = cell_key({"cell": "corrupt-once"})
+        cache.put(key, OUTCOME)
+        cache.path_for(key).write_bytes(b"CTR1 torn mid-write")
+        assert cache.get(key) is None
+        assert cache.swallowed_errors == 1
+        assert len(cache.swallowed_log_lines()) == 1
+        # Self-evicted: re-probing must not count again.
+        assert not cache.path_for(key).exists()
+        assert cache.get(key) is None
+        assert cache.swallowed_errors == 1
+
     def test_stale_schema_is_a_miss(self, tmp_path):
         cache = CellCache(str(tmp_path))
         key = cell_key({"cell": 3})
@@ -133,12 +149,20 @@ class TestCellCache:
         assert cache.swallowed_errors == 0  # raised, not swallowed
 
     def test_expected_misses_are_not_counted(self, tmp_path):
+        """Absent entries and deliberate format drains (stale schema,
+        legacy JSON) are business-as-usual misses; only *corrupt*
+        payloads and genuine bugs reach ``swallowed_errors``."""
         cache = CellCache(str(tmp_path))
         key = cell_key({"cell": 7})
         assert cache.get(key) is None  # absent entry
         cache.put(key, OUTCOME)
-        cache.path_for(key).write_bytes(b"torn")
-        assert cache.get(key) is None  # corrupt entry
+        path = cache.path_for(key)
+        outcome, meta = decode_cell(path.read_bytes(), with_meta=True)
+        path.write_bytes(encode_cell(outcome, meta={**meta, "schema": -1}))
+        assert cache.get(key) is None  # stale-schema drain
+        legacy = cache._legacy_path_for(key)
+        legacy.write_text("{}", encoding="utf-8")
+        assert cache.get(key) is None  # legacy-format drain
         assert cache.swallowed_errors == 0
         assert cache.swallowed_log_lines() == []
 

@@ -8,6 +8,7 @@ import pytest
 from repro.analysis.executor import (
     CellExecutor,
     SweepProgress,
+    effective_cpu_count,
     resolve_workers,
 )
 from repro.analysis.sweep import (
@@ -39,13 +40,19 @@ class TestResolveWorkers:
         assert resolve_workers(1) == 1
         assert resolve_workers(7) == 7
 
-    def test_auto_tokens_use_cpu_count(self):
-        expected = max(1, os.cpu_count() or 1)
+    def test_auto_tokens_use_effective_cpus(self):
+        """'auto' resolves to the CPUs this process may actually run on
+        (scheduler affinity / cgroup mask), not the raw host count —
+        oversubscribing a 1-CPU container produced sub-1x 'speedups'."""
+        expected = effective_cpu_count()
         assert resolve_workers("auto") == expected
         assert resolve_workers("max") == expected
         assert resolve_workers("0") == expected
         assert resolve_workers(0) == expected
         assert resolve_workers(None) == expected
+
+    def test_effective_cpus_never_exceed_host_count(self):
+        assert 1 <= effective_cpu_count() <= max(1, os.cpu_count() or 1)
 
     def test_numeric_string(self):
         assert resolve_workers("3") == 3
@@ -89,6 +96,43 @@ class TestCellExecutor:
         executor.shutdown()
         with pytest.raises(RuntimeError):
             list(executor.run_cells(context, specs))
+
+
+class TestSubmitCell:
+    """The service tier's non-blocking entry point."""
+
+    def test_inline_future_matches_run_cell(self):
+        context, specs = _specs_and_context()
+        expected = run_cell(context, specs[0])
+        with CellExecutor(1) as executor:
+            future = executor.submit_cell(context, specs[0])
+            assert future.result(timeout=60) == expected
+        assert executor._pool is None  # single worker: no processes
+        assert executor.ipc_bytes == 0  # nothing serialized
+
+    def test_parallel_future_decodes_wire_payload(self):
+        context, specs = _specs_and_context()
+        expected = run_cell(context, specs[1])
+        with CellExecutor(2) as executor:
+            future = executor.submit_cell(context, specs[1])
+            assert future.result(timeout=120) == expected
+        assert executor.ipc_bytes > 0  # columnar payload was shipped
+
+    def test_batch_engine_matches_scalar(self):
+        context, specs = _specs_and_context()
+        with CellExecutor(1) as executor:
+            scalar = executor.submit_cell(context, specs[0],
+                                          engine="scalar").result(60)
+            batch = executor.submit_cell(context, specs[0],
+                                         engine="batch").result(60)
+        assert batch == scalar
+
+    def test_submit_after_shutdown_raises(self):
+        context, specs = _specs_and_context()
+        executor = CellExecutor(1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit_cell(context, specs[0])
 
 
 class TestSweepProgress:

@@ -119,6 +119,38 @@ class TestMalformed:
         with pytest.raises(ReproError):
             decode_cell(blob[:8 + head_len])  # header intact, columns gone
 
+    def test_empty_and_sub_magic_inputs(self):
+        for blob in (b"", b"C", b"CTR", MAGIC):
+            with pytest.raises(ReproError):
+                decode_cell(blob)
+
+    @settings(max_examples=100, deadline=None)
+    @given(outcome=outcomes(), data=st.data())
+    def test_any_truncation_raises_not_garbage_decodes(self, outcome,
+                                                       data):
+        """Cut a valid blob anywhere — including mid-float in the column
+        block — and the decoder must raise, never return a wrong
+        outcome.  This is the cache's torn-write story: a partial
+        entry is *detected*, not averaged into a curve."""
+        blob = encode_cell(outcome)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(ReproError):
+            decode_cell(blob[:cut])
+
+    @settings(max_examples=50, deadline=None)
+    @given(outcome=outcomes(), data=st.data())
+    def test_header_length_field_corruption_raises(self, outcome, data):
+        """Bit-flip the header-length word: the decoder must reject the
+        frame (bad JSON, truncated header, or column misalignment) —
+        never trust it into reading past the buffer."""
+        blob = encode_cell(outcome)
+        head_len = int.from_bytes(blob[4:8], "little")
+        bogus = data.draw(st.integers(min_value=0, max_value=2 ** 31 - 1)
+                          .filter(lambda n: n != head_len))
+        frame = blob[:4] + bogus.to_bytes(4, "little") + blob[8:]
+        with pytest.raises(ReproError):
+            decode_cell(frame)
+
 
 class TestExecutorTransport:
     def test_inline_path_ships_no_bytes(self):

@@ -1,0 +1,119 @@
+"""Tests for single-flight coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.service.dedup import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_same_key_runs_factory_once(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+            gate = asyncio.Event()
+
+            async def factory():
+                calls.append(1)
+                await gate.wait()
+                return "outcome"
+
+            first = asyncio.ensure_future(flight.run("k", factory))
+            second = asyncio.ensure_future(flight.run("k", factory))
+            await asyncio.sleep(0)  # let both reach the table
+            gate.set()
+            results = await asyncio.gather(first, second)
+            return calls, results, flight
+
+        calls, results, flight = run(scenario())
+        assert calls == [1]
+        assert sorted(led for led, _ in results) == [False, True]
+        assert all(outcome == "outcome" for _, outcome in results)
+        assert flight.leads == 1 and flight.joins == 1
+        assert flight.inflight == 0  # table drained
+
+    def test_different_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def factory_a():
+                return "a"
+
+            async def factory_b():
+                return "b"
+
+            results = await asyncio.gather(flight.run("a", factory_a),
+                                           flight.run("b", factory_b))
+            return results, flight
+
+        results, flight = run(scenario())
+        assert [outcome for _, outcome in results] == ["a", "b"]
+        assert flight.leads == 2 and flight.joins == 0
+
+    def test_sequential_same_key_reruns(self):
+        """Coalescing is an *in-flight* property; once done, the table
+        entry is gone and the next call leads fresh (the cache layer,
+        not the dedup table, remembers completed work)."""
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def factory():
+                calls.append(1)
+                return len(calls)
+
+            first = await flight.run("k", factory)
+            second = await flight.run("k", factory)
+            return calls, first, second
+
+        calls, first, second = run(scenario())
+        assert len(calls) == 2
+        assert first == (True, 1) and second == (True, 2)
+
+    def test_leader_failure_propagates_to_all_waiters(self):
+        async def scenario():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                raise RuntimeError("cell exploded")
+
+            first = asyncio.ensure_future(flight.run("k", factory))
+            second = asyncio.ensure_future(flight.run("k", factory))
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(first, second,
+                                           return_exceptions=True)
+            return results, flight
+
+        results, flight = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert flight.inflight == 0  # failed entry cleaned up too
+
+    def test_cancelled_waiter_does_not_kill_the_leader(self):
+        """A joiner (e.g. a disconnecting client) cancelling its await
+        must not cancel the shared computation other requests wait on."""
+        async def scenario():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def factory():
+                await gate.wait()
+                return "survived"
+
+            leader = asyncio.ensure_future(flight.run("k", factory))
+            joiner = asyncio.ensure_future(flight.run("k", factory))
+            await asyncio.sleep(0)
+            joiner.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await joiner
+            gate.set()
+            return await leader
+
+        assert run(scenario()) == (True, "survived")

@@ -1,0 +1,115 @@
+"""Tests for tenant quotas and the bounded admission queue."""
+
+import asyncio
+
+import pytest
+
+from repro.service.quotas import AdmissionQueue, QuotaExceeded, TenantQuotas
+
+
+class TestTenantQuotas:
+    def test_acquire_release_roundtrip(self):
+        quotas = TenantQuotas(max_inflight=2)
+        quotas.acquire("t")
+        quotas.acquire("t")
+        assert quotas.inflight("t") == 2
+        quotas.release("t")
+        assert quotas.inflight("t") == 1
+        quotas.release("t")
+        assert quotas.inflight("t") == 0
+        assert quotas.rejected == 0
+
+    def test_over_budget_raises_with_retry_hint(self):
+        quotas = TenantQuotas(max_inflight=1, retry_after=0.25)
+        quotas.acquire("t")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            quotas.acquire("t")
+        assert excinfo.value.tenant == "t"
+        assert excinfo.value.retry_after == 0.25
+        assert quotas.rejected == 1
+        # Release frees the slot for the retry.
+        quotas.release("t")
+        quotas.acquire("t")
+
+    def test_tenants_are_isolated(self):
+        quotas = TenantQuotas(max_inflight=1)
+        quotas.acquire("a")
+        quotas.acquire("b")  # b is unaffected by a's budget
+        with pytest.raises(QuotaExceeded):
+            quotas.acquire("a")
+
+    def test_held_context_manager_releases_on_error(self):
+        quotas = TenantQuotas(max_inflight=1)
+        with pytest.raises(RuntimeError):
+            with quotas.held("t"):
+                assert quotas.inflight("t") == 1
+                raise RuntimeError("boom")
+        assert quotas.inflight("t") == 0
+
+    def test_release_never_goes_negative(self):
+        quotas = TenantQuotas()
+        quotas.release("ghost")
+        assert quotas.inflight("ghost") == 0
+        quotas.acquire("ghost")
+        assert quotas.inflight("ghost") == 1
+
+    def test_snapshot_shape(self):
+        quotas = TenantQuotas(max_inflight=3, retry_after=2.0)
+        quotas.acquire("t")
+        snapshot = quotas.snapshot()
+        assert snapshot["max_inflight"] == 3
+        assert snapshot["retry_after"] == 2.0
+        assert snapshot["inflight"] == {"t": 1}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_inflight": 0},
+        {"retry_after": 0.0},
+        {"retry_after": -1.0},
+    ])
+    def test_invalid_limits_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuotas(**kwargs)
+
+
+class TestAdmissionQueue:
+    def test_bound_is_respected_under_pressure(self):
+        async def scenario():
+            queue = AdmissionQueue(max_pending=2)
+            active = 0
+            observed_peak = 0
+
+            async def worker():
+                nonlocal active, observed_peak
+                async with queue:
+                    active += 1
+                    observed_peak = max(observed_peak, active)
+                    await asyncio.sleep(0)
+                    active -= 1
+
+            await asyncio.gather(*(worker() for _ in range(8)))
+            return observed_peak, queue
+
+        observed_peak, queue = asyncio.run(scenario())
+        assert observed_peak <= 2
+        assert queue.peak_pending <= 2
+        assert queue.admitted == 8
+        assert queue.pending == 0
+
+    def test_slot_released_on_failure(self):
+        async def scenario():
+            queue = AdmissionQueue(max_pending=1)
+            with pytest.raises(RuntimeError):
+                async with queue:
+                    raise RuntimeError("cell failed")
+            # The slot is free again: this would hang otherwise.
+            async with queue:
+                pass
+            return queue
+
+        queue = asyncio.run(scenario())
+        assert queue.pending == 0
+        assert queue.admitted == 2
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_pending=0)
