@@ -131,6 +131,9 @@ def _child(args) -> int:
         "blob_bytes": len(blob),
         "peak_rss_kb": _peak_rss_kb(),
         "numpy_imported": numpy_imported(),
+        # The record path must not *use* numpy either; same signal as the
+        # import check, recorded explicitly so BENCH_mem.json states it.
+        "numpy_used": numpy_imported(),
     }
     json.dump(report, sys.stdout)
     print()

@@ -22,7 +22,12 @@ from __future__ import annotations
 import sys
 from typing import Optional
 
-#: The one engine name allowed to import numpy on the simulation path.
+#: Engine names allowed to import numpy on the simulation path (the
+#: batch kernels and the cross-cell block lanes share one lazy seam,
+#: ``repro.sim.batch_kernels.numpy_backend``).
+ARRAY_ENGINES = ("batch", "block")
+
+#: Backwards-compatible alias (pre-block-engine name).
 BATCH_ENGINE = "batch"
 
 
@@ -38,12 +43,12 @@ def numpy_violation(label: str, imported: Optional[bool] = None,
     ``imported`` defaults to this process's live state; pass a child
     report's recorded flag when checking a subprocess measurement.
     ``engine`` names the execution path that produced the measurement —
-    only :data:`BATCH_ENGINE` is allowed to have imported numpy.
+    only the :data:`ARRAY_ENGINES` are allowed to have imported numpy.
     """
     if imported is None:
         imported = numpy_imported()
-    if not imported or engine == BATCH_ENGINE:
+    if not imported or engine in ARRAY_ENGINES:
         return None
-    return (f"{label}: numpy crept into a scalar path — only the batch "
-            "engine may import numpy (a stray ~30 MB import skews memory "
-            "deltas and slows every scalar startup)")
+    return (f"{label}: numpy crept into a scalar path — only the "
+            "batch/block engines may import numpy (a stray ~30 MB import "
+            "skews memory deltas and slows every scalar startup)")

@@ -74,10 +74,12 @@ Regression gates (non-zero exit on violation):
 * ``fig9_sweep`` serial throughput must not regress below 70 % of the
   previous recording *when the previous recording came from the same
   machine fingerprint* (cross-machine wall-clock comparisons are noise);
-* ``fig9_sweep_batch`` batch-engine cold throughput must reach 3x the
-  scalar engine on a 1000-cell column workload with bit-identical curves,
-  and a fresh scalar subprocess must finish an RTA-free sweep without
-  numpy in ``sys.modules`` (the :mod:`numpy_guard` laziness invariant).
+* ``fig9_sweep_batch`` batch-engine cold throughput must reach 3x and the
+  cross-cell block engine 10x the scalar engine on a 1000-cell column
+  workload with bit-identical curves (numpy on *and* off, each variant
+  recording its measured ``numpy_used`` flag), and a fresh scalar
+  subprocess must finish an RTA-free sweep without numpy in
+  ``sys.modules`` (the :mod:`numpy_guard` laziness invariant).
 """
 
 from __future__ import annotations
@@ -155,6 +157,11 @@ SERIAL_REGRESSION_FLOOR = 0.7
 #: Cold-sweep throughput floor of the batch engine over the scalar engine
 #: on the 1000-cell column workload.
 BATCH_TARGET_SPEEDUP = 3.0
+
+#: Cold-sweep throughput floor of the cross-cell block engine over the
+#: scalar engine on the same workload (the lane passes must beat the
+#: per-cell kernels by a wide margin, not just edge them out).
+BLOCK_TARGET_SPEEDUP = 10.0
 
 #: Policies for the batch workload: four paper policies whose runs sit
 #: fully inside the batch-kernel envelope (laEDF's deferral loop and
@@ -799,16 +806,40 @@ def _scalar_numpy_lazy() -> bool:
     return proc.stdout.strip() == "False"
 
 
+def _timed_array_sweep(base, engine, numpy_on):
+    """One cacheless array-engine sweep with numpy pinned on or off.
+
+    Returns ``(elapsed, result, numpy_used)`` where ``numpy_used``
+    records whether the kernels actually had numpy available — measured,
+    not assumed, so BENCH_engine.json states which acceleration each
+    number was produced with.
+    """
+    from repro.sim.batch_kernels import numpy_backend, set_numpy_enabled
+
+    set_numpy_enabled(numpy_on)
+    try:
+        start = time.perf_counter()
+        result = utilization_sweep(SweepConfig(**base, engine=engine))
+        elapsed = time.perf_counter() - start
+        numpy_used = bool(numpy_on and numpy_backend() is not None)
+    finally:
+        set_numpy_enabled(True)
+    return elapsed, result, numpy_used
+
+
 def bench_fig9_sweep_batch():
-    """Column-scale cold sweep, scalar engine vs batch engine.
+    """Column-scale cold sweep: scalar vs batch vs block engine.
 
     1000 cells (the paper's 10 utilization steps x 100 task sets) under
-    the four kernel-envelope policies, both engines serial and cacheless,
-    so the ratio is pure simulation throughput: the batch engine's
-    column-blocked materialization plus the flat-array kernel against the
-    discrete-event engine.  Both runs must produce bit-identical curves —
-    the batch engine is an execution mode, never a semantic fork.  The
-    entry also records the scalar-laziness probe (see
+    the four kernel-envelope policies, every engine serial and cacheless,
+    so the ratios are pure simulation throughput: the batch engine's
+    per-cell flat-array kernel and the block engine's cross-cell lane
+    passes against the discrete-event engine.  The array engines run with
+    numpy on *and* off (the off runs pin the pure-Python fallback, whose
+    results must stay identical), each variant recording the measured
+    ``numpy_used`` flag.  All runs must produce bit-identical curves —
+    the engines are execution modes, never semantic forks.  The entry
+    also records the scalar-laziness probe (see
     :data:`_SCALAR_LAZINESS_SNIPPET`).
     """
     base = dict(policies=BATCH_WORKLOAD_POLICIES, n_tasks=8, n_sets=100,
@@ -816,15 +847,10 @@ def bench_fig9_sweep_batch():
     start = time.perf_counter()
     scalar = utilization_sweep(SweepConfig(**base))
     scalar_s = time.perf_counter() - start
-    start = time.perf_counter()
-    batch = utilization_sweep(SweepConfig(**base, engine="batch"))
-    batch_s = time.perf_counter() - start
-    if scalar.raw.rows() != batch.raw.rows():
-        raise SystemExit(
-            "fig9_sweep_batch: batch-engine curves diverged from scalar")
     config = SweepConfig(**base)
     cells = len(config.utilizations) * config.n_sets
-    return {
+
+    entry = {
         "policies": list(BATCH_WORKLOAD_POLICIES),
         "n_tasks": base["n_tasks"],
         "n_sets": base["n_sets"],
@@ -834,15 +860,37 @@ def bench_fig9_sweep_batch():
         "scalar": {
             "wall_seconds": round(scalar_s, 6),
             "cells_per_sec": round(cells / scalar_s, 2),
+            "numpy_used": False,
         },
-        "batch": {
-            "wall_seconds": round(batch_s, 6),
-            "cells_per_sec": round(cells / batch_s, 2),
-        },
-        "speedup": round(scalar_s / batch_s, 2),
-        "rm_fallbacks": batch.rm_fallbacks,
-        "scalar_numpy_lazy": _scalar_numpy_lazy(),
     }
+    for engine in ("batch", "block"):
+        for numpy_on in (True, False):
+            elapsed, result, numpy_used = _timed_array_sweep(
+                base, engine, numpy_on)
+            if scalar.raw.rows() != result.raw.rows():
+                raise SystemExit(
+                    f"fig9_sweep_batch: {engine} engine "
+                    f"(numpy={'on' if numpy_on else 'off'}) curves "
+                    "diverged from scalar")
+            variant = {
+                "wall_seconds": round(elapsed, 6),
+                "cells_per_sec": round(cells / elapsed, 2),
+                "numpy_used": numpy_used,
+                "speedup_vs_scalar": round(scalar_s / elapsed, 2),
+            }
+            if engine == "block":
+                variant["block_cells"] = result.block_cells
+                variant["fallbacks"] = dict(result.block_fallbacks)
+                variant["stage_seconds"] = {
+                    key: round(value, 6)
+                    for key, value in result.stage_seconds.items()}
+            key = engine if numpy_on else f"{engine}_no_numpy"
+            entry[key] = variant
+    entry["speedup"] = entry["batch"]["speedup_vs_scalar"]
+    entry["block_speedup"] = entry["block"]["speedup_vs_scalar"]
+    entry["rm_fallbacks"] = scalar.rm_fallbacks
+    entry["scalar_numpy_lazy"] = _scalar_numpy_lazy()
+    return entry
 
 
 def check_batch_gates(entry):
@@ -853,6 +901,20 @@ def check_batch_gates(entry):
             f"fig9_sweep_batch: batch engine {entry['speedup']}x below "
             f"the {BATCH_TARGET_SPEEDUP:g}x cold-sweep floor at "
             f"{entry['cells']} cells")
+    if entry["block_speedup"] < BLOCK_TARGET_SPEEDUP:
+        failures.append(
+            f"fig9_sweep_batch: block engine {entry['block_speedup']}x "
+            f"below the {BLOCK_TARGET_SPEEDUP:g}x cold-sweep floor at "
+            f"{entry['cells']} cells")
+    if not entry["block"]["numpy_used"]:
+        failures.append(
+            "fig9_sweep_batch: block engine ran without numpy — the "
+            "vectorized lane pass never engaged")
+    for key in ("batch_no_numpy", "block_no_numpy"):
+        if entry[key]["numpy_used"]:
+            failures.append(
+                f"fig9_sweep_batch: {key} variant reported numpy_used — "
+                "set_numpy_enabled(False) did not pin the fallback")
     violation = numpy_violation("fig9_sweep_batch (scalar subprocess)",
                                 imported=not entry["scalar_numpy_lazy"])
     if violation:
@@ -1023,9 +1085,11 @@ def main(argv=None) -> int:
     report["workloads"]["fig9_sweep_batch"] = batch_entry
     print(f"[bench]   {batch_entry['cells']} cells: scalar "
           f"{batch_entry['scalar']['cells_per_sec']:.1f} cells/s vs batch "
-          f"{batch_entry['batch']['cells_per_sec']:.1f} cells/s -> "
-          f"{batch_entry['speedup']:.2f}x, scalar subprocess numpy-free: "
-          f"{batch_entry['scalar_numpy_lazy']}", flush=True)
+          f"{batch_entry['batch']['cells_per_sec']:.1f} cells/s "
+          f"({batch_entry['speedup']:.2f}x) vs block "
+          f"{batch_entry['block']['cells_per_sec']:.1f} cells/s "
+          f"({batch_entry['block_speedup']:.2f}x), scalar subprocess "
+          f"numpy-free: {batch_entry['scalar_numpy_lazy']}", flush=True)
     report["peak_rss_kb"] = _peak_rss_kb()
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

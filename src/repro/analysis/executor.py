@@ -121,6 +121,8 @@ def _execute_cell(digest: str, context: Optional[object],
         _CONTEXTS[digest] = ctx = context
     if engine == "batch":
         from repro.analysis.batch import run_cell_batch as run_cell
+    elif engine == "block":
+        from repro.analysis.batch import run_cell_block as run_cell
     else:
         from repro.analysis.sweep import run_cell
     outcome = run_cell(ctx, spec)
@@ -128,6 +130,30 @@ def _execute_cell(digest: str, context: Optional[object],
         from repro.analysis.transport import encode_cell
         return encode_cell(outcome)
     return outcome
+
+
+def _execute_column(digest: str, context: Optional[object],
+                    specs: Sequence) -> Tuple[list, Dict[str, object]]:
+    """Run one whole sweep column on the block engine in a worker.
+
+    The block engine's unit of useful work is the column, not the cell
+    (lanes amortize across it), so the parallel path ships columns.
+    Returns the encoded outcomes (spec order) plus the worker-local
+    :class:`~repro.analysis.batch.BlockStats` as a plain dict — stats
+    ride *beside* the outcome payloads, never inside them, because the
+    cell wire format and the shared cell cache are engine-agnostic.
+    """
+    ctx = _CONTEXTS.get(digest)
+    if ctx is None:
+        if context is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"sweep context {digest} not installed")
+        _CONTEXTS[digest] = ctx = context
+    from repro.analysis.batch import BlockStats, iter_cells_block
+    from repro.analysis.transport import encode_cell
+    stats = BlockStats()
+    encoded = [encode_cell(outcome) for _, outcome
+               in iter_cells_block(ctx, specs, stats=stats)]
+    return encoded, stats.to_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +275,7 @@ class CellExecutor:
                   progress: Optional[SweepProgress] = None,
                   on_result: Optional[Callable[[int, object], None]] = None,
                   engine: str = "scalar",
+                  stats=None,
                   ) -> Iterator[Tuple[int, object]]:
         """Yield ``(index, outcome)`` for every spec, unordered.
 
@@ -260,7 +287,11 @@ class CellExecutor:
         column block per run of same-recipe specs; the parallel batch
         path ships the engine choice with each cell (workers build
         single-cell blocks — the fan-out already parallelizes the
-        column).
+        column).  The block engine works column-at-once in both modes
+        (the inline path fuses *all* columns into one lane pass; the
+        parallel path ships whole columns to workers), and fills
+        ``stats`` (a :class:`~repro.analysis.batch.BlockStats`) with its
+        eligibility and timing accounting when one is passed.
         """
         if self._shutdown:
             raise RuntimeError("executor already shut down")
@@ -269,6 +300,9 @@ class CellExecutor:
             if engine == "batch":
                 from repro.analysis.batch import iter_cells_batch
                 stream = iter_cells_batch(context, specs)
+            elif engine == "block":
+                from repro.analysis.batch import iter_cells_block
+                stream = iter_cells_block(context, specs, stats=stats)
             else:
                 from repro.analysis.sweep import run_cell
                 stream = ((index, run_cell(context, spec))
@@ -283,6 +317,34 @@ class CellExecutor:
         from repro.analysis.transport import decode_cell
         pool = self._ensure_pool()
         ship = None if digest in self._initializer_contexts else context
+        if engine == "block":
+            from itertools import groupby
+
+            from repro.analysis.batch import _column_key
+            pending = {}
+            base = 0
+            for _, group in groupby(specs, key=_column_key):
+                column = list(group)
+                pending[pool.submit(_execute_column, digest, ship,
+                                    column)] = base
+                base += len(column)
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    base = pending.pop(future)
+                    encoded, stats_dict = future.result()
+                    if stats is not None:
+                        stats.merge_dict(stats_dict)
+                    for offset, payload in enumerate(encoded):
+                        self.ipc_bytes += len(payload)
+                        outcome = decode_cell(payload)
+                        index = base + offset
+                        if on_result is not None:
+                            on_result(index, outcome)
+                        if progress is not None:
+                            progress.advance()
+                        yield index, outcome
+            return
         pending = {
             pool.submit(_execute_cell, digest, ship, spec, True,
                         engine): index

@@ -42,6 +42,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.aggregate import mean, sample_std
@@ -143,11 +144,12 @@ class SweepConfig:
     #: periods, making cells eligible for the steady fast path.
     period_bands: Optional[Tuple[Tuple[float, float], ...]] = None
     #: Cell execution backend: ``"scalar"`` (the discrete-event engine,
-    #: one cell at a time — the default) or ``"batch"`` (column-blocked
-    #: :mod:`repro.analysis.batch` kernels; bit-identical results).  The
-    #: engine choice is *not* part of the cell identity — both engines
-    #: share one cache namespace because their outcomes are
-    #: indistinguishable.
+    #: one cell at a time — the default), ``"batch"`` (column-blocked
+    #: :mod:`repro.analysis.batch` kernels), or ``"block"`` (cross-cell
+    #: vectorized lanes, :mod:`repro.sim.block_kernels`) — all
+    #: bit-identical.  The engine choice is *not* part of the cell
+    #: identity — the engines share one cache namespace because their
+    #: outcomes are indistinguishable.
     engine: str = "scalar"
     #: Hyperperiod detection grid for the steady fast path, pinned once
     #: per sweep so cache keys, fast-path eligibility, and batch-column
@@ -188,6 +190,19 @@ class SweepResult:
     #: "short-horizon", "aperiodic-demand", "not-periodic",
     #: "instrumented").
     fast_path_fallbacks: Dict[str, int] = field(default_factory=dict)
+    #: Cells where at least one policy run was served straight from a
+    #: vectorized lane (``engine="block"`` only) — the block-engine
+    #: mirror of :attr:`fast_path_cells`.
+    block_cells: int = 0
+    #: Fallback reason -> count of simulation calls the block engine
+    #: routed down the per-cell ladder instead of serving from a lane
+    #: ("unsupported-policy", "demand-shape", "deadline-miss",
+    #: "schedulability", "no-numpy", "small-block", ...).
+    block_fallbacks: Dict[str, int] = field(default_factory=dict)
+    #: Wall seconds per pipeline stage: always ``"aggregate"``; block
+    #: runs add ``"block-build"`` (column materialization + lane
+    #: planning) and ``"block-kernel"`` (the vectorized lane passes).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def series(self, label: str, normalized: bool = True) -> Series:
         table = self.normalized if normalized else self.raw
@@ -330,10 +345,13 @@ def utilization_sweep(config: SweepConfig,
     lines on stderr (or pass a :class:`SweepProgress` to customize).
     """
     labels = _result_labels(config)
-    if config.engine not in ("scalar", "batch"):
+    # Lazy import: repro.analysis.batch imports this module at its top.
+    from repro.analysis.batch import ENGINES, BlockStats
+    if config.engine not in ENGINES:
         raise ReproError(
             f"unknown sweep engine {config.engine!r}; "
-            f"expected 'scalar' or 'batch'")
+            f"expected one of {', '.join(repr(e) for e in ENGINES)}")
+    block_stats = BlockStats() if config.engine == "block" else None
     context = SweepContext(
         machine=config.machine,
         policies=tuple(labels[:-1]),
@@ -385,17 +403,25 @@ def utilization_sweep(config: SweepConfig,
 
         # Drain the barrier-free stream; `store` fills `outcomes`.
         for _ in runner.run_cells(context, pending_specs, progress=meter,
-                                  on_result=store, engine=config.engine):
+                                  on_result=store, engine=config.engine,
+                                  stats=block_stats):
             pass
         workers_used = runner.workers
     finally:
         if own_executor:
             runner.shutdown()
 
+    started = perf_counter()
     result = _aggregate(config, labels, outcomes)
+    result.stage_seconds["aggregate"] = perf_counter() - started
     result.cache_hits = cache_hits
     result.simulated_cells = len(pending)
     result.workers_used = workers_used
+    if block_stats is not None:
+        result.block_cells = block_stats.block_cells
+        result.block_fallbacks = dict(block_stats.fallbacks)
+        result.stage_seconds["block-build"] = block_stats.build_seconds
+        result.stage_seconds["block-kernel"] = block_stats.kernel_seconds
     return result
 
 

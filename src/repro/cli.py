@@ -88,12 +88,14 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "periodic demand simulate warmup + two "
                              "hyperperiods and extrapolate (fallback to "
                              "full simulation whenever verification fails)")
-    parser.add_argument("--engine", choices=("scalar", "batch"),
+    parser.add_argument("--engine", choices=("scalar", "batch", "block"),
                         default="scalar",
                         help="cell execution backend: 'scalar' simulates "
                              "each cell on the event engine; 'batch' runs "
-                             "column-blocked array kernels (bit-identical "
-                             "results, faster cold sweeps)")
+                             "column-blocked array kernels; 'block' "
+                             "advances every cell of a column at once in "
+                             "cross-cell vectorized lane passes (both "
+                             "bit-identical to scalar, faster cold sweeps)")
 
 
 def _cache_dir_from(args: argparse.Namespace):
@@ -293,7 +295,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: all panels)")
     p_submit.add_argument("--full", action="store_true",
                           help="paper-scale parameters (slow)")
-    p_submit.add_argument("--engine", choices=("scalar", "batch"),
+    p_submit.add_argument("--engine", choices=("scalar", "batch", "block"),
                           default="scalar",
                           help="cell execution backend on the server")
     p_submit.add_argument("--tenant", default="default",

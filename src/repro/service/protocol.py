@@ -151,9 +151,10 @@ def parse_request(data: object) -> SweepRequest:
     if not isinstance(tenant, str) or not tenant:
         raise ProtocolError("'tenant' must be a non-empty string")
     engine = payload.get("engine", "scalar")
-    if engine not in ("scalar", "batch"):
+    if engine not in ("scalar", "batch", "block"):
         raise ProtocolError(
-            f"unknown engine {engine!r}; expected 'scalar' or 'batch'")
+            f"unknown engine {engine!r}; expected 'scalar', 'batch', "
+            f"or 'block'")
     stream_every = payload.get("stream_every", 0)
     if not isinstance(stream_every, int) or isinstance(stream_every, bool) \
             or stream_every < 0:

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import os
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.base import DVSPolicy
@@ -73,7 +74,10 @@ _INF = math.inf
 # the lazy numpy seam
 # ---------------------------------------------------------------------------
 
-_numpy_enabled = True
+#: ``RTDVS_NO_NUMPY=1`` pins the pure-Python kernels process-wide (the
+#: numpy-absent CI leg runs the batch/block suites under it); a later
+#: ``set_numpy_enabled(True)`` still overrides for targeted tests.
+_numpy_enabled = os.environ.get("RTDVS_NO_NUMPY", "") not in ("1", "true")
 _numpy_module = None
 _numpy_missing = False
 

@@ -206,7 +206,7 @@ class TestBatchSweepIdentity:
     """Sweep-level differential: --engine batch vs --engine scalar."""
 
     def test_unknown_engine_rejected(self):
-        assert ENGINES == ("scalar", "batch")
+        assert ENGINES == ("scalar", "batch", "block")
         with pytest.raises(ReproError, match="unknown sweep engine"):
             utilization_sweep(SweepConfig(engine="vector", **TINY))
 
