@@ -1,4 +1,4 @@
-.PHONY: install test cov bench bench-mem bench-service service-smoke bench-figures check test-fast-path catalog-audit experiments experiments-full sweep-cache-clean clean
+.PHONY: install test cov bench bench-mem bench-service bench-dist service-smoke bench-figures check test-fast-path catalog-audit experiments experiments-full sweep-cache-clean clean
 
 install:
 	pip install -e .
@@ -31,10 +31,19 @@ bench:
 bench-mem:
 	PYTHONPATH=src python benchmarks/mem_workload.py
 
-# Service trajectory: warm HTTP serving floor, single-flight dedup and
-# served-vs-in-process bit parity -> BENCH_service.json.
+# Service trajectory: warm HTTP serving floor, single-flight dedup,
+# served-vs-in-process bit parity (<= 15% overhead) and the distributed
+# fan-out workload -> BENCH_service.json.
 bench-service:
 	PYTHONPATH=src python benchmarks/service_workload.py
+
+# Distributed trajectory only: 4 loopback `rtdvs worker` subprocesses
+# (one with RTDVS_NO_NUMPY=1) vs in-process on a cold sweep, plus a
+# worker-kill run — bit-identity and exactly-once delivery gates, with
+# the speedup floor clamped to the box's effective lanes.  Merges its
+# entry into an existing BENCH_service.json.
+bench-dist:
+	PYTHONPATH=src python benchmarks/service_workload.py --only distributed
 
 # Blocking service smoke: a real `rtdvs serve` subprocess, fig9 quick
 # submitted twice, second response must be all cache hits and
@@ -46,15 +55,16 @@ bench-figures:
 	pytest benchmarks/ --benchmark-only
 
 # What CI runs: tier-1 tests plus the full-catalog trace audit, a smoke
-# pass of the engine benchmarks (so the perf harness itself cannot rot)
-# and the peak-RSS gate of the memory workload (array trace backend must
-# cut peak RSS >= 30%).
+# pass of the engine benchmarks (so the perf harness itself cannot rot),
+# the peak-RSS gate of the memory workload (array trace backend must
+# cut peak RSS >= 30%) and the distributed fan-out gates.
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) catalog-audit
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only -k engine -q
 	PYTHONPATH=src python benchmarks/mem_workload.py --gate
 	$(MAKE) service-smoke
+	$(MAKE) bench-dist
 
 # The fast-path differential suites: incremental-vs-from-scratch policy
 # state must produce bit-identical SimResults, and the hyperperiod

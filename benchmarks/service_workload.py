@@ -20,13 +20,26 @@ repository root:
   same config.  The streamed raw and normalized tables must match the
   in-process rows bit for bit (JSON round-trips doubles exactly, so
   ``==`` is a bit-identity check).
+* ``distributed`` — a cold sweep fanned out to :data:`DIST_WORKERS`
+  loopback ``rtdvs worker`` subprocesses (one of them running with
+  ``RTDVS_NO_NUMPY=1``, so the mixed fleet doubles as a no-numpy
+  differential) vs the same sweep in-process, plus a second fleet where
+  one worker is SIGKILLed mid-sweep.  Both distributed results must be
+  bit-identical to the in-process rows with every cell delivered
+  exactly once.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/service_workload.py [--out PATH]
-    make bench-service
+    PYTHONPATH=src python benchmarks/service_workload.py \
+        [--out PATH] [--only WORKLOAD]...
+    make bench-service       # all workloads
+    make bench-dist          # --only distributed (merges into --out)
 
-Regression gates (non-zero exit on violation):
+``--only`` runs a subset and merges its entries into an existing
+``--out`` report, leaving the other workloads' numbers untouched.
+
+Regression gates (non-zero exit on violation; each gate applies only
+when its workload was run):
 
 * ``warm_http`` warm throughput must reach
   :data:`WARM_FLOOR_CELLS_PER_SEC` cells/s with zero simulations;
@@ -34,7 +47,15 @@ Regression gates (non-zero exit on violation):
   requests must equal one request's worth;
 * ``parity`` tables must be bit-identical to the in-process sweep
   (checked inline — divergence aborts the run before any JSON is
-  written).
+  written), and cold served wall time must stay within
+  :data:`OVERHEAD_CEILING_PCT` percent of the in-process sweep;
+* ``distributed`` must deliver every cell exactly once in both the
+  clean and the worker-kill runs (bit-identity checked inline), and the
+  clean fan-out must clear :data:`DIST_SPEEDUP_FLOOR` x over
+  in-process when the box has at least :data:`DIST_WORKERS` CPUs — on
+  smaller boxes the floor is clamped proportionally to the effective
+  lanes (``min(workers, cpus)``), since loopback workers cannot beat
+  the physical core count.
 """
 
 from __future__ import annotations
@@ -43,6 +64,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import threading
@@ -55,6 +77,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.cellcache import CellCache  # noqa: E402
 from repro.analysis.sweep import utilization_sweep  # noqa: E402
 from repro.catalog import panel_sweep_config  # noqa: E402
+from repro.catalog.schema import PanelSpec  # noqa: E402
+from repro.dist import RemoteCellExecutor  # noqa: E402
 from repro.service import (ServiceThread, SweepService,  # noqa: E402
                            SweepServiceClient, TenantQuotas)
 
@@ -93,6 +117,24 @@ DEDUP_CELLS = 2 * 2
 #: through a real ``rtdvs serve`` subprocess.
 PARITY_SCENARIO = "fig9"
 PARITY_PANEL = "5-tasks"
+
+#: Ceiling on cold served-vs-in-process wall-time overhead (percent).
+OVERHEAD_CEILING_PCT = 15.0
+
+#: Distributed workload: loopback worker fleet size, and the cold-sweep
+#: speedup the fleet must deliver over in-process when the box actually
+#: has that many CPUs.  Cells are deliberately meaty (5 tasks, 500 s
+#: horizon, ~25 ms each) so the wire cost stays a rounding error.
+DIST_WORKERS = 4
+DIST_SPEEDUP_FLOOR = 2.5
+DIST_SPEC = {
+    "n_tasks": 5,
+    "n_sets_quick": 8,
+    "duration_quick": 500.0,
+    "seed": SEED,
+    "utilizations": [round(0.3 + 0.08 * i, 4) for i in range(8)],
+}
+DIST_CELLS = 8 * 8
 
 
 def _fresh_service(tmp):
@@ -225,25 +267,182 @@ def bench_parity():
     }
 
 
+def _dist_config():
+    return PanelSpec.from_dict(dict(DIST_SPEC, label="inline")) \
+        .sweep_config(quick=True)
+
+
+def _spawn_workers(executor, count):
+    """Launch ``count`` rtdvs worker subprocesses against ``executor``.
+
+    Worker 0 runs with ``RTDVS_NO_NUMPY=1`` so every fleet is a mixed
+    numpy/pure-python differential: bit-identity of the merged result
+    proves the two kernel paths agree over the wire.
+    """
+    procs = []
+    for index in range(count):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        if index == 0:
+            env["RTDVS_NO_NUMPY"] = "1"
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"{executor.host}:{executor.port}", "--quiet"],
+            env=env, cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+    return procs
+
+
+def _reap_workers(procs):
+    for proc in procs:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _check_dist_run(leg, result, raw, normalized):
+    if result.raw.rows() != raw or result.normalized.rows() != normalized:
+        raise SystemExit(
+            f"distributed: {leg} tables diverged from in-process")
+    if result.simulated_cells != DIST_CELLS:
+        raise SystemExit(
+            f"distributed: {leg} delivered {result.simulated_cells}"
+            f"/{DIST_CELLS} cells")
+
+
+def bench_distributed():
+    """Cold fan-out to a loopback worker fleet vs in-process, twice:
+    once clean (timed) and once with a worker SIGKILLed mid-sweep."""
+    config = _dist_config()
+    start = time.perf_counter()
+    direct = utilization_sweep(config)
+    direct_s = time.perf_counter() - start
+    raw, normalized = direct.raw.rows(), direct.normalized.rows()
+
+    executor = RemoteCellExecutor()
+    procs = _spawn_workers(executor, DIST_WORKERS)
+    try:
+        if not executor.wait_for_workers(DIST_WORKERS, timeout=60):
+            raise SystemExit("distributed: worker fleet failed to connect")
+        start = time.perf_counter()
+        dist = utilization_sweep(config, executor=executor)
+        dist_s = time.perf_counter() - start
+        ipc_bytes = executor.ipc_bytes
+    finally:
+        executor.shutdown()
+        _reap_workers(procs)
+    _check_dist_run("fan-out", dist, raw, normalized)
+
+    # Worker-kill leg: same fleet, one worker SIGKILLed mid-sweep.  The
+    # dropped connection releases its lease; survivors re-run the lost
+    # cells; the result must still deliver every cell exactly once.
+    executor = RemoteCellExecutor()
+    procs = _spawn_workers(executor, DIST_WORKERS)
+    box = {}
+    try:
+        if not executor.wait_for_workers(DIST_WORKERS, timeout=60):
+            raise SystemExit("distributed: kill-leg fleet failed to connect")
+
+        def run():
+            try:
+                box["result"] = utilization_sweep(config, executor=executor)
+            except BaseException as exc:
+                box["error"] = exc
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        # Kill a numpy worker (not worker 0) once the sweep is underway.
+        time.sleep(max(0.2, 0.25 * dist_s))
+        procs[1].kill()
+        thread.join(timeout=300)
+        if thread.is_alive():
+            raise SystemExit("distributed: kill-leg sweep did not finish")
+        if "error" in box:
+            raise SystemExit(
+                f"distributed: kill-leg sweep failed: {box['error']!r}")
+        kill = box["result"]
+        kill_duplicates = executor.duplicates_dropped
+    finally:
+        executor.shutdown()
+        _reap_workers(procs)
+    _check_dist_run("worker-kill", kill, raw, normalized)
+
+    lanes = max(1, min(DIST_WORKERS, os.cpu_count() or 1))
+    floor = DIST_SPEEDUP_FLOOR if lanes >= DIST_WORKERS \
+        else round(DIST_SPEEDUP_FLOOR * lanes / DIST_WORKERS, 3)
+    return {
+        "cells": DIST_CELLS,
+        "workers": DIST_WORKERS,
+        "no_numpy_workers": 1,
+        "effective_lanes": lanes,
+        "in_process_wall_seconds": round(direct_s, 6),
+        "distributed_wall_seconds": round(dist_s, 6),
+        "speedup": round(direct_s / dist_s, 3),
+        "speedup_floor_effective": floor,
+        "simulated_cells": dist.simulated_cells,
+        "workers_used": dist.workers_used,
+        "retries": dist.retries,
+        "ipc_bytes": ipc_bytes,
+        "bit_identical": True,
+        "kill": {
+            "simulated_cells": kill.simulated_cells,
+            "lost_cells": DIST_CELLS - kill.simulated_cells,
+            "retries": kill.retries,
+            "duplicates_dropped": kill_duplicates,
+            "workers_used": kill.workers_used,
+            "bit_identical": True,
+        },
+    }
+
+
 def check_service_gates(report):
-    """Service regression gates; returns failure strings."""
+    """Service regression gates; returns failure strings.
+
+    Each gate applies only to workloads present in the report, so a
+    ``--only`` run is gated on exactly what it measured.
+    """
     failures = []
-    warm = report["workloads"]["warm_http"]
-    if warm["warm_cells_per_sec"] < WARM_FLOOR_CELLS_PER_SEC:
-        failures.append(
-            f"warm_http: {warm['warm_cells_per_sec']} cells/s below the "
-            f"{WARM_FLOOR_CELLS_PER_SEC:g} cells/s warm serving floor")
-    if warm["warm_simulated_cells"] != 0:
-        failures.append(
-            f"warm_http: warm pass simulated "
-            f"{warm['warm_simulated_cells']} cells (expected 0)")
-    dedup = report["workloads"]["dedup"]
-    if dedup["total_simulated_cells"] != dedup["cells_per_request"]:
+    warm = report["workloads"].get("warm_http")
+    if warm:
+        if warm["warm_cells_per_sec"] < WARM_FLOOR_CELLS_PER_SEC:
+            failures.append(
+                f"warm_http: {warm['warm_cells_per_sec']} cells/s below the "
+                f"{WARM_FLOOR_CELLS_PER_SEC:g} cells/s warm serving floor")
+        if warm["warm_simulated_cells"] != 0:
+            failures.append(
+                f"warm_http: warm pass simulated "
+                f"{warm['warm_simulated_cells']} cells (expected 0)")
+    dedup = report["workloads"].get("dedup")
+    if dedup and dedup["total_simulated_cells"] != dedup["cells_per_request"]:
         failures.append(
             f"dedup: {dedup['concurrent_requests']} identical concurrent "
             f"requests simulated {dedup['total_simulated_cells']} cells "
             f"(expected exactly {dedup['cells_per_request']} — one "
             "request's worth)")
+    parity = report["workloads"].get("parity")
+    if parity and parity["serving_overhead_pct"] > OVERHEAD_CEILING_PCT:
+        failures.append(
+            f"parity: {parity['serving_overhead_pct']:+.1f}% served-vs-"
+            f"in-process overhead above the {OVERHEAD_CEILING_PCT:g}% "
+            "ceiling")
+    dist = report["workloads"].get("distributed")
+    if dist:
+        if dist["speedup"] < dist["speedup_floor_effective"]:
+            failures.append(
+                f"distributed: {dist['speedup']}x fan-out speedup below "
+                f"the {dist['speedup_floor_effective']}x floor "
+                f"({dist['effective_lanes']} effective lane(s))")
+        if dist["simulated_cells"] != dist["cells"]:
+            failures.append(
+                f"distributed: fan-out delivered {dist['simulated_cells']}"
+                f"/{dist['cells']} cells")
+        if dist["kill"]["lost_cells"] != 0:
+            failures.append(
+                f"distributed: worker-kill run lost "
+                f"{dist['kill']['lost_cells']} cell(s)")
     return failures
 
 
@@ -251,11 +450,19 @@ def _machine_fingerprint():
     return {"machine": platform.machine(), "cpus": os.cpu_count() or 1}
 
 
+WORKLOADS = ("warm_http", "dedup", "parity", "distributed")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_service.json")
+    parser.add_argument("--only", action="append", choices=WORKLOADS,
+                        metavar="WORKLOAD",
+                        help="run a subset (repeatable); entries merge "
+                             "into an existing --out report")
     args = parser.parse_args(argv)
+    selected = set(args.only or WORKLOADS)
 
     report = {
         "schema": 1,
@@ -264,41 +471,74 @@ def main(argv=None) -> int:
         "fingerprint": _machine_fingerprint(),
         "seed": SEED,
         "warm_floor_cells_per_sec": WARM_FLOOR_CELLS_PER_SEC,
+        "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
         "workloads": {},
     }
+    if args.only and args.out.exists():
+        # Partial run: keep the other workloads' recorded numbers.
+        report["workloads"] = json.loads(
+            args.out.read_text()).get("workloads", {})
 
-    print(f"[bench] warm_http: {WARM_CELLS} cells over HTTP ...",
-          flush=True)
-    warm_entry = bench_warm_http()
-    report["workloads"]["warm_http"] = warm_entry
-    print(f"[bench]   cold {warm_entry['cold_cells_per_sec']:.0f} cells/s, "
-          f"warm {warm_entry['warm_cells_per_sec']:.0f} cells/s "
-          f"(floor {WARM_FLOOR_CELLS_PER_SEC:g}), warm simulations "
-          f"{warm_entry['warm_simulated_cells']}", flush=True)
+    if "warm_http" in selected:
+        print(f"[bench] warm_http: {WARM_CELLS} cells over HTTP ...",
+              flush=True)
+        warm_entry = bench_warm_http()
+        report["workloads"]["warm_http"] = warm_entry
+        print(f"[bench]   cold {warm_entry['cold_cells_per_sec']:.0f} "
+              f"cells/s, warm {warm_entry['warm_cells_per_sec']:.0f} "
+              f"cells/s (floor {WARM_FLOOR_CELLS_PER_SEC:g}), warm "
+              f"simulations {warm_entry['warm_simulated_cells']}",
+              flush=True)
 
-    print(f"[bench] dedup: {DEDUP_K} identical concurrent requests ...",
-          flush=True)
-    dedup_entry = bench_dedup()
-    report["workloads"]["dedup"] = dedup_entry
-    print(f"[bench]   simulated {dedup_entry['total_simulated_cells']} "
-          f"cells total (one request = {DEDUP_CELLS}), coalesced "
-          f"{dedup_entry['total_coalesced_cells']}, cache hits "
-          f"{dedup_entry['total_cache_hits']}", flush=True)
+    if "dedup" in selected:
+        print(f"[bench] dedup: {DEDUP_K} identical concurrent requests "
+              "...", flush=True)
+        dedup_entry = bench_dedup()
+        report["workloads"]["dedup"] = dedup_entry
+        print(f"[bench]   simulated {dedup_entry['total_simulated_cells']} "
+              f"cells total (one request = {DEDUP_CELLS}), coalesced "
+              f"{dedup_entry['total_coalesced_cells']}, cache hits "
+              f"{dedup_entry['total_cache_hits']}", flush=True)
 
-    print(f"[bench] parity: {PARITY_SCENARIO}/{PARITY_PANEL} quick, "
-          "served vs in-process ...", flush=True)
-    parity_entry = bench_parity()
-    report["workloads"]["parity"] = parity_entry
-    print(f"[bench]   {parity_entry['cells']} cells: in-process "
-          f"{parity_entry['direct_wall_seconds']:.2f}s vs served "
-          f"{parity_entry['served_wall_seconds']:.2f}s "
-          f"({parity_entry['serving_overhead_pct']:+.1f}% overhead), "
-          "tables bit-identical", flush=True)
+    if "parity" in selected:
+        print(f"[bench] parity: {PARITY_SCENARIO}/{PARITY_PANEL} quick, "
+              "served vs in-process ...", flush=True)
+        parity_entry = bench_parity()
+        report["workloads"]["parity"] = parity_entry
+        print(f"[bench]   {parity_entry['cells']} cells: in-process "
+              f"{parity_entry['direct_wall_seconds']:.2f}s vs served "
+              f"{parity_entry['served_wall_seconds']:.2f}s "
+              f"({parity_entry['serving_overhead_pct']:+.1f}% overhead), "
+              "tables bit-identical", flush=True)
+
+    if "distributed" in selected:
+        print(f"[bench] distributed: {DIST_CELLS} cells, "
+              f"{DIST_WORKERS} loopback workers (one RTDVS_NO_NUMPY=1) "
+              "vs in-process, then a worker-kill run ...", flush=True)
+        dist_entry = bench_distributed()
+        report["workloads"]["distributed"] = dist_entry
+        kill = dist_entry["kill"]
+        print(f"[bench]   in-process "
+              f"{dist_entry['in_process_wall_seconds']:.2f}s vs "
+              f"{dist_entry['workers_used']} workers "
+              f"{dist_entry['distributed_wall_seconds']:.2f}s = "
+              f"{dist_entry['speedup']}x (floor "
+              f"{dist_entry['speedup_floor_effective']}x on "
+              f"{dist_entry['effective_lanes']} lane(s)); kill run: "
+              f"{kill['simulated_cells']}/{DIST_CELLS} cells, "
+              f"{kill['retries']} retried, "
+              f"{kill['duplicates_dropped']} duplicates dropped",
+              flush=True)
 
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {args.out}")
 
-    failures = check_service_gates(report)
+    # Gate only what this invocation measured; merged-in entries from a
+    # previous run were gated when they were produced.
+    failures = check_service_gates({
+        "workloads": {name: entry
+                      for name, entry in report["workloads"].items()
+                      if name in selected}})
     for failure in failures:
         print(f"[bench] FAIL: {failure}")
     return 1 if failures else 0

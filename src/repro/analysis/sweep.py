@@ -181,6 +181,9 @@ class SweepResult:
     simulated_cells: int = 0
     #: Resolved worker count the sweep ran with.
     workers_used: int = 1
+    #: Cells re-leased after a lost/expired distributed lease (always 0
+    #: on in-process executors; see :mod:`repro.dist`).
+    retries: int = 0
     #: Cells where at least one policy run took the hyperperiod
     #: short-circuit (only populated when
     #: :attr:`SweepConfig.steady_fast_path` is on).
@@ -392,6 +395,9 @@ def utilization_sweep(config: SweepConfig,
     own_executor = executor is None
     runner = executor if executor is not None \
         else CellExecutor(config.workers)
+    # Shared executors (run-all, the service) accumulate lease retries
+    # across sweeps; snapshot so this result reports its own delta.
+    retries_before = getattr(runner, "retries", 0)
     try:
         pending_specs = [specs[index] for index in pending]
 
@@ -417,6 +423,7 @@ def utilization_sweep(config: SweepConfig,
     result.cache_hits = cache_hits
     result.simulated_cells = len(pending)
     result.workers_used = workers_used
+    result.retries = getattr(runner, "retries", 0) - retries_before
     if block_stats is not None:
         result.block_cells = block_stats.block_cells
         result.block_fallbacks = dict(block_stats.fallbacks)

@@ -23,13 +23,22 @@ Subcommands
     reports entry count, total bytes and the entry-age spread (for
     sizing eviction bounds); ``clean`` with ``--max-bytes``/``--max-age``
     runs one LRU eviction sweep instead of emptying everything.
-``serve [--port N] [--workers N] [--max-bytes N] [--max-age S] ...``
+``serve [--port N] [--workers N] [--dist-port N] [--max-bytes N] ...``
     Run the sweep service: an HTTP/JSON server answering declarative
     sweep requests cache-first, with single-flight dedup of concurrent
     identical cells and per-tenant admission quotas (429 + Retry-After).
-``submit [SCENARIO] [--spec JSON] [--panel NAME] [--port N] ...``
+    ``--dist-port`` additionally opens a distributed work queue; cold
+    cells are then simulated by ``rtdvs worker`` processes instead of
+    in-process workers.
+``worker --connect HOST:PORT [--engine E] [--reconnect N]``
+    Run one sweep worker: pull leased cell batches from a coordinator
+    (``serve --dist-port`` or a :class:`repro.dist.RemoteCellExecutor`),
+    simulate them, stream outcomes back.
+``submit [SCENARIO] [--spec JSON] [--request-id ID | --resume ID] ...``
     Submit one sweep request to a running service and stream its NDJSON
-    events (``--json``) or a human summary.
+    events (``--json``) or a human summary.  ``--request-id`` journals
+    the run durably under the server's cache dir; ``--resume`` re-submits
+    a journaled request, skipping every already-completed cell.
 ``catalog [list|show|run|audit]``
     The declarative scenario catalog: list the named entries, show one
     entry's canonical JSON, run the experiment a scenario describes
@@ -281,7 +290,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-pending", type=int, default=64, metavar="N",
                          help="bounded admission queue: cells admitted to "
                               "the executor at once (default: %(default)s)")
+    p_serve.add_argument("--dist-port", type=int, default=None, metavar="N",
+                         help="also open a distributed work queue on this "
+                              "port (0 = ephemeral) and serve cold cells "
+                              "off connected 'rtdvs worker' processes "
+                              "instead of in-process workers")
+    p_serve.add_argument("--lease-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="distributed lease deadline; a worker that "
+                              "misses heartbeats this long loses its cells "
+                              "back to the queue (default: %(default)s)")
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="run one distributed sweep worker")
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator work-queue endpoint (the "
+                               "dist_port of 'rtdvs serve --dist-port')")
+    p_worker.add_argument("--engine", default="auto",
+                          choices=("auto", "scalar", "batch", "block"),
+                          help="simulation engine; 'auto' follows the "
+                               "coordinator's per-lease hint "
+                               "(default: %(default)s)")
+    p_worker.add_argument("--reconnect", type=int, default=0, metavar="N",
+                          help="re-dial up to N times after a dropped "
+                               "connection (an orderly shutdown never "
+                               "re-dials; default: %(default)s)")
+    p_worker.add_argument("--reconnect-delay", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="pause between re-dials "
+                               "(default: %(default)s)")
+    p_worker.add_argument("--max-leases", type=int, default=None,
+                          metavar="N",
+                          help="exit after simulating N leases "
+                               "(default: run until shutdown)")
+    p_worker.add_argument("--quiet", action="store_true",
+                          help="suppress per-connection log lines")
+    p_worker.set_defaults(handler=_cmd_worker)
 
     p_submit = sub.add_parser(
         "submit", help="submit a sweep request to a running service")
@@ -304,6 +349,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="request a partial aggregate event every "
                                "N completed cells (0 = none)")
+    p_submit.add_argument("--request-id", metavar="ID", default=None,
+                          help="journal this request durably under the "
+                               "server's cache dir so it can be resumed "
+                               "with --resume after an interruption")
+    p_submit.add_argument("--resume", metavar="ID", default=None,
+                          help="resume a journaled request: the sweep "
+                               "target comes from the journal; cells "
+                               "already completed are not re-simulated")
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8787)
     p_submit.add_argument("--timeout", type=float, default=300.0,
@@ -657,8 +710,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache = CellCache(args.cache_dir, max_bytes=args.max_bytes,
                           max_age=args.max_age)
+    executor = None
+    if args.dist_port is not None:
+        from repro.dist import RemoteCellExecutor
+        executor = RemoteCellExecutor(host=args.host, port=args.dist_port,
+                                      lease_timeout=args.lease_timeout)
     service = SweepService(
         cache=cache,
+        executor=executor,
         workers=args.workers,
         quotas=TenantQuotas(max_inflight=args.tenant_inflight,
                             retry_after=args.retry_after),
@@ -670,8 +729,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await service.start()
         # Machine-parseable ready line (the smoke harness reads the
         # ephemeral port from it).
-        print(f"rtdvs-serve ready host={service.host} port={service.port}",
-              flush=True)
+        ready = f"rtdvs-serve ready host={service.host} port={service.port}"
+        if executor is not None:
+            ready += f" dist_port={executor.port}"
+        print(ready, flush=True)
         try:
             await service.serve_forever()
         except asyncio.CancelledError:
@@ -683,6 +744,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import WorkerError, parse_connect, run_worker
+
+    try:
+        host, port = parse_connect(args.connect)
+        stats = run_worker(host, port, engine=args.engine,
+                           max_leases=args.max_leases,
+                           reconnect=args.reconnect,
+                           reconnect_delay=args.reconnect_delay,
+                           log=None if args.quiet else sys.stderr)
+    except WorkerError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    print(f"worker done: {stats['leases']} lease(s), "
+          f"{stats['cells']} cell(s), {stats['bytes_out']} bytes out, "
+          f"{stats['reconnects']} reconnect(s), "
+          f"{stats['errors']} error(s)")
     return 0
 
 
@@ -691,11 +777,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from repro.service import ServiceError, SweepServiceClient
 
+    if args.resume is not None:
+        if args.scenario is not None or args.spec is not None \
+                or args.panel or args.request_id is not None:
+            print("--resume takes no sweep target (the journal has it); "
+                  "drop SCENARIO/--spec/--panel/--request-id",
+                  file=sys.stderr)
+            return 2
+        request: dict = {"resume": True, "request_id": args.resume}
+        return _submit_request(args, request)
     if (args.scenario is None) == (args.spec is None):
-        print("submit needs exactly one of SCENARIO or --spec",
+        print("submit needs exactly one of SCENARIO, --spec, or --resume",
               file=sys.stderr)
         return 2
-    request: dict = {"quick": not args.full}
+    request = {"quick": not args.full}
     if args.spec is not None:
         text = args.spec
         if text.startswith("@"):
@@ -720,6 +815,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         request["engine"] = args.engine
     if args.stream_every:
         request["stream_every"] = args.stream_every
+    if args.request_id is not None:
+        request["request_id"] = args.request_id
+    return _submit_request(args, request)
+
+
+def _submit_request(args: argparse.Namespace, request: dict) -> int:
+    import json
+
+    from repro.service import ServiceError, SweepServiceClient
 
     client = SweepServiceClient(host=args.host, port=args.port,
                                 timeout=args.timeout)
@@ -749,10 +853,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                       f"coalesced={event['coalesced_cells']}")
             elif kind == "done":
                 saw_done = True
-                print(f"done in {event['elapsed_s']:.2f}s: "
-                      f"cache_hits={event['cache_hits']} "
-                      f"simulated={event['simulated_cells']} "
-                      f"coalesced={event['coalesced_cells']}")
+                line = (f"done in {event['elapsed_s']:.2f}s: "
+                        f"cache_hits={event['cache_hits']} "
+                        f"simulated={event['simulated_cells']} "
+                        f"coalesced={event['coalesced_cells']}")
+                if "request_id" in event:
+                    line += (f" journal={event['request_id']} "
+                             f"(done={event['journal_done']}, "
+                             f"skipped={event['journal_skipped']})")
+                print(line)
     except ServiceError as exc:
         print(exc, file=sys.stderr)
         return 1
@@ -760,6 +869,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"cannot reach service at {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 1
+    finally:
+        client.close()
     return 0 if saw_done else 1
 
 

@@ -1,0 +1,171 @@
+"""Durable sweep journal: request spec + completed cell fingerprints.
+
+One append-only NDJSON file per request id under
+``<cache_dir>/journal/``.  The first line records the original request
+body; every later line records one completed cell fingerprint:
+
+.. code-block:: text
+
+    {"journal": 1, "request_id": "fig9", "request": {"scenario": ...}}
+    {"done": "2f0c…"}
+    {"done": "91ab…"}
+
+The journal is deliberately *redundant* with the cell cache: every
+journaled fingerprint was written through to the cache first, so a
+resumed request answers its journaled cells from cache (and falls back
+to honest re-simulation if the cache was evicted in between — the
+journal promises progress tracking, the cache holds the bytes).  What
+the journal adds over the cache alone is the *request spec* (so
+``rtdvs submit --resume ID`` needs no re-specification) and an exact
+completed-set to assert "zero re-simulated cells" against.
+
+Appends are line-buffered and flushed per batch; a coordinator killed
+mid-append leaves at most one torn final line, which :meth:`load`
+tolerates (and reports) instead of failing the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+#: Journal file format version (first line of every journal).
+JOURNAL_VERSION = 1
+
+_REQUEST_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,127}\Z")
+
+
+class JournalError(ReproError):
+    """A journal operation failed (bad id, missing/duplicate journal)."""
+
+
+def validate_request_id(request_id: str) -> str:
+    """Reject ids that could escape the journal directory or collide."""
+    if not isinstance(request_id, str) or \
+            not _REQUEST_ID_RE.fullmatch(request_id):
+        raise JournalError(
+            f"invalid request id {request_id!r}: expected 1-128 chars of "
+            "[A-Za-z0-9._-], not starting with '.' or '-'")
+    return request_id
+
+
+class SweepJournal:
+    """Journal store rooted at ``<cache_dir>/journal``."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path(self, request_id: str) -> Path:
+        return self.root / f"{validate_request_id(request_id)}.ndjson"
+
+    def exists(self, request_id: str) -> bool:
+        return self.path(request_id).is_file()
+
+    def list_ids(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.ndjson"))
+
+    def create(self, request_id: str,
+               request: Dict[str, object]) -> "JournalWriter":
+        """Start a journal; fails if one already exists for this id."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(request_id)
+        try:
+            handle = open(path, "x", encoding="utf-8")
+        except FileExistsError:
+            raise JournalError(
+                f"journal for request id {request_id!r} already exists; "
+                "resume it or pick a fresh id") from None
+        handle.write(json.dumps(
+            {"journal": JOURNAL_VERSION, "request_id": request_id,
+             "request": request}, separators=(",", ":")) + "\n")
+        handle.flush()
+        return JournalWriter(handle)
+
+    def append(self, request_id: str) -> "JournalWriter":
+        """Open an existing journal for appending more fingerprints."""
+        path = self.path(request_id)
+        if not path.is_file():
+            raise JournalError(
+                f"no journal for request id {request_id!r} under "
+                f"{self.root}")
+        return JournalWriter(open(path, "a", encoding="utf-8"))
+
+    def load(self, request_id: str
+             ) -> Tuple[Dict[str, object], Set[str], int]:
+        """Read one journal: ``(request, completed_fps, torn_lines)``.
+
+        Undecodable lines (a torn tail from a killed coordinator, at
+        most one in practice) are counted, not fatal.  A journal whose
+        *header* is unreadable is unusable and raises.
+        """
+        path = self.path(request_id)
+        if not path.is_file():
+            raise JournalError(
+                f"no journal for request id {request_id!r} under "
+                f"{self.root}")
+        completed: Set[str] = set()
+        request: Optional[Dict[str, object]] = None
+        torn = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if line_no == 0:
+                        if record.get("journal") != JOURNAL_VERSION:
+                            raise ValueError(
+                                f"unsupported journal version "
+                                f"{record.get('journal')!r}")
+                        request = record["request"]
+                    else:
+                        completed.add(record["done"])
+                except (ValueError, KeyError, TypeError) as exc:
+                    if line_no == 0:
+                        raise JournalError(
+                            f"journal {path} has a corrupt header: "
+                            f"{exc}") from exc
+                    torn += 1
+        if request is None:
+            raise JournalError(f"journal {path} is empty")
+        return request, completed, torn
+
+
+class JournalWriter:
+    """Append-side handle: one flushed line per completed fingerprint."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self._closed = False
+
+    def mark(self, fingerprint: str) -> None:
+        self.mark_many((fingerprint,))
+
+    def mark_many(self, fingerprints: Iterable[str]) -> None:
+        if self._closed:
+            return
+        lines = [json.dumps({"done": fp}, separators=(",", ":"))
+                 for fp in fingerprints]
+        if not lines:
+            return
+        self._handle.write("\n".join(lines) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -53,7 +53,7 @@ from repro.errors import ReproError
 PROTOCOL_VERSION = 1
 
 _REQUEST_KEYS = ("scenario", "panel", "spec", "quick", "tenant",
-                 "engine", "stream_every")
+                 "engine", "stream_every", "request_id", "resume")
 
 
 class ProtocolError(ReproError):
@@ -73,6 +73,13 @@ class SweepRequest:
     #: Emit a ``partial`` aggregate event every N completed cells
     #: (0 disables partials; warm cells never trigger them).
     stream_every: int = 0
+    #: Durable-journal identity: naming a request journals its spec and
+    #: every completed cell fingerprint under the cache dir, so the
+    #: request can be resumed after a coordinator restart.
+    request_id: Optional[str] = None
+    #: Resume a journaled request: the body carries only ``request_id``
+    #: (+ ``resume: true``); the sweep target comes from the journal.
+    resume: bool = False
 
 
 @dataclass
@@ -119,9 +126,28 @@ def parse_request(data: object) -> SweepRequest:
             f"request has unknown key(s) {sorted(data)}; "
             f"accepted: {sorted(_REQUEST_KEYS)}")
 
+    resume = payload.get("resume", False)
+    if not isinstance(resume, bool):
+        raise ProtocolError("'resume' must be a boolean")
+    request_id = payload.get("request_id")
+    if request_id is not None:
+        from repro.dist.journal import JournalError, validate_request_id
+        try:
+            validate_request_id(request_id)
+        except JournalError as exc:
+            raise ProtocolError(str(exc)) from exc
+    if resume and request_id is None:
+        raise ProtocolError("'resume' requires a 'request_id'")
+
     scenario = payload.get("scenario")
     spec_data = payload.get("spec")
-    if (scenario is None) == (spec_data is None):
+    if resume:
+        if scenario is not None or spec_data is not None \
+                or payload.get("panel") is not None:
+            raise ProtocolError(
+                "a resume request names only its 'request_id'; the sweep "
+                "target comes from the journal")
+    elif (scenario is None) == (spec_data is None):
         raise ProtocolError(
             "request must carry exactly one of 'scenario' or 'spec'")
     if scenario is not None and not isinstance(scenario, str):
@@ -162,7 +188,8 @@ def parse_request(data: object) -> SweepRequest:
 
     return SweepRequest(scenario=scenario, panel=panel, spec=spec,
                         quick=quick, tenant=tenant, engine=engine,
-                        stream_every=stream_every)
+                        stream_every=stream_every,
+                        request_id=request_id, resume=resume)
 
 
 def resolve_jobs(request: SweepRequest) -> List[SweepJob]:
@@ -174,6 +201,10 @@ def resolve_jobs(request: SweepRequest) -> List[SweepJob]:
     :class:`ProtocolError` (HTTP 400 — the client named something that
     does not exist, the server is fine).
     """
+    if request.resume:
+        raise ProtocolError(
+            "resume requests resolve through the journal; the server "
+            "re-parses the journaled body first")
     pairs: List[tuple] = []
     if request.spec is not None:
         pairs.append(("inline", request.spec))
@@ -208,9 +239,9 @@ def resolve_jobs(request: SweepRequest) -> List[SweepJob]:
 # event payloads (server -> client)
 # ---------------------------------------------------------------------------
 
-def started_event(request: SweepRequest,
-                  jobs: List[SweepJob]) -> Dict[str, object]:
-    return {
+def started_event(request: SweepRequest, jobs: List[SweepJob],
+                  resumed: bool = False) -> Dict[str, object]:
+    event = {
         "event": "started",
         "protocol": PROTOCOL_VERSION,
         "quick": request.quick,
@@ -220,6 +251,10 @@ def started_event(request: SweepRequest,
                   "cells": job.cells} for job in jobs],
         "total_cells": sum(job.cells for job in jobs),
     }
+    if request.request_id is not None:
+        event["request_id"] = request.request_id
+        event["resumed"] = resumed
+    return event
 
 
 def job_event(job: SweepJob, warm: int) -> Dict[str, object]:
@@ -289,10 +324,20 @@ def result_event(job: SweepJob, result: SweepResult, cache_hits: int,
 
 
 def done_event(cache_hits: int, simulated: int, coalesced: int,
-               elapsed_s: float) -> Dict[str, object]:
-    return {"event": "done", "cache_hits": cache_hits,
-            "simulated_cells": simulated, "coalesced_cells": coalesced,
-            "elapsed_s": elapsed_s}
+               elapsed_s: float,
+               request_id: Optional[str] = None,
+               journal_done: Optional[int] = None,
+               journal_skipped: Optional[int] = None) -> Dict[str, object]:
+    event = {"event": "done", "cache_hits": cache_hits,
+             "simulated_cells": simulated, "coalesced_cells": coalesced,
+             "elapsed_s": elapsed_s}
+    if request_id is not None:
+        event["request_id"] = request_id
+        # Total fingerprints in the journal after this run / cells this
+        # run skipped because a previous run had journaled them.
+        event["journal_done"] = journal_done
+        event["journal_skipped"] = journal_skipped
+    return event
 
 
 def error_event(message: str) -> Dict[str, object]:

@@ -16,15 +16,27 @@ Three perf layers front the existing cell machinery:
    (never blocking the event loop: cells resolve via
    :meth:`~repro.analysis.executor.CellExecutor.submit_cell` futures).
 
-Responses stream NDJSON (:mod:`repro.service.protocol`), close-delimited
-(``Connection: close``): partial aggregates render incrementally, the
-final per-panel tables are bit-identical to an in-process
+Responses stream NDJSON (:mod:`repro.service.protocol`): partial
+aggregates render incrementally, and the final per-panel tables are
+bit-identical to an in-process
 :func:`~repro.analysis.sweep.utilization_sweep` because they are
-produced by the same aggregation over the same outcome dicts.
+produced by the same aggregation over the same outcome dicts.  The
+stable table fragment of each ``result`` event is encoded once and
+reused across subscribers of the same cells (only the per-request
+counters differ), so fan-out does not re-serialize megabyte tables.
 
-HTTP support is deliberately minimal — HTTP/1.1, ``Content-Length``
-bodies, no keep-alive, no TLS — because the clients are `rtdvs submit`,
-`curl`, and the benchmarks, all on a trusted network.
+HTTP/1.1 connections are kept alive by default (streams switch to
+chunked transfer encoding so the response stays self-delimiting); a
+client that sends ``Connection: close`` — or speaks HTTP/1.0 — gets the
+legacy close-delimited framing.  Support is otherwise deliberately
+minimal — ``Content-Length`` bodies, no TLS — because the clients are
+`rtdvs submit`, `curl`, and the benchmarks, all on a trusted network.
+
+Requests that carry a ``request_id`` are additionally journaled
+(:mod:`repro.dist.journal`) under the cache directory: the request body
+plus every completed cell fingerprint.  A ``resume`` request replays
+the journaled body and answers already-journaled cells from the cache,
+so a restarted coordinator re-simulates nothing that already finished.
 """
 
 import asyncio
@@ -32,13 +44,16 @@ import contextlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import __version__
 from repro.analysis.cellcache import CellCache
 from repro.analysis.executor import CellExecutor
 from repro.analysis.sweep import aggregate_outcomes
+from repro.dist.journal import JournalError, JournalWriter, SweepJournal
 from repro.service.dedup import SingleFlight
 from repro.service.protocol import (ProtocolError, SweepJob, SweepRequest,
                                     done_event, error_event, job_event,
@@ -55,26 +70,47 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 _MAX_HEADER_LINES = 64
 _MAX_BODY_BYTES = 1 << 20
 
+#: Distinct result tables kept in the encode-reuse cache.  Each entry is
+#: one job's serialized tables (tens of KB for quick sweeps); the cache
+#: only pays off while identical requests overlap, so a handful of
+#: entries covers the fan-out case without holding stale tables forever.
+_RESULT_CACHE_MAX = 8
+
 
 @dataclass
 class ServiceStats:
     """Lifetime counters, surfaced by ``GET /v1/stats``."""
 
     requests: int = 0
+    connections: int = 0
     errors: int = 0
     cells_served: int = 0
     cache_hits: int = 0
     simulated_cells: int = 0
     coalesced_cells: int = 0
     bytes_streamed: int = 0
+    result_reuses: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {"requests": self.requests, "errors": self.errors,
+        return {"requests": self.requests,
+                "connections": self.connections,
+                "errors": self.errors,
                 "cells_served": self.cells_served,
                 "cache_hits": self.cache_hits,
                 "simulated_cells": self.simulated_cells,
                 "coalesced_cells": self.coalesced_cells,
-                "bytes_streamed": self.bytes_streamed}
+                "bytes_streamed": self.bytes_streamed,
+                "result_reuses": self.result_reuses}
+
+
+class _JournalState:
+    """Per-request journal bookkeeping shared across a request's jobs."""
+
+    def __init__(self, writer: JournalWriter, completed: Set[str]):
+        self.writer = writer
+        #: Fingerprints known journaled (pre-loaded on resume, grown as
+        #: this run completes cells).
+        self.completed = completed
 
 
 class SweepService:
@@ -84,12 +120,16 @@ class SweepService:
     ----------
     cache:
         Shared :class:`CellCache` (``None`` disables the warm path —
-        every cell simulates).  Give it ``max_bytes``/``max_age`` and a
+        every cell simulates — and journaling, which lives under the
+        cache directory).  Give it ``max_bytes``/``max_age`` and a
         positive ``sweep_interval`` to bound growth for server-lifetime
         workloads.
     executor:
         Shared :class:`CellExecutor`; when omitted one is created from
-        ``workers`` and owned (shut down by :meth:`stop`).
+        ``workers`` and owned (shut down by :meth:`stop`).  A
+        :class:`~repro.dist.coordinator.RemoteCellExecutor` slots in
+        here unchanged — the service then serves cold cells off a
+        distributed worker fleet.
     port:
         ``0`` binds an ephemeral port; :attr:`port` holds the real one
         after :meth:`start`.
@@ -116,6 +156,9 @@ class SweepService:
         self.sweep_interval = sweep_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._sweeper: Optional[asyncio.Task] = None
+        self._conns: Set[asyncio.StreamWriter] = set()
+        self._result_cache: "OrderedDict[Tuple[str, ...], str]" = \
+            OrderedDict()
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> "SweepService":
@@ -141,6 +184,11 @@ class SweepService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Kick idle keep-alive connections loose so their handler tasks
+        # unwind instead of being destroyed with the loop.
+        for writer in list(self._conns):
+            with contextlib.suppress(Exception):
+                writer.close()
         if self._own_executor:
             await asyncio.to_thread(self.executor.shutdown)
 
@@ -154,136 +202,283 @@ class SweepService:
     # -- HTTP plumbing ------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        self._conns.add(writer)
         try:
-            try:
-                method, target, body = await self._read_request(reader)
-            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
-                    UnicodeDecodeError, ValueError) as exc:
-                await self._send_json(writer, 400,
-                                      {"error": f"malformed request: {exc}"})
-                return
-            if target == "/v1/healthz":
-                if method != "GET":
-                    await self._send_json(writer, 405,
-                                          {"error": "use GET"})
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except (asyncio.IncompleteReadError,
+                        asyncio.LimitOverrunError,
+                        UnicodeDecodeError, ValueError) as exc:
+                    # Framing is lost; answer and drop the connection.
+                    await self._send_json(
+                        writer, 400,
+                        {"error": f"malformed request: {exc}"},
+                        keep_alive=False)
                     return
-                await self._send_json(writer, 200,
-                                      {"ok": True, "version": __version__})
-            elif target == "/v1/stats":
-                if method != "GET":
-                    await self._send_json(writer, 405,
-                                          {"error": "use GET"})
+                if parsed is None:
+                    return  # clean EOF between requests
+                method, target, body, keep_alive = parsed
+                if target == "/v1/healthz":
+                    if method != "GET":
+                        await self._send_json(writer, 405,
+                                              {"error": "use GET"},
+                                              keep_alive=keep_alive)
+                    else:
+                        await self._send_json(
+                            writer, 200,
+                            {"ok": True, "version": __version__},
+                            keep_alive=keep_alive)
+                elif target == "/v1/stats":
+                    if method != "GET":
+                        await self._send_json(writer, 405,
+                                              {"error": "use GET"},
+                                              keep_alive=keep_alive)
+                    else:
+                        payload = await asyncio.to_thread(self.stats_payload)
+                        await self._send_json(writer, 200, payload,
+                                              keep_alive=keep_alive)
+                elif target == "/v1/sweep":
+                    if method != "POST":
+                        await self._send_json(writer, 405,
+                                              {"error": "use POST"},
+                                              keep_alive=keep_alive)
+                    else:
+                        keep_alive = await self._handle_sweep(
+                            writer, body, keep_alive)
+                else:
+                    await self._send_json(writer, 404,
+                                          {"error": f"no route {target!r}"},
+                                          keep_alive=keep_alive)
+                if not keep_alive:
                     return
-                payload = await asyncio.to_thread(self.stats_payload)
-                await self._send_json(writer, 200, payload)
-            elif target == "/v1/sweep":
-                if method != "POST":
-                    await self._send_json(writer, 405,
-                                          {"error": "use POST"})
-                    return
-                await self._handle_sweep(writer, body)
-            else:
-                await self._send_json(writer, 404,
-                                      {"error": f"no route {target!r}"})
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; in-flight leaders finish regardless
         finally:
+            self._conns.discard(writer)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader,
-                            ) -> Tuple[str, str, bytes]:
+                            ) -> Optional[Tuple[str, str, bytes, bool]]:
+        """Read one request; ``None`` on clean EOF between requests.
+
+        The returned flag says whether the connection may be kept alive
+        afterwards (HTTP/1.1 default unless the client said
+        ``Connection: close``; HTTP/1.0 must opt in with
+        ``keep-alive``).
+        """
         request_line = (await reader.readline()).decode("ascii")
+        if not request_line:
+            return None
         parts = request_line.split()
         if len(parts) != 3:
             raise ValueError(f"bad request line {request_line!r}")
-        method, target, _version = parts
+        method, target, version = parts
+        keep_alive = version.upper() != "HTTP/1.0"
         content_length = 0
         for _ in range(_MAX_HEADER_LINES):
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("ascii").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 content_length = int(value.strip())
+            elif name == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
         else:
             raise ValueError("too many header lines")
         if content_length > _MAX_BODY_BYTES:
             raise ValueError(f"body too large ({content_length} bytes)")
         body = await reader.readexactly(content_length) \
             if content_length else b""
-        return method, target, body
+        return method, target, body, keep_alive
 
     async def _send_json(self, writer: asyncio.StreamWriter, status: int,
                          payload: Dict[str, object],
                          extra_headers: Tuple[Tuple[str, str], ...] = (),
-                         ) -> None:
+                         keep_alive: bool = False) -> None:
         body = json.dumps(payload).encode("utf-8")
         head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n")
         for name, value in extra_headers:
             head += f"{name}: {value}\r\n"
-        head += "Connection: close\r\n\r\n"
+        head += ("Connection: keep-alive\r\n\r\n" if keep_alive
+                 else "Connection: close\r\n\r\n")
         writer.write(head.encode("ascii") + body)
         await writer.drain()
 
-    async def _start_stream(self, writer: asyncio.StreamWriter) -> None:
-        writer.write(b"HTTP/1.1 200 OK\r\n"
-                     b"Content-Type: application/x-ndjson\r\n"
-                     b"Connection: close\r\n\r\n")
+    async def _start_stream(self, writer: asyncio.StreamWriter,
+                            chunked: bool) -> None:
+        if chunked:
+            writer.write(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/x-ndjson\r\n"
+                         b"Transfer-Encoding: chunked\r\n"
+                         b"Connection: keep-alive\r\n\r\n")
+        else:
+            writer.write(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: application/x-ndjson\r\n"
+                         b"Connection: close\r\n\r\n")
+        await writer.drain()
+
+    async def _send_raw(self, writer: asyncio.StreamWriter, data: bytes,
+                        chunked: bool) -> None:
+        # bytes_streamed counts payload bytes, not chunk framing, so the
+        # counter is comparable across framings.
+        self.stats.bytes_streamed += len(data)
+        if chunked:
+            writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        else:
+            writer.write(data)
         await writer.drain()
 
     async def _send_event(self, writer: asyncio.StreamWriter,
-                          payload: Dict[str, object]) -> None:
+                          payload: Dict[str, object],
+                          chunked: bool) -> None:
         data = (json.dumps(payload, separators=(",", ":")) + "\n") \
             .encode("utf-8")
-        self.stats.bytes_streamed += len(data)
-        writer.write(data)
-        await writer.drain()
+        await self._send_raw(writer, data, chunked)
+
+    async def _end_stream(self, writer: asyncio.StreamWriter,
+                          chunked: bool) -> None:
+        if chunked:
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+
+    # -- journaling ---------------------------------------------------------
+    def _journal_store(self) -> SweepJournal:
+        if self.cache is None:
+            raise ProtocolError(
+                "'request_id'/'resume' need a cache-backed server; the "
+                "journal lives under the cache directory")
+        return SweepJournal(Path(self.cache.root) / "journal")
+
+    async def _resume_request(self, request: SweepRequest):
+        """Replay a journaled request: re-parse its stored body.
+
+        Returns ``(request, jobs, writer, completed_fps)`` where
+        ``request`` is the full journaled request (same ``request_id``)
+        and ``completed_fps`` are the fingerprints already journaled.
+        """
+        store = self._journal_store()
+        stored, completed, _torn = await asyncio.to_thread(
+            store.load, request.request_id)
+        body = dict(stored)
+        body.pop("resume", None)
+        body["request_id"] = request.request_id
+        try:
+            full = parse_request(body)
+        except ProtocolError as exc:
+            raise ProtocolError(
+                f"journaled request {request.request_id!r} no longer "
+                f"parses: {exc}") from exc
+        jobs = resolve_jobs(full)
+        writer = await asyncio.to_thread(store.append, request.request_id)
+        return full, jobs, writer, completed
+
+    async def _create_journal(self, request_id: str,
+                              data: Dict[str, object]) -> JournalWriter:
+        store = self._journal_store()
+        stored = {key: value for key, value in data.items()
+                  if key not in ("request_id", "resume")}
+        return await asyncio.to_thread(store.create, request_id, stored)
 
     # -- the sweep endpoint -------------------------------------------------
     async def _handle_sweep(self, writer: asyncio.StreamWriter,
-                            body: bytes) -> None:
+                            body: bytes, keep_alive: bool) -> bool:
+        """Serve one sweep request; returns whether the connection
+        survives (chunked streams do, close-delimited ones by
+        definition do not)."""
         self.stats.requests += 1
         try:
-            request = parse_request(json.loads(body.decode("utf-8")))
-            jobs = resolve_jobs(request)
+            data = json.loads(body.decode("utf-8"))
+            request = parse_request(data)
         except (ValueError, ProtocolError) as exc:
-            await self._send_json(writer, 400, {"error": str(exc)})
-            return
+            await self._send_json(writer, 400, {"error": str(exc)},
+                                  keep_alive=keep_alive)
+            return keep_alive
+        journal: Optional[_JournalState] = None
+        resumed = False
+        try:
+            if request.resume:
+                request, jobs, journal_writer, completed = \
+                    await self._resume_request(request)
+                journal = _JournalState(journal_writer, completed)
+                resumed = True
+            else:
+                jobs = resolve_jobs(request)
+                if request.request_id is not None:
+                    journal = _JournalState(
+                        await self._create_journal(request.request_id, data),
+                        set())
+        except (ProtocolError, JournalError) as exc:
+            await self._send_json(writer, 400, {"error": str(exc)},
+                                  keep_alive=keep_alive)
+            return keep_alive
         try:
             self.quotas.acquire(request.tenant)
         except QuotaExceeded as exc:
+            if journal is not None:
+                await asyncio.to_thread(journal.writer.close)
             await self._send_json(
                 writer, 429,
                 {"error": str(exc), "retry_after": exc.retry_after},
-                extra_headers=(("Retry-After", f"{exc.retry_after:g}"),))
-            return
+                extra_headers=(("Retry-After", f"{exc.retry_after:g}"),),
+                keep_alive=keep_alive)
+            return keep_alive
         started_at = time.monotonic()
+        chunked = keep_alive
         try:
-            await self._start_stream(writer)
-            await self._send_event(writer, started_event(request, jobs))
-            totals = {"cache_hits": 0, "simulated": 0, "coalesced": 0}
+            await self._start_stream(writer, chunked)
+            await self._send_event(writer,
+                                   started_event(request, jobs, resumed),
+                                   chunked)
+            totals = {"cache_hits": 0, "simulated": 0, "coalesced": 0,
+                      "journal_skipped": 0}
             for job in jobs:
-                await self._run_job(writer, request, job, totals)
+                await self._run_job(writer, chunked, request, job, totals,
+                                    journal)
+            done_kwargs: Dict[str, object] = {}
+            if request.request_id is not None:
+                done_kwargs = {
+                    "request_id": request.request_id,
+                    "journal_done": len(journal.completed)
+                    if journal is not None else 0,
+                    "journal_skipped": totals["journal_skipped"],
+                }
             await self._send_event(writer, done_event(
                 totals["cache_hits"], totals["simulated"],
-                totals["coalesced"], time.monotonic() - started_at))
+                totals["coalesced"], time.monotonic() - started_at,
+                **done_kwargs), chunked)
+            await self._end_stream(writer, chunked)
+            return chunked
         except (ConnectionResetError, BrokenPipeError):
             raise
         except Exception as exc:
             self.stats.errors += 1
             with contextlib.suppress(Exception):
-                await self._send_event(writer, error_event(str(exc)))
+                await self._send_event(writer, error_event(str(exc)),
+                                       chunked)
+                await self._end_stream(writer, chunked)
+            return False
         finally:
             self.quotas.release(request.tenant)
+            if journal is not None:
+                await asyncio.to_thread(journal.writer.close)
 
-    async def _run_job(self, writer: asyncio.StreamWriter,
+    async def _run_job(self, writer: asyncio.StreamWriter, chunked: bool,
                        request: SweepRequest, job: SweepJob,
-                       totals: Dict[str, int]) -> None:
+                       totals: Dict[str, int],
+                       journal: Optional[_JournalState]) -> None:
         outcomes: List[Optional[Dict[str, object]]] = [None] * job.cells
         warm = 0
         if self.cache is not None:
@@ -291,7 +486,20 @@ class SweepService:
             for index, outcome in hits:
                 outcomes[index] = outcome
             warm = len(hits)
-        await self._send_event(writer, job_event(job, warm))
+            if journal is not None and hits:
+                fresh: List[str] = []
+                for index, _ in hits:
+                    fingerprint = job.keys[index]
+                    if fingerprint in journal.completed:
+                        # Journaled by the interrupted run, answered
+                        # from cache now: the cell resume exists for.
+                        totals["journal_skipped"] += 1
+                    else:
+                        journal.completed.add(fingerprint)
+                        fresh.append(fingerprint)
+                if fresh:
+                    await asyncio.to_thread(journal.writer.mark_many, fresh)
+        await self._send_event(writer, job_event(job, warm), chunked)
 
         pending = [i for i in range(job.cells) if outcomes[i] is None]
         cache_hits = warm
@@ -310,10 +518,17 @@ class SweepService:
                     coalesced += 1
                 else:  # a leader that found the cell freshly cached
                     cache_hits += 1
+                if journal is not None:
+                    fingerprint = job.keys[index]
+                    if fingerprint is not None \
+                            and fingerprint not in journal.completed:
+                        journal.completed.add(fingerprint)
+                        await asyncio.to_thread(journal.writer.mark,
+                                                fingerprint)
                 if request.stream_every and done < job.cells \
                         and (done - warm) % request.stream_every == 0:
                     await self._send_event(
-                        writer, partial_event(job, done, outcomes))
+                        writer, partial_event(job, done, outcomes), chunked)
         except BaseException:
             # Drop *our* waiters; shielded leaders keep running so other
             # requests coalesced onto them still get their outcomes.
@@ -329,9 +544,47 @@ class SweepService:
         totals["simulated"] += simulated
         totals["coalesced"] += coalesced
 
-        result = aggregate_outcomes(job.config, outcomes)
-        await self._send_event(writer, result_event(
-            job, result, cache_hits, simulated, coalesced))
+        await self._send_raw(
+            writer,
+            self._encode_result(job, outcomes, cache_hits, simulated,
+                                coalesced),
+            chunked)
+
+    def _encode_result(self, job: SweepJob,
+                       outcomes: List[Optional[Dict[str, object]]],
+                       cache_hits: int, simulated: int,
+                       coalesced: int) -> bytes:
+        """Serialize one ``result`` event, reusing the stable fragment.
+
+        The tables (xs/labels/raw/normalized/rm_fallbacks) are a pure
+        function of the job's ordered cell fingerprints, so subscribers
+        fanning out over the same cells share one aggregation + one
+        ``json.dumps`` of the heavy fragment; only the per-request
+        counters are encoded fresh and spliced in.
+        """
+        key: Optional[Tuple[str, ...]] = None
+        if all(k is not None for k in job.keys):
+            key = (job.scenario, job.panel, *job.keys)
+        stable = self._result_cache.get(key) if key is not None else None
+        if stable is None:
+            result = aggregate_outcomes(job.config, outcomes)
+            payload = result_event(job, result, 0, 0, 0)
+            for counter in ("cache_hits", "simulated_cells",
+                            "coalesced_cells"):
+                del payload[counter]
+            stable = json.dumps(payload, separators=(",", ":"))
+            if key is not None:
+                self._result_cache[key] = stable
+                while len(self._result_cache) > _RESULT_CACHE_MAX:
+                    self._result_cache.popitem(last=False)
+        else:
+            self.stats.result_reuses += 1
+            self._result_cache.move_to_end(key)
+        counters = json.dumps(
+            {"cache_hits": cache_hits, "simulated_cells": simulated,
+             "coalesced_cells": coalesced}, separators=(",", ":"))
+        # Merge `{...stable}` and `{...counters}` into one JSON object.
+        return (stable[:-1] + "," + counters[1:] + "\n").encode("utf-8")
 
     def _probe(self, keys: List[Optional[str]],
                ) -> List[Tuple[int, Dict[str, object]]]:

@@ -1,0 +1,93 @@
+"""Durable sweep journal: create/append/load, torn tails, id hygiene."""
+
+import pytest
+
+from repro.dist.journal import (JournalError, SweepJournal,
+                                validate_request_id)
+
+REQUEST = {"scenario": "fig9", "quick": True}
+
+
+class TestRequestIds:
+    @pytest.mark.parametrize("good", ["fig9", "run-2026.08.08", "a" * 128,
+                                      "X_1"])
+    def test_accepts_safe_ids(self, good):
+        assert validate_request_id(good) == good
+
+    @pytest.mark.parametrize("bad", ["", "../escape", ".hidden", "-flag",
+                                     "a/b", "a" * 129, "sp ace", None, 7])
+    def test_rejects_unsafe_ids(self, bad):
+        with pytest.raises(JournalError):
+            validate_request_id(bad)
+
+
+class TestJournalLifecycle:
+    def test_create_load_round_trip(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        with journal.create("r1", REQUEST) as writer:
+            writer.mark("fp-a")
+            writer.mark_many(["fp-b", "fp-c"])
+        request, completed, torn = journal.load("r1")
+        assert request == REQUEST
+        assert completed == {"fp-a", "fp-b", "fp-c"}
+        assert torn == 0
+        assert journal.exists("r1")
+        assert journal.list_ids() == ["r1"]
+
+    def test_append_extends_existing_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        journal.create("r1", REQUEST).close()
+        with journal.append("r1") as writer:
+            writer.mark("fp-late")
+        _, completed, _ = journal.load("r1")
+        assert completed == {"fp-late"}
+
+    def test_duplicate_create_refused(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        journal.create("r1", REQUEST).close()
+        with pytest.raises(JournalError, match="already exists"):
+            journal.create("r1", REQUEST)
+
+    def test_load_missing_journal_raises(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        with pytest.raises(JournalError, match="no journal"):
+            journal.load("ghost")
+        with pytest.raises(JournalError, match="no journal"):
+            journal.append("ghost")
+
+    def test_marks_after_close_are_ignored(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        writer = journal.create("r1", REQUEST)
+        writer.close()
+        writer.mark("fp-too-late")  # no-op, no crash
+        _, completed, _ = journal.load("r1")
+        assert completed == set()
+
+
+class TestCrashTolerance:
+    def test_torn_tail_line_tolerated_and_counted(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        with journal.create("r1", REQUEST) as writer:
+            writer.mark("fp-a")
+        with open(journal.path("r1"), "a", encoding="utf-8") as handle:
+            handle.write('{"done":"fp-tor')  # killed mid-append
+        request, completed, torn = journal.load("r1")
+        assert request == REQUEST
+        assert completed == {"fp-a"}
+        assert torn == 1
+
+    def test_corrupt_header_is_fatal(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        journal.root.mkdir(parents=True)
+        journal.path("r1").write_text("not json\n", encoding="utf-8")
+        with pytest.raises(JournalError, match="corrupt header"):
+            journal.load("r1")
+
+    def test_unsupported_version_is_fatal(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        journal.root.mkdir(parents=True)
+        journal.path("r1").write_text(
+            '{"journal":99,"request_id":"r1","request":{}}\n',
+            encoding="utf-8")
+        with pytest.raises(JournalError, match="version"):
+            journal.load("r1")

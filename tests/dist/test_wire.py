@@ -1,0 +1,152 @@
+"""Frame and payload codec tests for the distributed sweep protocol."""
+
+import dataclasses
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.analysis.sweep import cell_cache_key, sweep_cell_specs, \
+    sweep_context
+from repro.catalog.schema import PanelSpec
+from repro.dist.wire import (MAGIC, MAX_FRAME_BYTES, WireError,
+                             context_from_wire, context_to_wire, pack_frame,
+                             recv_frame, send_frame, spec_from_wire,
+                             spec_to_wire, unpack_frame)
+
+TINY_SPEC = {"n_tasks": 3, "n_sets_quick": 2, "duration_quick": 100.0,
+             "utilizations": [0.5, 0.9]}
+
+
+def tiny_context_and_specs():
+    config = PanelSpec.from_dict(dict(TINY_SPEC, label="inline")) \
+        .sweep_config(quick=True)
+    return sweep_context(config), sweep_cell_specs(config)
+
+
+class TestFrameCodec:
+    def test_round_trip_with_payloads(self):
+        payloads = [b"alpha", b"", b"\x00\x01\x02" * 100]
+        frame = pack_frame("result", {"lease": 7, "tickets": [1, 2, 3]},
+                           payloads)
+        header, out = unpack_frame(frame[4:])
+        assert header["kind"] == "result"
+        assert header["lease"] == 7
+        assert header["sizes"] == [5, 0, 300]
+        assert out == payloads
+
+    def test_round_trip_header_only(self):
+        frame = pack_frame("request")
+        header, payloads = unpack_frame(frame[4:])
+        assert header == {"kind": "request"}
+        assert payloads == []
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(pack_frame("hello"))
+        frame[4:8] = b"XXXX"
+        with pytest.raises(WireError):
+            unpack_frame(bytes(frame[4:]))
+
+    def test_truncated_payload_rejected(self):
+        frame = pack_frame("result", payloads=[b"0123456789"])
+        with pytest.raises(WireError):
+            unpack_frame(frame[4:-3])
+
+    def test_socket_round_trip_and_clean_eof(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, "hello", {"pid": 42}, payloads=[b"data"])
+            header, payloads = recv_frame(right)
+            assert header["kind"] == "hello"
+            assert header["pid"] == 42
+            assert payloads == [b"data"]
+            left.close()
+            assert recv_frame(right) is None  # clean EOF between frames
+        finally:
+            right.close()
+
+    def test_torn_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            frame = pack_frame("result", payloads=[b"x" * 64])
+            left.sendall(frame[:len(frame) // 2])
+            left.close()
+            with pytest.raises(WireError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_prefix_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("<I", MAX_FRAME_BYTES + 1))
+            left.close()
+            with pytest.raises(WireError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_magic_is_stable(self):
+        # The wire magic is a compatibility contract; changing it must
+        # be a deliberate version bump.
+        assert MAGIC == b"DWP1"
+
+
+class TestContextSpecCodecs:
+    def test_context_round_trip_preserves_digest(self):
+        context, _ = tiny_context_and_specs()
+        rebuilt = context_from_wire(context_to_wire(context))
+        assert rebuilt.digest() == context.digest()
+
+    def test_spec_round_trip_preserves_cache_key(self):
+        context, specs = tiny_context_and_specs()
+        for spec in specs:
+            rebuilt = spec_from_wire(spec_to_wire(spec))
+            assert rebuilt == spec
+            assert cell_cache_key(context, rebuilt) \
+                == cell_cache_key(context, spec)
+
+    def test_trace_carrying_spec_rejected(self):
+        _, specs = tiny_context_and_specs()
+        poisoned = dataclasses.replace(specs[0], trace=object())
+        with pytest.raises(WireError, match="trace-carrying"):
+            spec_to_wire(poisoned)
+
+    def test_malformed_context_raises_wire_error(self):
+        with pytest.raises(WireError):
+            context_from_wire({"machine": "not-a-list"})
+
+    def test_malformed_spec_raises_wire_error(self):
+        with pytest.raises(WireError):
+            spec_from_wire({"utilization": 0.5})  # missing fields
+
+
+def test_send_frame_lock_serializes_writers():
+    """Two threads hammering one socket under the write lock never
+    interleave frames (each recv_frame parses cleanly)."""
+    left, right = socket.socketpair()
+    lock = threading.Lock()
+    n_frames, n_threads = 25, 4
+
+    def writer(tag):
+        for i in range(n_frames):
+            send_frame(left, "result", {"tag": tag, "i": i},
+                       payloads=[bytes([tag]) * 512], lock=lock)
+
+    threads = [threading.Thread(target=writer, args=(t,))
+               for t in range(n_threads)]
+    try:
+        for thread in threads:
+            thread.start()
+        seen = 0
+        while seen < n_frames * n_threads:
+            header, payloads = recv_frame(right)
+            assert header["kind"] == "result"
+            assert payloads[0] == bytes([header["tag"]]) * 512
+            seen += 1
+    finally:
+        for thread in threads:
+            thread.join()
+        left.close()
+        right.close()

@@ -1,0 +1,115 @@
+"""Client connection management: backoff, stale keep-alive retry."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceError, SweepServiceClient
+from repro.service.client import backoff_delay
+
+
+class TestBackoffDelay:
+    def test_deterministic_for_same_inputs(self):
+        a = backoff_delay("h", 1234, 3, base=0.1, cap=5.0)
+        b = backoff_delay("h", 1234, 3, base=0.1, cap=5.0)
+        assert a == b
+
+    def test_exponential_then_capped(self):
+        delays = [backoff_delay("h", 1, attempt, base=0.1, cap=2.0)
+                  for attempt in range(8)]
+        # Jitter scales into [0.5, 1.0) of the nominal delay.
+        for attempt, delay in enumerate(delays):
+            nominal = min(2.0, 0.1 * 2 ** attempt)
+            assert 0.5 * nominal <= delay < nominal
+        # Late attempts are capped: never above the cap itself.
+        assert max(delays) < 2.0
+
+    def test_jitter_varies_across_attempts(self):
+        ratios = {round(backoff_delay("h", 1, a, base=1.0, cap=1.0), 6)
+                  for a in range(10)}
+        assert len(ratios) > 1  # not a constant factor
+
+
+class TestConnectBackoff:
+    def test_refused_connection_backs_off_then_fails(self):
+        # Bind-then-close guarantees a refusing port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = SweepServiceClient(port=port, timeout=1.0,
+                                    connect_retries=3,
+                                    sleep=sleeps.append)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+        assert client.retries_connect == 3
+        assert sleeps == [backoff_delay("127.0.0.1", port, attempt,
+                                        base=client.backoff_base,
+                                        cap=client.backoff_cap)
+                          for attempt in range(3)]
+
+    def test_zero_retries_fails_immediately(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        client = SweepServiceClient(port=port, timeout=1.0,
+                                    connect_retries=0,
+                                    sleep=sleeps.append)
+        with pytest.raises(ServiceError):
+            client.healthz()
+        assert sleeps == []
+
+
+def _keepalive_response(payload):
+    body = json.dumps(payload).encode("utf-8")
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: %d\r\n"
+            b"Connection: keep-alive\r\n\r\n" % len(body)) + body
+
+
+class TestStaleKeepAlive:
+    def test_dead_reused_connection_gets_one_free_retry(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(4)
+        port = server.getsockname()[1]
+        closed_first = threading.Event()
+
+        def serve():
+            # First connection: answer once, then close — the client's
+            # kept-alive socket is now stale.
+            conn, _ = server.accept()
+            conn.recv(65536)
+            conn.sendall(_keepalive_response({"ok": 1}))
+            conn.close()
+            closed_first.set()
+            # Second connection: the free retry lands here.
+            conn2, _ = server.accept()
+            conn2.recv(65536)
+            conn2.sendall(_keepalive_response({"ok": 2}))
+            time.sleep(0.5)
+            conn2.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        sleeps = []
+        client = SweepServiceClient(port=port, timeout=5.0,
+                                    sleep=sleeps.append)
+        try:
+            assert client.healthz() == {"ok": 1}
+            closed_first.wait(timeout=5.0)
+            time.sleep(0.05)  # let the FIN reach our socket
+            assert client.healthz() == {"ok": 2}
+        finally:
+            client.close()
+            server.close()
+            thread.join(timeout=5.0)
+        assert client.stale_retries == 1
+        assert sleeps == []  # the free retry never sleeps
